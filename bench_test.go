@@ -1,0 +1,252 @@
+// Benchmarks regenerating the paper's evaluation artifacts (§V): one bench
+// per table and figure, plus ablations of the design choices called out in
+// DESIGN.md and micro-benchmarks of the label machinery.
+//
+// Scenario benches run the Small experiment scale (30 nodes, 14 flows,
+// 120 s) so `go test -bench=.` finishes in minutes; the shapes match the
+// mid/full scales driven by cmd/experiments. Each bench reports the paper's
+// metric for that figure via b.ReportMetric, so the bench output doubles as
+// a results table.
+package slr_test
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"slr/internal/experiments"
+	"slr/internal/frac"
+	"slr/internal/label"
+	"slr/internal/routing/srp"
+	"slr/internal/scenario"
+	"slr/internal/sim"
+)
+
+// benchPause is the mobility point benches run at: constant motion, the
+// paper's hardest case.
+const benchPause = 0
+
+func benchParams(proto scenario.ProtocolName, seed int64) scenario.Params {
+	return experiments.Small.Params(proto, benchPause, seed)
+}
+
+// runPoint runs b.N trials of one grid point and reports the mean of the
+// given metrics.
+func runPoint(b *testing.B, p scenario.Params, report map[string]func(scenario.Result) float64) {
+	b.Helper()
+	sums := make(map[string]float64, len(report))
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i + 1)
+		r := scenario.Run(p)
+		for name, get := range report {
+			sums[name] += get(r)
+		}
+	}
+	for name, sum := range sums {
+		b.ReportMetric(sum/float64(b.N), name)
+	}
+}
+
+// BenchmarkTable1 regenerates Table I: delivery ratio, network load, and
+// latency per protocol (averaged over trials at the bench pause point).
+func BenchmarkTable1(b *testing.B) {
+	for _, proto := range scenario.AllProtocols {
+		b.Run(string(proto), func(b *testing.B) {
+			runPoint(b, benchParams(proto, 1), map[string]func(scenario.Result) float64{
+				"deliv-ratio": func(r scenario.Result) float64 { return r.DeliveryRatio },
+				"net-load":    func(r scenario.Result) float64 { return r.NetworkLoad },
+				"latency-s":   func(r scenario.Result) float64 { return r.Latency },
+			})
+		})
+	}
+}
+
+// BenchmarkFig3MACDrops regenerates Fig. 3: mean MAC-layer drops per node.
+func BenchmarkFig3MACDrops(b *testing.B) {
+	for _, proto := range scenario.AllProtocols {
+		b.Run(string(proto), func(b *testing.B) {
+			runPoint(b, benchParams(proto, 1), map[string]func(scenario.Result) float64{
+				"mac-drops": func(r scenario.Result) float64 { return r.MACDrops },
+			})
+		})
+	}
+}
+
+// BenchmarkFig4Delivery regenerates Fig. 4: delivery ratio.
+func BenchmarkFig4Delivery(b *testing.B) {
+	for _, proto := range scenario.AllProtocols {
+		b.Run(string(proto), func(b *testing.B) {
+			runPoint(b, benchParams(proto, 1), map[string]func(scenario.Result) float64{
+				"deliv-ratio": func(r scenario.Result) float64 { return r.DeliveryRatio },
+			})
+		})
+	}
+}
+
+// BenchmarkFig5NetLoad regenerates Fig. 5: control packets per delivered
+// data packet.
+func BenchmarkFig5NetLoad(b *testing.B) {
+	for _, proto := range scenario.AllProtocols {
+		b.Run(string(proto), func(b *testing.B) {
+			runPoint(b, benchParams(proto, 1), map[string]func(scenario.Result) float64{
+				"net-load": func(r scenario.Result) float64 { return r.NetworkLoad },
+			})
+		})
+	}
+}
+
+// BenchmarkFig6Latency regenerates Fig. 6: mean end-to-end data latency.
+func BenchmarkFig6Latency(b *testing.B) {
+	for _, proto := range scenario.AllProtocols {
+		b.Run(string(proto), func(b *testing.B) {
+			runPoint(b, benchParams(proto, 1), map[string]func(scenario.Result) float64{
+				"latency-s": func(r scenario.Result) float64 { return r.Latency },
+			})
+		})
+	}
+}
+
+// BenchmarkFig7SeqNo regenerates Fig. 7: average node sequence number for
+// the three sequence-number protocols (SRP must report exactly 0).
+func BenchmarkFig7SeqNo(b *testing.B) {
+	for _, proto := range []scenario.ProtocolName{scenario.SRP, scenario.LDR, scenario.AODV} {
+		b.Run(string(proto), func(b *testing.B) {
+			runPoint(b, benchParams(proto, 1), map[string]func(scenario.Result) float64{
+				"avg-seqno": func(r scenario.Result) float64 { return r.AvgSeqno },
+			})
+		})
+	}
+}
+
+// srpVariant runs SRP with a tweaked config, reporting the headline
+// metrics, for the ablation benches.
+func srpVariant(b *testing.B, mutate func(*srp.Config)) {
+	b.Helper()
+	p := benchParams(scenario.SRP, 1)
+	cfg := srp.DefaultConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	p.SRPConfig = &cfg
+	runPoint(b, p, map[string]func(scenario.Result) float64{
+		"deliv-ratio": func(r scenario.Result) float64 { return r.DeliveryRatio },
+		"net-load":    func(r scenario.Result) float64 { return r.NetworkLoad },
+		"avg-seqno":   func(r scenario.Result) float64 { return r.AvgSeqno },
+		"max-denom":   func(r scenario.Result) float64 { return float64(r.MaxDenom) },
+	})
+}
+
+// BenchmarkAblationBaseline is SRP as published, for comparison with the
+// other Ablation* benches.
+func BenchmarkAblationBaseline(b *testing.B) { srpVariant(b, nil) }
+
+// BenchmarkAblationNextElementOnly removes the dense split: labels may only
+// take the advertisement's next-element, which breaks the request bound on
+// out-of-order paths and forces sequence-number resets — SRP degraded
+// toward an integer-ordering protocol.
+func BenchmarkAblationNextElementOnly(b *testing.B) {
+	srpVariant(b, func(c *srp.Config) { c.NextElementOnly = true })
+}
+
+// BenchmarkAblationFarey swaps the mediant for the Stern-Brocot simplest
+// fraction (§VI future work): same behaviour, far smaller denominators.
+func BenchmarkAblationFarey(b *testing.B) {
+	srpVariant(b, func(c *srp.Config) { c.Farey = true })
+}
+
+// BenchmarkAblationNoLie disables the §V understated-RREQ heuristic.
+func BenchmarkAblationNoLie(b *testing.B) {
+	srpVariant(b, func(c *srp.Config) { c.UseLie = false })
+}
+
+// BenchmarkAblationNoCache disables the packet cache: MAC-dropped data is
+// lost instead of resent on a repaired route.
+func BenchmarkAblationNoCache(b *testing.B) {
+	srpVariant(b, func(c *srp.Config) { c.UsePacketCache = false })
+}
+
+// BenchmarkAblationNoRing disables expanding-ring search: every discovery
+// floods the whole network immediately.
+func BenchmarkAblationNoRing(b *testing.B) {
+	srpVariant(b, func(c *srp.Config) { c.TTLs = []int{35} })
+}
+
+// --- Micro-benchmarks of the label machinery --------------------------
+
+// BenchmarkMediant measures the mediant split (Eq. 1).
+func BenchmarkMediant(b *testing.B) {
+	lo, hi := frac.Zero, frac.One
+	for i := 0; i < b.N; i++ {
+		m, ok := frac.Mediant(lo, hi)
+		if !ok {
+			lo, hi = frac.Zero, frac.One
+			continue
+		}
+		hi = m
+	}
+}
+
+// BenchmarkSternBrocot measures the simplest-fraction interpolation (§VI).
+func BenchmarkSternBrocot(b *testing.B) {
+	lo := frac.MustNew(415, 943)
+	hi := frac.MustNew(416, 943)
+	for i := 0; i < b.N; i++ {
+		if _, ok := frac.Between(lo, hi); !ok {
+			b.Fatal("between failed")
+		}
+	}
+}
+
+// BenchmarkOrderingCompare measures the OC precedence test (Definition 5).
+func BenchmarkOrderingCompare(b *testing.B) {
+	x := label.Order{SN: 3, FD: frac.MustNew(5, 8)}
+	y := label.Order{SN: 3, FD: frac.MustNew(3, 5)}
+	sink := false
+	for i := 0; i < b.N; i++ {
+		sink = x.Precedes(y) != sink
+	}
+	_ = sink
+}
+
+// BenchmarkSimulatorEvents measures raw event-loop throughput.
+func BenchmarkSimulatorEvents(b *testing.B) {
+	s := sim.New(1)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			s.After(time.Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	s.After(0, tick)
+	s.Run()
+}
+
+// BenchmarkScenarioSecond measures simulation cost per simulated second of
+// the full stack (SRP, 30 nodes, 14 flows).
+func BenchmarkScenarioSecond(b *testing.B) {
+	p := benchParams(scenario.SRP, 1)
+	p.Duration = sim.Time(b.N) * time.Second
+	b.ResetTimer()
+	scenario.Run(p)
+}
+
+// TestSweepAPISmoke exercises the experiments API end to end on a tiny
+// grid, keeping the harness honest between full sweeps.
+func TestSweepAPISmoke(t *testing.T) {
+	scale := experiments.Small
+	scale.Trials = 1
+	scale.Nodes = 12
+	scale.Flows = 3
+	scale.Duration = 15 * time.Second
+	grid := experiments.Sweep(scale, []scenario.ProtocolName{scenario.SRP}, 1, io.Discard)
+	report := grid.Report()
+	for _, want := range []string{"Table I", "Fig. 4", "Fig. 7", "Shape checks"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Command experiments regenerates the paper's evaluation: Table I and
+// Figures 3–7, by sweeping (protocol x pause time x trial) and printing
+// text tables plus qualitative shape checks.
+//
+// The default -scale mid runs a half-size network that finishes in minutes
+// on one machine while preserving the protocol ranking; -scale full runs
+// the paper's exact 100-node / 30-flow / 900 s / 10-trial configuration
+// (hours of CPU).
+//
+// Example:
+//
+//	experiments -scale mid -exp all
+//	experiments -scale full -exp fig5 -trials 10
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"slr/internal/experiments"
+	"slr/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		scaleName = fs.String("scale", "mid", "experiment scale: full, mid, small")
+		exp       = fs.String("exp", "all", "experiment: all, table1, fig3, fig4, fig5, fig6, fig7")
+		trials    = fs.Int("trials", 0, "override trials per grid point (0 = scale default)")
+		seed      = fs.Int64("seed", 1, "base random seed")
+		quiet     = fs.Bool("quiet", false, "suppress per-run progress output")
+		jsonOut   = fs.String("json", "", "also write the raw grid as JSON to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scale, err := experiments.ScaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	if *trials > 0 {
+		scale.Trials = *trials
+	}
+
+	protos := scenario.AllProtocols
+	var metric *experiments.Metric
+	switch *exp {
+	case "all", "table1":
+	case "fig3":
+		metric = &experiments.MetricMACDrops
+	case "fig4":
+		metric = &experiments.MetricDelivery
+	case "fig5":
+		metric = &experiments.MetricNetLoad
+	case "fig6":
+		metric = &experiments.MetricLatency
+	case "fig7":
+		metric = &experiments.MetricSeqno
+		protos = []scenario.ProtocolName{scenario.SRP, scenario.LDR, scenario.AODV}
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+
+	progress := os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	var w = os.Stderr
+	if progress == nil {
+		devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+		if err != nil {
+			return err
+		}
+		defer devnull.Close()
+		w = devnull
+	}
+
+	fmt.Fprintf(os.Stderr, "sweeping %s scale: %d nodes, %d flows, %v, %d trials x %d pauses x %d protocols\n",
+		scale.Name, scale.Nodes, scale.Flows, scale.Duration, scale.Trials,
+		len(experiments.PauseFractions), len(protos))
+	start := time.Now()
+	grid := experiments.Sweep(scale, protos, *seed, w)
+	fmt.Fprintf(os.Stderr, "sweep finished in %v\n\n", time.Since(start).Round(time.Second))
+
+	switch *exp {
+	case "all":
+		fmt.Println(grid.Report())
+	case "table1":
+		fmt.Println(grid.Table1())
+	default:
+		fmt.Println(grid.FigureTable(*metric))
+	}
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(grid.JSON(), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, blob, 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", *jsonOut, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsUnknownScale(t *testing.T) {
+	err := run([]string{"-scale", "galactic"})
+	if err == nil || !strings.Contains(err.Error(), "unknown scale") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	err := run([]string{"-exp", "fig99"})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-zap"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,100 @@
+// Command slrsim runs a single wireless ad hoc routing simulation and
+// prints its metrics.
+//
+// Example:
+//
+//	slrsim -protocol SRP -nodes 100 -pause 0 -flows 30 -duration 900s -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"slr/internal/geo"
+	"slr/internal/scenario"
+	"slr/internal/traffic"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "slrsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("slrsim", flag.ContinueOnError)
+	var (
+		protoName = fs.String("protocol", "SRP", "routing protocol: SRP, LDR, AODV, DSR, OLSR")
+		nodes     = fs.Int("nodes", 100, "number of nodes")
+		width     = fs.Float64("width", 2200, "terrain width in meters")
+		height    = fs.Float64("height", 600, "terrain height in meters")
+		rng       = fs.Float64("range", 275, "radio range in meters")
+		pause     = fs.Duration("pause", 0, "random-waypoint pause time")
+		maxSpeed  = fs.Float64("speed", 20, "maximum node speed in m/s")
+		duration  = fs.Duration("duration", 900*time.Second, "simulated time")
+		seed      = fs.Int64("seed", 1, "random seed (fixes topology and traffic)")
+		flows     = fs.Int("flows", 30, "concurrent CBR flows")
+		rate      = fs.Float64("rate", 4, "packets per second per flow")
+		pktSize   = fs.Int("size", 512, "CBR payload bytes")
+		check     = fs.Bool("check", false, "verify loop-freedom invariant during the run")
+		trials    = fs.Int("trials", 1, "independent trials (seeds seed..seed+trials-1)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	proto := scenario.ProtocolName(strings.ToUpper(*protoName))
+	found := false
+	for _, p := range scenario.AllProtocols {
+		if p == proto {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown protocol %q (want one of %v)", *protoName, scenario.AllProtocols)
+	}
+
+	p := scenario.DefaultParams(proto, *pause, *seed)
+	p.Nodes = *nodes
+	p.Terrain = geo.Terrain{Width: *width, Height: *height}
+	p.Range = *rng
+	p.MaxSpeed = *maxSpeed
+	p.Duration = *duration
+	p.Traffic = traffic.Params{
+		Flows: *flows, PacketSize: *pktSize, Rate: *rate,
+		MeanLife: 60 * time.Second,
+	}
+	p.CheckInvariants = *check
+
+	ts := scenario.RunTrials(p, *trials)
+	for _, r := range ts.Results {
+		fmt.Printf("protocol=%s seed=%d pause=%v\n", r.Protocol, r.Seed, r.Pause)
+		fmt.Printf("  delivery ratio  %.4f  (%d/%d)\n", r.DeliveryRatio, r.DataRecv, r.DataSent)
+		fmt.Printf("  network load    %.4f  (%d control packets)\n", r.NetworkLoad, r.ControlTx)
+		fmt.Printf("  latency         %.4f s\n", r.Latency)
+		fmt.Printf("  mean hops       %.2f\n", r.MeanHops)
+		fmt.Printf("  MAC drops/node  %.1f\n", r.MACDrops)
+		fmt.Printf("  avg seqno       %.2f\n", r.AvgSeqno)
+		if r.MaxDenom > 0 {
+			fmt.Printf("  max denominator %d\n", r.MaxDenom)
+		}
+		if *check {
+			fmt.Printf("  loop checks     %d (%d violations)\n", r.LoopChecks, len(r.LoopErrors))
+			for _, e := range r.LoopErrors {
+				fmt.Printf("    VIOLATION %s\n", e)
+			}
+		}
+	}
+	if *trials > 1 {
+		deliv := ts.Series(func(r scenario.Result) float64 { return r.DeliveryRatio })
+		load := ts.Series(func(r scenario.Result) float64 { return r.NetworkLoad })
+		lat := ts.Series(func(r scenario.Result) float64 { return r.Latency })
+		fmt.Printf("mean over %d trials: deliv %.4f±%.4f  load %.4f±%.4f  latency %.4f±%.4f\n",
+			*trials, deliv.Mean(), deliv.CI(), load.Mean(), load.CI(), lat.Mean(), lat.CI())
+	}
+	return nil
+}

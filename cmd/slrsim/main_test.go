@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmallScenario(t *testing.T) {
+	err := run([]string{
+		"-protocol", "SRP", "-nodes", "12", "-width", "600", "-height", "300",
+		"-duration", "10s", "-flows", "3", "-seed", "1", "-check",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownProtocol(t *testing.T) {
+	err := run([]string{"-protocol", "RIP"})
+	if err == nil || !strings.Contains(err.Error(), "unknown protocol") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunLowercaseProtocol(t *testing.T) {
+	err := run([]string{
+		"-protocol", "olsr", "-nodes", "6", "-width", "400", "-height", "200",
+		"-duration", "5s", "-flows", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMultiTrial(t *testing.T) {
+	err := run([]string{
+		"-protocol", "AODV", "-nodes", "8", "-width", "500", "-height", "250",
+		"-duration", "5s", "-flows", "2", "-trials", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,12 @@
+// Package slr reproduces "Loop-Free Routing Using a Dense Label Set in
+// Wireless Networks" (Mosko and Garcia-Luna-Aceves, ICDCS 2004): the Split
+// Label Routing framework, the SRP protocol, the four baseline protocols of
+// the paper's evaluation (AODV, DSR, LDR, OLSR), and the discrete-event
+// wireless simulation substrate the evaluation runs on.
+//
+// The paper's primary contribution lives in internal/core (the SLR
+// framework), internal/frac and internal/label (the dense proper-fraction
+// ordinal set), and internal/routing/srp (the SRP protocol). The
+// benchmarks in bench_test.go regenerate every table and figure of the
+// paper's §V; cmd/experiments prints them as text tables.
+package slr

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Engine is a synchronous SLR route computation over a static topology. It
+// executes the request/reply procedure of §II directly — flood a request
+// recording the minimum predecessor label M at each relay, reply along the
+// reverse path with each node relabeling via ChooseLabel — without any
+// network asynchrony. It exists to validate the SLR theory in isolation and
+// to reproduce the paper's Examples 1 and 2; the asynchronous protocol
+// instance is SRP.
+type Engine[L any] struct {
+	set   Set[L]
+	dest  int
+	adj   map[int]map[int]struct{}
+	graph *Graph[L]
+	// m holds the cached request minimum per node for the in-flight
+	// computation.
+	m map[int]L
+}
+
+// ErrNoRoute is returned by Request when no reply can reach the requester.
+var ErrNoRoute = errors.New("slr: no feasible route")
+
+// NewEngine returns an Engine for one destination dest with the given
+// self-label. All other nodes start unassigned (greatest label).
+func NewEngine[L any](set Set[L], dest int, destLabel L) (*Engine[L], error) {
+	g := NewGraph[L](set)
+	if err := g.SetLabel(dest, destLabel); err != nil {
+		return nil, fmt.Errorf("labeling destination: %w", err)
+	}
+	return &Engine[L]{
+		set:   set,
+		dest:  dest,
+		adj:   map[int]map[int]struct{}{dest: {}},
+		graph: g,
+	}, nil
+}
+
+// AddLink inserts the bidirectional link (a, b).
+func (e *Engine[L]) AddLink(a, b int) {
+	for _, p := range [2][2]int{{a, b}, {b, a}} {
+		s, ok := e.adj[p[0]]
+		if !ok {
+			s = make(map[int]struct{})
+			e.adj[p[0]] = s
+		}
+		s[p[1]] = struct{}{}
+	}
+}
+
+// Label returns node n's current label.
+func (e *Engine[L]) Label(n int) L { return e.graph.Label(n) }
+
+// SetLabel force-assigns a label (used to set up scenarios such as
+// Example 2, where new nodes arrive already holding old labels). The
+// non-increasing rule still applies to previously labeled nodes.
+func (e *Engine[L]) SetLabel(n int, l L) error { return e.graph.SetLabel(n, l) }
+
+// Successors exposes the successor sets for inspection.
+func (e *Engine[L]) Successors(n int) []int { return e.graph.Successors(n) }
+
+// Verify checks loop-freedom of the current successor graph.
+func (e *Engine[L]) Verify() error { return e.graph.Verify() }
+
+// neighbors returns n's neighbors in ascending order for determinism.
+func (e *Engine[L]) neighbors(n int) []int {
+	out := make([]int, 0, len(e.adj[n]))
+	for v := range e.adj[n] {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Request performs a route computation from src to the destination: a
+// breadth-first flood of the request (each node processes it once, caching
+// the minimum label M seen, per §II), then a reply along the reverse path
+// from the first node allowed to answer. It returns the reply path from
+// responder to src. The graph invariant is verified after every relabel.
+func (e *Engine[L]) Request(src int) ([]int, error) {
+	if src == e.dest {
+		return []int{src}, nil
+	}
+	e.m = make(map[int]L)
+	lastHop := make(map[int]int)
+
+	// Flood. The request carries min(M, L) per Eq. 10's SLR analogue.
+	e.m[src] = e.set.Greatest() // M_k = infinity at the requester
+	carried := map[int]L{src: e.minOf(e.set.Greatest(), e.Label(src))}
+	queue := []int{src}
+	seen := map[int]struct{}{src: {}}
+	var responder = -1
+	for len(queue) > 0 && responder < 0 {
+		n := queue[0]
+		queue = queue[1:]
+		req := carried[n]
+		for _, nb := range e.neighbors(n) {
+			if _, dup := seen[nb]; dup {
+				continue
+			}
+			seen[nb] = struct{}{}
+			lastHop[nb] = n
+			e.m[nb] = req // cache requested ordering as M (§II)
+			if e.canReply(nb, req) {
+				responder = nb
+				break
+			}
+			carried[nb] = e.minOf(req, e.Label(nb))
+			queue = append(queue, nb)
+		}
+	}
+	if responder < 0 {
+		return nil, fmt.Errorf("request from %d: %w", src, ErrNoRoute)
+	}
+
+	// Reply along the reverse path.
+	path := []int{responder}
+	adv := e.Label(responder)
+	for n := lastHop[responder]; ; n = lastHop[n] {
+		g, err := ChooseLabel(e.set, e.Label(n), e.m[n], adv)
+		if err != nil {
+			return nil, fmt.Errorf("relabel node %d: %w", n, err)
+		}
+		if err := e.graph.SetLabel(n, g); err != nil {
+			return nil, err
+		}
+		// Taking up the advertised path: successor is the previous
+		// node on the reply path.
+		prev := path[len(path)-1]
+		e.graph.ClearSuccessors(n) // uni-path engine: Eq. 6 by elimination
+		if err := e.graph.AddSuccessor(n, prev); err != nil {
+			return nil, err
+		}
+		if err := e.graph.Verify(); err != nil {
+			return nil, fmt.Errorf("invariant broken after relabeling %d: %w", n, err)
+		}
+		path = append(path, n)
+		adv = g
+		if n == src {
+			break
+		}
+	}
+	return path, nil
+}
+
+// canReply reports whether node n may answer a request carrying label req:
+// it is the destination, or it has non-zero out-degree and a label strictly
+// below the requested one (§II).
+func (e *Engine[L]) canReply(n int, req L) bool {
+	if n == e.dest {
+		return true
+	}
+	return len(e.graph.Successors(n)) > 0 && e.set.Less(e.Label(n), req)
+}
+
+// minOf returns the smaller of a and b in SLR label order.
+func (e *Engine[L]) minOf(a, b L) L {
+	if e.set.Less(b, a) {
+		return b
+	}
+	return a
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"slr/internal/frac"
+)
+
+// Node ids for the paper's figures: T=0, A=1, B=2, C=3, D=4, E=5 (Fig. 1)
+// and F=6, G=7, H=8 (Fig. 2).
+const (
+	nT = iota
+	nA
+	nB
+	nC
+	nD
+	nE
+	nF
+	nG
+	nH
+)
+
+func fig1Engine(t *testing.T) *Engine[frac.F] {
+	t.Helper()
+	e, err := NewEngine[frac.F](FracSet{}, nT, frac.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AddLink(nT, nA)
+	e.AddLink(nA, nB)
+	e.AddLink(nB, nC)
+	e.AddLink(nC, nD)
+	e.AddLink(nD, nE)
+	return e
+}
+
+func TestExample1InitialLabeling(t *testing.T) {
+	// Paper Example 1 / Fig. 1: E requests a route to T over the chain
+	// E-D-C-B-A-T; the final topological order is
+	// 5/6 -> 4/5 -> 3/4 -> 2/3 -> 1/2 -> 0/1.
+	e := fig1Engine(t)
+	path, err := e.Request(nE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPath := []int{nT, nA, nB, nC, nD, nE}
+	if len(path) != len(wantPath) {
+		t.Fatalf("path = %v, want %v", path, wantPath)
+	}
+	for i := range wantPath {
+		if path[i] != wantPath[i] {
+			t.Fatalf("path = %v, want %v", path, wantPath)
+		}
+	}
+	want := map[int]frac.F{
+		nT: frac.Zero,
+		nA: frac.MustNew(1, 2),
+		nB: frac.MustNew(2, 3),
+		nC: frac.MustNew(3, 4),
+		nD: frac.MustNew(4, 5),
+		nE: frac.MustNew(5, 6),
+	}
+	for n, w := range want {
+		if got := e.Label(n); got != w {
+			t.Errorf("label[%d] = %v, want %v", n, got, w)
+		}
+	}
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExample2Relabeling(t *testing.T) {
+	// Paper Example 2 / Fig. 2: after Fig. 1's labeling, nodes F, G, H
+	// appear holding stale labels (3/4, 2/3, 3/4) with empty successor
+	// sets, connected H-G-F-B. H requests a route; final labels are
+	// H=3/4, G=2/3, F=5/8, B=3/5, A=1/2, T=0/1.
+	e := fig1Engine(t)
+	if _, err := e.Request(nE); err != nil {
+		t.Fatal(err)
+	}
+	e.AddLink(nH, nG)
+	e.AddLink(nG, nF)
+	e.AddLink(nF, nB)
+	for n, l := range map[int]frac.F{
+		nF: frac.MustNew(3, 4),
+		nG: frac.MustNew(2, 3),
+		nH: frac.MustNew(3, 4),
+	} {
+		if err := e.SetLabel(n, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, err := e.Request(nH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reply must come from A (B cannot answer: L_B = 2/3 is not below
+	// the carried request label 2/3).
+	if path[0] != nA {
+		t.Fatalf("responder = %d, want A(%d); path %v", path[0], nA, path)
+	}
+	want := map[int]frac.F{
+		nT: frac.Zero,
+		nA: frac.MustNew(1, 2),
+		nB: frac.MustNew(3, 5),
+		nF: frac.MustNew(5, 8),
+		nG: frac.MustNew(2, 3),
+		nH: frac.MustNew(3, 4),
+	}
+	for n, w := range want {
+		if got := e.Label(n); got != w {
+			t.Errorf("label[%d] = %v, want %v", n, got, w)
+		}
+	}
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestFromDestination(t *testing.T) {
+	e := fig1Engine(t)
+	path, err := e.Request(nT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 1 || path[0] != nT {
+		t.Fatalf("path = %v, want [T]", path)
+	}
+}
+
+func TestRequestNoRoute(t *testing.T) {
+	e, err := NewEngine[frac.F](FracSet{}, nT, frac.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Island: 10-11 disconnected from T.
+	e.AddLink(10, 11)
+	if _, err := e.Request(10); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestRepeatedRequestsStayLoopFree(t *testing.T) {
+	// Random connected topologies; every node requests repeatedly; the
+	// invariant checker must never fire (Theorem 3).
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e, err := NewEngine[frac.F](FracSet{}, 0, frac.Zero)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 25
+		for i := 1; i < n; i++ {
+			// Connect to a random earlier node: connected graph.
+			e.AddLink(i, rng.Intn(i))
+			// Plus a random extra edge for path diversity.
+			e.AddLink(rng.Intn(n), rng.Intn(n))
+		}
+		for trial := 0; trial < 40; trial++ {
+			src := 1 + rng.Intn(n-1)
+			if _, err := e.Request(src); err != nil && !errors.Is(err, ErrNoRoute) {
+				t.Fatalf("seed %d trial %d: %v", seed, trial, err)
+			}
+			if err := e.Verify(); err != nil {
+				t.Fatalf("seed %d trial %d: %v", seed, trial, err)
+			}
+		}
+	}
+}
+
+func TestEngineWithFareySet(t *testing.T) {
+	// The Farey variant must satisfy the same examples with simpler
+	// fractions: it is a drop-in Set implementation.
+	e, err := NewEngine[frac.F](FareySet{}, nT, frac.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AddLink(nT, nA)
+	e.AddLink(nA, nB)
+	e.AddLink(nB, nC)
+	if _, err := e.Request(nC); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Labels must be strictly increasing along the chain.
+	if !e.Label(nA).Less(e.Label(nB)) || !e.Label(nB).Less(e.Label(nC)) {
+		t.Fatalf("labels out of order: A=%v B=%v C=%v", e.Label(nA), e.Label(nB), e.Label(nC))
+	}
+}
+
+func TestSelfLinkIgnoredInRouting(t *testing.T) {
+	e := fig1Engine(t)
+	e.AddLink(nE, nE) // pathological self link must not break anything
+	if _, err := e.Request(nE); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

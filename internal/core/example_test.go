@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"fmt"
+
+	"slr/internal/core"
+	"slr/internal/frac"
+)
+
+// Example reproduces the paper's Example 1 (Fig. 1): labeling a chain
+// E-D-C-B-A-T by a single request/reply computation.
+func Example() {
+	const (
+		nT = iota
+		nA
+		nB
+		nC
+		nD
+		nE
+	)
+	e, err := core.NewEngine[frac.F](core.FracSet{}, nT, frac.Zero)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	e.AddLink(nT, nA)
+	e.AddLink(nA, nB)
+	e.AddLink(nB, nC)
+	e.AddLink(nC, nD)
+	e.AddLink(nD, nE)
+	if _, err := e.Request(nE); err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, n := range []int{nE, nD, nC, nB, nA, nT} {
+		fmt.Print(e.Label(n), " ")
+	}
+	fmt.Println()
+	// Output: 5/6 4/5 3/4 2/3 1/2 0/1
+}
+
+// ExampleChooseLabel shows the Theorem 4 label choice: keep the current
+// label when it satisfies the request bound, otherwise split.
+func ExampleChooseLabel() {
+	set := core.FracSet{}
+	// Node G of the paper's Example 2: current 2/3, request bound 3/4,
+	// advertised 5/8 — keeps its label.
+	g, _ := core.ChooseLabel[frac.F](set, frac.MustNew(2, 3), frac.MustNew(3, 4), frac.MustNew(5, 8))
+	fmt.Println(g)
+	// Node B: current 2/3, bound 2/3, advertised 1/2 — splits.
+	b, _ := core.ChooseLabel[frac.F](set, frac.MustNew(2, 3), frac.MustNew(2, 3), frac.MustNew(1, 2))
+	fmt.Println(b)
+	// Output:
+	// 2/3
+	// 3/5
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"slr/internal/geo"
+	"slr/internal/scenario"
+)
+
+// tinyScale keeps unit tests fast: 10 nodes, 1 trial, 8-second runs.
+func tinyScale() Scale {
+	return Scale{
+		Name:  "tiny",
+		Nodes: 10, Terrain: geo.Terrain{Width: 600, Height: 300},
+		Range: 275, Flows: 3, Duration: 8 * time.Second, Trials: 1,
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"full", "mid", "small"} {
+		s, err := ScaleByName(name)
+		if err != nil || s.Name != name {
+			t.Errorf("ScaleByName(%q) = %+v, %v", name, s, err)
+		}
+	}
+	if _, err := ScaleByName("bogus"); err == nil {
+		t.Error("bogus scale accepted")
+	}
+}
+
+func TestPauseFractionsMatchPaper(t *testing.T) {
+	// The paper's pause times 0,50,...,900 s of a 900 s run.
+	want := []float64{0, 50, 100, 200, 300, 500, 700, 900}
+	if len(PauseFractions) != len(want) {
+		t.Fatalf("got %d pause fractions", len(PauseFractions))
+	}
+	for i, f := range PauseFractions {
+		if got := f * 900; got != want[i] {
+			t.Errorf("fraction %d = %v, want %v s of 900", i, got, want[i])
+		}
+	}
+	if Full.PauseLabel(PauseFractions[3]) != "200" {
+		t.Errorf("PauseLabel = %q, want 200", Full.PauseLabel(PauseFractions[3]))
+	}
+}
+
+func TestParamsScalesPause(t *testing.T) {
+	s := tinyScale()
+	p := s.Params(scenario.SRP, 0.5, 7)
+	if p.Pause != 4*time.Second {
+		t.Errorf("pause = %v, want 4s (half of 8s)", p.Pause)
+	}
+	if p.Nodes != 10 || p.Seed != 7 || p.Protocol != scenario.SRP {
+		t.Errorf("params = %+v", p)
+	}
+}
+
+func TestSweepAndReports(t *testing.T) {
+	grid := Sweep(tinyScale(), []scenario.ProtocolName{scenario.SRP, scenario.AODV}, 1, io.Discard)
+
+	tab := grid.Table1()
+	if !strings.Contains(tab, "Table I") || !strings.Contains(tab, "SRP") || !strings.Contains(tab, "AODV") {
+		t.Fatalf("Table1 output malformed:\n%s", tab)
+	}
+
+	fig := grid.FigureTable(MetricDelivery)
+	if !strings.Contains(fig, "Fig. 4") {
+		t.Fatalf("FigureTable output malformed:\n%s", fig)
+	}
+	// One row per pause time plus two header lines.
+	if got := strings.Count(fig, "\n"); got != len(PauseFractions)+2 {
+		t.Fatalf("figure rows = %d, want %d:\n%s", got, len(PauseFractions)+2, fig)
+	}
+
+	// Fig. 7 restricts to its three protocols even if the grid has fewer.
+	fig7 := grid.FigureTable(MetricSeqno)
+	if strings.Contains(fig7, "OLSR") || strings.Contains(fig7, "DSR") {
+		t.Fatalf("Fig. 7 table includes non-seqno protocols:\n%s", fig7)
+	}
+
+	cell := grid.Cell(scenario.SRP, 0)
+	if len(cell.Results) != 1 {
+		t.Fatalf("cell has %d results", len(cell.Results))
+	}
+}
+
+func TestSortedPauses(t *testing.T) {
+	ps := SortedPauses()
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1] > ps[i] {
+			t.Fatalf("pauses not sorted: %v", ps)
+		}
+	}
+	// Must be a copy, not the shared slice.
+	ps[0] = 99
+	if PauseFractions[0] == 99 {
+		t.Fatal("SortedPauses aliases PauseFractions")
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	grid := Sweep(tinyScale(), []scenario.ProtocolName{scenario.SRP}, 1, io.Discard)
+	rep := grid.JSON()
+	if rep.Scale != "tiny" || len(rep.Protos) != 1 {
+		t.Fatalf("report header = %+v", rep)
+	}
+	if len(rep.Runs) != len(PauseFractions) {
+		t.Fatalf("runs = %d, want %d", len(rep.Runs), len(PauseFractions))
+	}
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), "delivery_ratio") {
+		t.Fatal("json missing fields")
+	}
+}

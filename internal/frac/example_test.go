@@ -1,0 +1,38 @@
+package frac_test
+
+import (
+	"fmt"
+
+	"slr/internal/frac"
+)
+
+// ExampleMediant shows the label-splitting primitive of SLR: the mediant of
+// two fractions always lies strictly between them, so a node can always be
+// inserted between two labels.
+func ExampleMediant() {
+	lo := frac.MustNew(1, 2)
+	hi := frac.MustNew(2, 3)
+	mid, ok := frac.Mediant(lo, hi)
+	fmt.Println(mid, ok, lo.Less(mid) && mid.Less(hi))
+	// Output: 3/5 true true
+}
+
+// ExampleF_Next computes the next-element (m+1)/(n+1) used when a reply
+// passes an unassigned node.
+func ExampleF_Next() {
+	n, _ := frac.Zero.Next()
+	fmt.Println(n)
+	n, _ = n.Next()
+	fmt.Println(n)
+	// Output:
+	// 1/2
+	// 2/3
+}
+
+// ExampleBetween finds the simplest fraction in an interval via the
+// Stern–Brocot tree — the paper's §VI future-work interpolation.
+func ExampleBetween() {
+	f, _ := frac.Between(frac.MustNew(5, 8), frac.MustNew(7, 8))
+	fmt.Println(f)
+	// Output: 2/3
+}

@@ -1,0 +1,97 @@
+package frac
+
+import "math"
+
+// This file holds Stern–Brocot tree utilities behind the §VI future-work
+// extension: reduced-fraction interpolation. Every reduced proper fraction
+// appears exactly once in the left half of the Stern–Brocot tree; Between
+// (in frac.go) walks it to find the simplest fraction in an interval, and
+// the functions here expose the tree structure itself, which the ablation
+// benchmarks use to quantify how much headroom Farey splits retain.
+
+// Parents returns the left and right Stern–Brocot ancestors of f — the
+// bounds whose mediant is exactly f's reduced form. For 0/1 and 1/1 ok is
+// false: they are roots of the bounding interval, not tree nodes.
+func Parents(f F) (lo, hi F, ok bool) {
+	if !f.Valid() || f == Zero || f == One {
+		return F{}, F{}, false
+	}
+	f = f.Reduce()
+	// Walk from the root toward f, tracking the enclosing interval
+	// [la/lb, ra/rb). The final interval endpoints are the parents.
+	var la, lb uint64 = 0, 1
+	var ra, rb uint64 = 1, 0
+	for {
+		ma, mb := la+ra, lb+rb
+		m := F{Num: uint32(ma), Den: uint32(mb)}
+		switch f.Cmp(m) {
+		case 0:
+			// ra/rb may be the pseudo-fraction 1/0 (infinity); report
+			// it as One, the greatest label, which is the effective
+			// right bound for proper fractions.
+			hi = One
+			if rb != 0 {
+				hi = F{Num: uint32(ra), Den: uint32(rb)}
+			}
+			return F{Num: uint32(la), Den: uint32(lb)}, hi, true
+		case 1: // f > m: go right
+			la, lb = ma, mb
+		default: // f < m: go left
+			ra, rb = ma, mb
+		}
+		if ma > math.MaxUint32 || mb > math.MaxUint32 {
+			return F{}, F{}, false
+		}
+	}
+}
+
+// Depth returns the Stern–Brocot tree depth of f's reduced form (the root
+// 1/2 of the left subtree has depth 1 counting from the proper-fraction
+// root). It is the number of mediant steps needed to construct f from the
+// interval bounds — the "split budget" a label at f has consumed. ok is
+// false for the sentinels.
+func Depth(f F) (int, bool) {
+	if !f.Valid() || f == Zero || f == One {
+		return 0, false
+	}
+	f = f.Reduce()
+	// Proper fractions all lie in the left subtree, so the walk starts
+	// from the interval [0/1, 1/1] and its root mediant 1/2.
+	var la, lb uint64 = 0, 1
+	var ra, rb uint64 = 1, 1
+	depth := 0
+	for {
+		ma, mb := la+ra, lb+rb
+		depth++
+		m := F{Num: uint32(ma), Den: uint32(mb)}
+		switch f.Cmp(m) {
+		case 0:
+			return depth, true
+		case 1:
+			la, lb = ma, mb
+		default:
+			ra, rb = ma, mb
+		}
+		if ma > math.MaxUint32 || mb > math.MaxUint32 {
+			return depth, false
+		}
+	}
+}
+
+// FareySequence returns the Farey sequence F_n: all reduced fractions in
+// [0/1, 1/1] with denominator at most n, in increasing order. It uses the
+// classic next-term recurrence and is O(|F_n|).
+func FareySequence(n uint32) []F {
+	if n == 0 {
+		return nil
+	}
+	out := []F{Zero}
+	// Standard recurrence from (0/1, 1/n).
+	a, b, c, d := uint64(0), uint64(1), uint64(1), uint64(n)
+	for c <= uint64(n) {
+		out = append(out, F{Num: uint32(c), Den: uint32(d)})
+		k := (uint64(n) + b) / d
+		a, b, c, d = c, d, k*c-a, k*d-b
+	}
+	return out
+}

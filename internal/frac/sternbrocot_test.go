@@ -1,0 +1,131 @@
+package frac
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParentsKnownValues(t *testing.T) {
+	tests := []struct {
+		f      F
+		lo, hi F
+	}{
+		{MustNew(1, 2), Zero, One},
+		{MustNew(1, 3), Zero, MustNew(1, 2)},
+		{MustNew(2, 3), MustNew(1, 2), One},
+		{MustNew(3, 5), MustNew(1, 2), MustNew(2, 3)},
+		{MustNew(5, 8), MustNew(3, 5), MustNew(2, 3)},
+	}
+	for _, tt := range tests {
+		lo, hi, ok := Parents(tt.f)
+		if !ok {
+			t.Errorf("Parents(%v) failed", tt.f)
+			continue
+		}
+		if lo != tt.lo || hi != tt.hi {
+			t.Errorf("Parents(%v) = %v,%v, want %v,%v", tt.f, lo, hi, tt.lo, tt.hi)
+		}
+	}
+}
+
+func TestParentsSentinelsRejected(t *testing.T) {
+	if _, _, ok := Parents(Zero); ok {
+		t.Error("Parents(0/1) should fail")
+	}
+	if _, _, ok := Parents(One); ok {
+		t.Error("Parents(1/1) should fail")
+	}
+}
+
+func TestParentsMediantProperty(t *testing.T) {
+	// The mediant of a fraction's parents is the fraction itself
+	// (reduced), by construction of the Stern–Brocot tree.
+	prop := func(a, b uint32) bool {
+		d := b%5000 + 2
+		n := a % d
+		if n == 0 {
+			n = 1
+		}
+		f := MustNew(n, d).Reduce()
+		lo, hi, ok := Parents(f)
+		if !ok {
+			return f == Zero || f == One
+		}
+		m, ok2 := Mediant(lo, hi)
+		return ok2 && m.Reduce() == f
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDepthKnownValues(t *testing.T) {
+	tests := []struct {
+		f    F
+		want int
+	}{
+		{MustNew(1, 2), 1},
+		{MustNew(1, 3), 2},
+		{MustNew(2, 3), 2},
+		{MustNew(3, 5), 3},
+		{MustNew(5, 8), 4},
+	}
+	for _, tt := range tests {
+		got, ok := Depth(tt.f)
+		if !ok || got != tt.want {
+			t.Errorf("Depth(%v) = %d,%v, want %d", tt.f, got, ok, tt.want)
+		}
+	}
+}
+
+func TestDepthUnreducedEqualsReduced(t *testing.T) {
+	a, _ := Depth(MustNew(2, 4))
+	b, _ := Depth(MustNew(1, 2))
+	if a != b {
+		t.Fatalf("Depth(2/4)=%d != Depth(1/2)=%d", a, b)
+	}
+}
+
+func TestFareySequenceF5(t *testing.T) {
+	// F_5 = 0/1 1/5 1/4 1/3 2/5 1/2 3/5 2/3 3/4 4/5 1/1.
+	want := []F{Zero, MustNew(1, 5), MustNew(1, 4), MustNew(1, 3), MustNew(2, 5),
+		MustNew(1, 2), MustNew(3, 5), MustNew(2, 3), MustNew(3, 4), MustNew(4, 5), One}
+	got := FareySequence(5)
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("F_5[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFareySequenceProperties(t *testing.T) {
+	// Strictly increasing, all reduced, all denominators <= n.
+	seq := FareySequence(50)
+	for i := 1; i < len(seq); i++ {
+		if !seq[i-1].Less(seq[i]) {
+			t.Fatalf("not increasing at %d: %v %v", i, seq[i-1], seq[i])
+		}
+		if seq[i].Den > 50 {
+			t.Fatalf("denominator %d exceeds 50", seq[i].Den)
+		}
+		if seq[i].Reduce() != seq[i] {
+			t.Fatalf("unreduced member %v", seq[i])
+		}
+	}
+	// Neighboring Farey fractions satisfy bq - ap = 1.
+	for i := 1; i < len(seq); i++ {
+		a, b := seq[i-1], seq[i]
+		if uint64(b.Num)*uint64(a.Den)-uint64(a.Num)*uint64(b.Den) != 1 {
+			t.Fatalf("unimodularity broken at %v,%v", a, b)
+		}
+	}
+}
+
+func TestFareySequenceEmpty(t *testing.T) {
+	if got := FareySequence(0); got != nil {
+		t.Fatalf("FareySequence(0) = %v", got)
+	}
+}

@@ -1,0 +1,54 @@
+// Package geo provides the terrain geometry used by the wireless
+// simulation: points in meters on a rectangular field and distance math.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position on the terrain, in meters.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// String renders the point as "(x, y)".
+func (p Point) String() string { return fmt.Sprintf("(%.1f, %.1f)", p.X, p.Y) }
+
+// Dist returns the Euclidean distance from p to q in meters.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2 returns the squared distance, avoiding the sqrt for range tests.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Terrain is a rectangular field with the origin at a corner. The paper's
+// evaluation uses 2200 m x 600 m.
+type Terrain struct {
+	Width  float64
+	Height float64
+}
+
+// Contains reports whether p lies inside the terrain (inclusive edges).
+func (t Terrain) Contains(p Point) bool {
+	return p.X >= 0 && p.X <= t.Width && p.Y >= 0 && p.Y <= t.Height
+}
+
+// Clamp returns p moved to the nearest point inside the terrain.
+func (t Terrain) Clamp(p Point) Point {
+	return Point{
+		X: math.Min(math.Max(p.X, 0), t.Width),
+		Y: math.Min(math.Max(p.Y, 0), t.Height),
+	}
+}
+
+// Lerp returns the point a fraction f of the way from p to q; f outside
+// [0, 1] extrapolates.
+func Lerp(p, q Point, f float64) Point {
+	return Point{X: p.X + (q.X-p.X)*f, Y: p.Y + (q.Y-p.Y)*f}
+}

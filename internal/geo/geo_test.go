@@ -1,0 +1,73 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	tests := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1}, Point{1, 1}, 0},
+		{Point{-1, 0}, Point{1, 0}, 2},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Dist(tt.q); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Dist(%v,%v) = %v, want %v", tt.p, tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestDist2MatchesDist(t *testing.T) {
+	prop := func(a, b, c, d int16) bool {
+		p := Point{float64(a), float64(b)}
+		q := Point{float64(c), float64(d)}
+		d1 := p.Dist(q)
+		diff := math.Abs(p.Dist2(q) - d1*d1)
+		return diff <= 1e-9*(1+d1*d1) // relative tolerance
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTerrainContainsAndClamp(t *testing.T) {
+	terrain := Terrain{Width: 2200, Height: 600}
+	if !terrain.Contains(Point{0, 0}) || !terrain.Contains(Point{2200, 600}) {
+		t.Error("corners must be contained")
+	}
+	if terrain.Contains(Point{-1, 0}) || terrain.Contains(Point{0, 601}) {
+		t.Error("outside points must not be contained")
+	}
+	got := terrain.Clamp(Point{-5, 700})
+	if got != (Point{0, 600}) {
+		t.Errorf("Clamp = %v, want (0,600)", got)
+	}
+	inside := Point{100, 100}
+	if terrain.Clamp(inside) != inside {
+		t.Error("Clamp must not move inside points")
+	}
+}
+
+func TestLerp(t *testing.T) {
+	p, q := Point{0, 0}, Point{10, 20}
+	if got := Lerp(p, q, 0); got != p {
+		t.Errorf("Lerp 0 = %v", got)
+	}
+	if got := Lerp(p, q, 1); got != q {
+		t.Errorf("Lerp 1 = %v", got)
+	}
+	if got := Lerp(p, q, 0.5); got != (Point{5, 10}) {
+		t.Errorf("Lerp 0.5 = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := (Point{1.25, 3}).String(); s != "(1.2, 3.0)" {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,34 @@
+package label_test
+
+import (
+	"fmt"
+
+	"slr/internal/frac"
+	"slr/internal/label"
+)
+
+// ExampleOrder_Precedes demonstrates the ordering criteria OC: a fresher
+// sequence number always precedes, and within a sequence number a smaller
+// fraction is closer to the destination.
+func ExampleOrder_Precedes() {
+	a := label.Order{SN: 1, FD: frac.MustNew(2, 3)}
+	b := label.Order{SN: 1, FD: frac.MustNew(1, 2)}
+	c := label.Order{SN: 2, FD: frac.MustNew(3, 4)}
+	fmt.Println(a.Precedes(b)) // b is a feasible successor for a
+	fmt.Println(b.Precedes(a))
+	fmt.Println(a.Precedes(c)) // fresher seqno supersedes
+	// Output:
+	// true
+	// false
+	// true
+}
+
+// ExampleSplit inserts an ordering strictly between two others — the dense
+// property that lets SRP repair routes without touching predecessors.
+func ExampleSplit() {
+	hi := label.Order{SN: 5, FD: frac.MustNew(2, 3)}
+	lo := label.Order{SN: 5, FD: frac.MustNew(1, 2)}
+	mid, _ := label.Split(hi, lo)
+	fmt.Println(mid, hi.Precedes(mid) && mid.Precedes(lo))
+	// Output: (5, 3/5) true
+}

@@ -1,0 +1,106 @@
+// Package label implements SRP's composite node ordering O = (sn, F): a
+// 64-bit destination-controlled sequence number paired with a feasible
+// distance proper fraction (Definitions 4–7 of the paper).
+//
+// The ordering criteria OC (Definition 5) define a strict partial order ≺:
+//
+//	O_A ≺ O_B  iff  sn_A < sn_B, or sn_A = sn_B and F_B < F_A
+//
+// which reads "B is a feasible in-order successor for A". A higher sequence
+// number means a fresher route and supersedes all lower sequence numbers;
+// within a sequence number, a smaller fraction is closer to the destination.
+// An unassigned node has the maximum ordering (0, 1/1).
+package label
+
+import (
+	"fmt"
+
+	"slr/internal/frac"
+)
+
+// SeqNo is a destination-controlled sequence number. SRP uses a 64-bit
+// timestamp-derived value so it never wraps within a node's lifetime and
+// survives reboots (§III).
+type SeqNo uint64
+
+// Order is the composite label O = (sn, F).
+type Order struct {
+	SN SeqNo
+	FD frac.F
+}
+
+// Unassigned is the maximum ordering (0, (1,1)) held by a node with no
+// information about a destination (Definition 5).
+var Unassigned = Order{SN: 0, FD: frac.One}
+
+// Destination returns the self-label of a destination that booted with
+// sequence number sn: (sn, (0,1)) per Definition 7.
+func Destination(sn SeqNo) Order { return Order{SN: sn, FD: frac.Zero} }
+
+// String renders the order as "(sn, m/n)".
+func (o Order) String() string { return fmt.Sprintf("(%d, %s)", o.SN, o.FD) }
+
+// IsUnassigned reports whether o is the maximum ordering.
+func (o Order) IsUnassigned() bool { return o.SN == 0 && o.FD == frac.One }
+
+// Finite reports whether the fraction component is strictly below 1/1
+// (Definition 5: "an ordering (sn,(m,n)) is called finite if m/n < 1").
+func (o Order) Finite() bool { return o.FD.Less(frac.One) }
+
+// Precedes implements OC (Definition 5): o ≺ p, "p is a feasible in-order
+// successor for o".
+func (o Order) Precedes(p Order) bool {
+	if o.SN != p.SN {
+		return o.SN < p.SN
+	}
+	return p.FD.Less(o.FD)
+}
+
+// Equal reports label equality under numeric fraction comparison.
+func (o Order) Equal(p Order) bool { return o.SN == p.SN && o.FD.Equal(p.FD) }
+
+// Min returns the minimum ordering per Definition 5: p if o ≺ p, else o.
+// "Minimum" is in the SLR label sense: since o ≺ p means p sits lower in the
+// DAG (closer to the destination), Min returns the label nearer the
+// destination. Relays use it to carry the minimum label seen along a
+// request path (Eq. 10), mirroring SLR's M.
+func Min(o, p Order) Order {
+	if o.Precedes(p) {
+		return p
+	}
+	return o
+}
+
+// Add implements ordering addition (Definition 6): O + p/q =
+// (sn, (m+p, n+q)). ok is false on fraction overflow or when o is not
+// finite in the fraction sense and the addition is meaningless.
+func (o Order) Add(p frac.F) (Order, bool) {
+	f, ok := frac.Add(o.FD, p)
+	if !ok {
+		return Order{}, false
+	}
+	return Order{SN: o.SN, FD: f}, true
+}
+
+// NextElement returns O + 1/1, the next-element used by Algorithm 1 line 5
+// and by path resets. ok is false on overflow.
+func (o Order) NextElement() (Order, bool) { return o.Add(frac.One) }
+
+// Split returns an ordering strictly between o and p when o ≺ p, using the
+// fraction mediant when the sequence numbers agree and next-element of p
+// when they differ (the constructive density proof of Theorem 5). ok is
+// false on fraction overflow or when o does not precede p.
+func Split(o, p Order) (Order, bool) {
+	if !o.Precedes(p) {
+		return Order{}, false
+	}
+	if o.SN != p.SN {
+		return p.NextElement()
+	}
+	// Same sequence number: p.FD < o.FD, mediant lies strictly between.
+	f, ok := frac.Mediant(p.FD, o.FD)
+	if !ok {
+		return Order{}, false
+	}
+	return Order{SN: o.SN, FD: f}, true
+}

@@ -1,0 +1,203 @@
+package label
+
+import (
+	"testing"
+	"testing/quick"
+
+	"slr/internal/frac"
+)
+
+func o(sn SeqNo, num, den uint32) Order {
+	return Order{SN: sn, FD: frac.MustNew(num, den)}
+}
+
+func TestPrecedes(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Order
+		want bool
+	}{
+		{"lower seqno precedes", o(1, 1, 2), o(2, 3, 4), true},
+		{"higher seqno does not", o(2, 1, 2), o(1, 0, 1), false},
+		{"same sn smaller frac is successor", o(5, 2, 3), o(5, 1, 2), true},
+		{"same sn larger frac is not", o(5, 1, 2), o(5, 2, 3), false},
+		{"same sn equal frac is not", o(5, 1, 2), o(5, 2, 4), false},
+		{"unassigned preceded by anything assigned", Unassigned, o(1, 1, 2), true},
+		{"destination preceded by nothing same-sn", o(3, 0, 1), o(3, 1, 2), false},
+		{"destination precedes its own graph", o(3, 1, 2), o(3, 0, 1), true},
+		{"irreflexive", o(4, 1, 2), o(4, 1, 2), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Precedes(tt.b); got != tt.want {
+				t.Errorf("%v ≺ %v = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMin(t *testing.T) {
+	a, b := o(5, 2, 3), o(5, 1, 2)
+	if got := Min(a, b); got != b {
+		t.Errorf("Min(%v,%v) = %v, want %v", a, b, got, b)
+	}
+	if got := Min(b, a); got != b {
+		t.Errorf("Min(%v,%v) = %v, want %v", b, a, got, b)
+	}
+	// Fresher seqno is "lower" (supersedes).
+	c, d := o(1, 1, 2), o(2, 3, 4)
+	if got := Min(c, d); got != d {
+		t.Errorf("Min(%v,%v) = %v, want %v", c, d, got, d)
+	}
+	// Min with itself.
+	if got := Min(a, a); got != a {
+		t.Errorf("Min(a,a) = %v, want %v", got, a)
+	}
+}
+
+func TestUnassignedAndFinite(t *testing.T) {
+	if !Unassigned.IsUnassigned() {
+		t.Error("Unassigned.IsUnassigned() = false")
+	}
+	if Unassigned.Finite() {
+		t.Error("Unassigned must not be finite")
+	}
+	if !o(1, 1, 2).Finite() {
+		t.Error("(1,1/2) must be finite")
+	}
+	if !Destination(7).Finite() {
+		t.Error("destination label must be finite")
+	}
+	if Destination(7) != (Order{SN: 7, FD: frac.Zero}) {
+		t.Error("Destination label wrong")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := o(3, 1, 2)
+	got, ok := a.Add(frac.MustNew(2, 3))
+	if !ok || got != o(3, 3, 5) {
+		t.Fatalf("Add = %v, want (3, 3/5)", got)
+	}
+	// Definition 6: if m/n < p/q then O + p/q ≺ O.
+	if !got.Precedes(a) {
+		t.Errorf("Definition 6 violated: %v should precede %v", got, a)
+	}
+}
+
+func TestNextElement(t *testing.T) {
+	a := o(3, 2, 3)
+	got, ok := a.NextElement()
+	if !ok || got != o(3, 3, 4) {
+		t.Fatalf("NextElement = %v, want (3, 3/4)", got)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	// Same sequence number: mediant.
+	a, b := o(5, 2, 3), o(5, 1, 2) // a ≺ b
+	got, ok := Split(a, b)
+	if !ok {
+		t.Fatal("Split failed")
+	}
+	want := o(5, 3, 5)
+	if got != want {
+		t.Fatalf("Split = %v, want %v", got, want)
+	}
+	// Result strictly between: a ≺ got ≺ b... i.e. a ≺ got and got ≺ b.
+	if !a.Precedes(got) || !got.Precedes(b) {
+		t.Fatalf("Split result %v not between %v and %v", got, a, b)
+	}
+	// Different sequence numbers: next-element of the fresher label.
+	c, d := o(1, 1, 2), o(2, 1, 2)
+	got, ok = Split(c, d)
+	if !ok {
+		t.Fatal("Split across seqnos failed")
+	}
+	if got.SN != 2 {
+		t.Fatalf("Split across seqnos SN = %d, want 2", got.SN)
+	}
+	if !c.Precedes(got) || !got.Precedes(d) {
+		t.Fatalf("Split result %v not between %v and %v", got, c, d)
+	}
+	// Split of non-preceding pair must fail.
+	if _, ok := Split(b, a); ok {
+		t.Fatal("Split(b,a) should fail when b does not precede a")
+	}
+}
+
+func TestPrecedesIsStrictPartialOrder(t *testing.T) {
+	mk := func(sn uint8, n, d uint32) Order {
+		if d == 0 {
+			d = 1
+		}
+		n %= 64
+		d %= 64
+		if d == 0 {
+			d = 1
+		}
+		if n >= d {
+			n, d = d, n+1
+		}
+		if n == 0 {
+			return Order{SN: SeqNo(sn % 4), FD: frac.Zero}
+		}
+		return Order{SN: SeqNo(sn % 4), FD: frac.MustNew(n, d)}
+	}
+	prop := func(a1 uint8, a2, a3 uint32, b1 uint8, b2, b3 uint32, c1 uint8, c2, c3 uint32) bool {
+		x, y, z := mk(a1, a2, a3), mk(b1, b2, b3), mk(c1, c2, c3)
+		if x.Precedes(x) {
+			return false // irreflexive
+		}
+		if x.Precedes(y) && y.Precedes(x) {
+			return false // asymmetric
+		}
+		if x.Precedes(y) && y.Precedes(z) && !x.Precedes(z) {
+			return false // transitive
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitBetweenProperty(t *testing.T) {
+	mk := func(sn uint8, n, d uint32) Order {
+		if d == 0 {
+			d = 1
+		}
+		n %= 1000
+		d %= 1000
+		if d == 0 {
+			d = 1
+		}
+		if n >= d {
+			n, d = d, n+1
+		}
+		if n == 0 {
+			return Order{SN: SeqNo(sn % 4), FD: frac.Zero}
+		}
+		return Order{SN: SeqNo(sn % 4), FD: frac.MustNew(n, d)}
+	}
+	prop := func(a1 uint8, a2, a3 uint32, b1 uint8, b2, b3 uint32) bool {
+		x, y := mk(a1, a2, a3), mk(b1, b2, b3)
+		if !x.Precedes(y) {
+			return true
+		}
+		m, ok := Split(x, y)
+		if !ok {
+			return true
+		}
+		return x.Precedes(m) && m.Precedes(y)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := o(3, 1, 2).String(); s != "(3, 1/2)" {
+		t.Errorf("String = %q", s)
+	}
+}

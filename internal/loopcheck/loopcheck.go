@@ -1,0 +1,57 @@
+// Package loopcheck detects directed cycles in successor graphs. It backs
+// the loop-freedom-at-every-instant assertions (Theorem 3) in both the test
+// harness and the scenario runner's invariant checking.
+package loopcheck
+
+// FindCycle returns a directed cycle in adj as a node sequence whose first
+// and last elements coincide, or nil if the graph is acyclic. The search is
+// iterative, so deep graphs cannot overflow the stack.
+func FindCycle(adj map[int][]int) []int {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int]int, len(adj))
+
+	for root := range adj {
+		if color[root] != white {
+			continue
+		}
+		type frame struct {
+			node int
+			next int // index into adj[node]
+		}
+		stack := []frame{{node: root}}
+		color[root] = gray
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			edges := adj[top.node]
+			if top.next >= len(edges) {
+				color[top.node] = black
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			m := edges[top.next]
+			top.next++
+			switch color[m] {
+			case gray:
+				// Back edge: the cycle is the stack suffix from m.
+				var cycle []int
+				for i := range stack {
+					if stack[i].node == m {
+						for _, f := range stack[i:] {
+							cycle = append(cycle, f.node)
+						}
+						break
+					}
+				}
+				return append(cycle, m)
+			case white:
+				color[m] = gray
+				stack = append(stack, frame{node: m})
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,445 @@
+// Package mac implements a CSMA/CA medium-access layer over the radio
+// channel: DIFS + binary-exponential-backoff contention, unicast DATA/ACK
+// with a retry limit, and broadcast without acknowledgment.
+//
+// It reproduces the 802.11 DCF behaviours the paper's protocols depend on:
+//
+//   - link-layer unicast loss detection: a unicast that exhausts its
+//     retries is reported to the network layer, which treats it as a broken
+//     link and can resend the packet on a new route ("packet cache", §V);
+//   - contention drops under load, feeding Fig. 3 (MAC layer drops);
+//   - shared-capacity contention that penalizes chatty protocols.
+package mac
+
+import (
+	"time"
+
+	"slr/internal/radio"
+	"slr/internal/sim"
+)
+
+// 802.11-like timing and contention constants for a 2 Mbps channel.
+const (
+	slotTime = 20 * time.Microsecond
+	sifs     = 10 * time.Microsecond
+	difs     = 50 * time.Microsecond
+	cwMin    = 31
+	cwMax    = 1023
+	// shortRetryLimit bounds consecutive failed channel acquisitions
+	// (RTS with no CTS, or an unacknowledged frame sent without RTS).
+	// The short counter resets whenever a CTS is received, per the
+	// 802.11 SRC/LRC rules.
+	shortRetryLimit = 7
+	// longRetryLimit bounds DATA transmissions that won the RTS/CTS
+	// handshake but got no ACK.
+	longRetryLimit = 4
+	// ackSize is the ACK frame length in bytes.
+	ackSize = 14
+	// rtsSize and ctsSize are the RTS/CTS frame lengths.
+	rtsSize = 20
+	ctsSize = 14
+	// rtsThreshold: unicast payloads at or above this size reserve the
+	// medium with an RTS/CTS exchange first, the 802.11 default
+	// behaviour for the paper's 512-byte data packets. Hidden terminals
+	// hear the receiver's CTS and defer, which is what keeps collision
+	// losses from masquerading as link breaks.
+	rtsThreshold = 256
+	// headerSize is added to every payload for MAC framing.
+	headerSize = 28
+	// queueCap bounds the interface queue, like ns-2's 50-packet IFQ.
+	queueCap = 50
+)
+
+// UpperLayer receives MAC indications. Implemented by the network stack.
+type UpperLayer interface {
+	// Deliver hands up a received payload (unicast to this node or
+	// broadcast).
+	Deliver(from radio.NodeID, payload any)
+	// SendFailed reports a unicast payload dropped after the retry limit;
+	// routing treats this as a broken link to `to`.
+	SendFailed(to radio.NodeID, payload any)
+	// SendOK reports a unicast payload acknowledged by `to`.
+	SendOK(to radio.NodeID, payload any)
+}
+
+// Stats are per-node MAC counters.
+type Stats struct {
+	TxUnicast   uint64 // DATA transmissions (including retries)
+	TxBroadcast uint64
+	TxAck       uint64
+	TxRts       uint64
+	TxCts       uint64
+	RxData      uint64 // frames delivered up
+	RxAck       uint64
+	Retries     uint64 // retransmission attempts
+	DropsRetry  uint64 // unicasts dropped at the retry limit
+	DropsQueue  uint64 // payloads dropped on interface-queue overflow
+}
+
+// Drops returns the total MAC-layer packet drops (Fig. 3's metric).
+func (s Stats) Drops() uint64 { return s.DropsRetry + s.DropsQueue }
+
+type job struct {
+	to      radio.NodeID
+	size    int
+	payload any
+	// shortCnt counts failed channel acquisitions since the last
+	// successful CTS; longCnt counts unacknowledged DATA transmissions.
+	shortCnt int
+	longCnt  int
+	cw       int
+	seq      uint32
+	priority bool
+}
+
+// MAC is one station's medium-access state machine.
+type MAC struct {
+	id    radio.NodeID
+	sim   *sim.Simulator
+	ch    *radio.Channel
+	up    UpperLayer
+	queue []*job
+	cur   *job
+	// ackTimer waits for the CTS or ACK of cur.
+	ackTimer *sim.Event
+	// awaitingCts marks the RTS phase of cur's exchange.
+	awaitingCts bool
+	seq         uint32
+	// lastSeq dedups retransmitted unicasts per sender.
+	lastSeq map[radio.NodeID]uint32
+	stats   Stats
+}
+
+var _ radio.Receiver = (*MAC)(nil)
+
+// New creates a MAC for station id and registers nothing — the caller
+// registers it with the channel (Register requires the mobility model,
+// which the scenario owns).
+func New(s *sim.Simulator, ch *radio.Channel, id radio.NodeID, up UpperLayer) *MAC {
+	return &MAC{
+		id:      id,
+		sim:     s,
+		ch:      ch,
+		up:      up,
+		lastSeq: make(map[radio.NodeID]uint32),
+	}
+}
+
+// Stats returns a copy of the counters.
+func (m *MAC) Stats() Stats { return m.stats }
+
+// QueueLen returns the number of queued (not yet attempted) payloads.
+func (m *MAC) QueueLen() int { return len(m.queue) }
+
+// Send queues a unicast payload of `size` bytes toward `to`.
+func (m *MAC) Send(to radio.NodeID, size int, payload any) {
+	if to == radio.Broadcast {
+		m.Broadcast(size, payload)
+		return
+	}
+	m.enqueue(&job{to: to, size: size, payload: payload})
+}
+
+// Broadcast queues a link-layer broadcast payload.
+func (m *MAC) Broadcast(size int, payload any) {
+	m.enqueue(&job{to: radio.Broadcast, size: size, payload: payload})
+}
+
+// SendPriority queues a unicast payload ahead of normal traffic. Network
+// stacks use it for routing control packets, mirroring the priority
+// interface queue of the ns-2/GloMoSim models the paper's evaluation runs
+// on: routing packets do not wait behind full data queues.
+func (m *MAC) SendPriority(to radio.NodeID, size int, payload any) {
+	if to == radio.Broadcast {
+		m.BroadcastPriority(size, payload)
+		return
+	}
+	m.enqueue(&job{to: to, size: size, payload: payload, priority: true})
+}
+
+// BroadcastPriority queues a broadcast payload ahead of normal traffic.
+func (m *MAC) BroadcastPriority(size int, payload any) {
+	m.enqueue(&job{to: radio.Broadcast, size: size, payload: payload, priority: true})
+}
+
+func (m *MAC) enqueue(j *job) {
+	if len(m.queue) >= queueCap {
+		if !j.priority {
+			m.stats.DropsQueue++
+			return
+		}
+		// Priority traffic evicts the newest normal payload.
+		evicted := false
+		for i := len(m.queue) - 1; i >= 0; i-- {
+			if !m.queue[i].priority {
+				copy(m.queue[i:], m.queue[i+1:])
+				m.queue = m.queue[:len(m.queue)-1]
+				m.stats.DropsQueue++
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			m.stats.DropsQueue++
+			return
+		}
+	}
+	j.cw = cwMin
+	j.seq = m.seq
+	m.seq++
+	if j.priority {
+		// Insert after the last queued priority job, ahead of data.
+		pos := 0
+		for pos < len(m.queue) && m.queue[pos].priority {
+			pos++
+		}
+		m.queue = append(m.queue, nil)
+		copy(m.queue[pos+1:], m.queue[pos:])
+		m.queue[pos] = j
+	} else {
+		m.queue = append(m.queue, j)
+	}
+	if m.cur == nil {
+		m.next()
+	}
+}
+
+func (m *MAC) next() {
+	if m.ackTimer != nil {
+		m.sim.Cancel(m.ackTimer)
+		m.ackTimer = nil
+	}
+	m.awaitingCts = false
+	if len(m.queue) == 0 {
+		m.cur = nil
+		return
+	}
+	m.cur = m.queue[0]
+	copy(m.queue, m.queue[1:])
+	m.queue[len(m.queue)-1] = nil
+	m.queue = m.queue[:len(m.queue)-1]
+	m.backoff()
+}
+
+// backoff schedules the next transmission attempt after the medium is
+// expected to go idle, plus DIFS and a random number of slots.
+func (m *MAC) backoff() {
+	j := m.cur
+	start := m.ch.IdleAt(m.id)
+	wait := difs + sim.Time(m.sim.Rand().Intn(j.cw+1))*slotTime
+	m.sim.At(start+wait, func() {
+		if m.cur != j {
+			return // job completed or superseded meanwhile
+		}
+		m.attempt()
+	})
+}
+
+// useRTS reports whether j's exchange starts with RTS/CTS.
+func (m *MAC) useRTS(j *job) bool {
+	return j.to != radio.Broadcast && j.size+headerSize >= rtsThreshold
+}
+
+func (m *MAC) attempt() {
+	j := m.cur
+	if m.ch.Busy(m.id) {
+		// Medium grabbed during our backoff: redraw and retry. This is
+		// a simplification of DCF counter freezing; it preserves the
+		// contention behaviour without per-slot events.
+		m.backoff()
+		return
+	}
+	if m.useRTS(j) {
+		m.sendRTS(j)
+		return
+	}
+	m.sendData(j)
+}
+
+// sendRTS opens the exchange: RTS reserving CTS + DATA + ACK.
+func (m *MAC) sendRTS(j *job) {
+	dataAir := m.ch.AirTime(j.size + headerSize)
+	dur := 3*sifs + m.ch.AirTime(ctsSize) + dataAir + m.ch.AirTime(ackSize)
+	rts := &radio.Frame{From: m.id, To: j.to, Kind: radio.Rts, Seq: j.seq,
+		Size: rtsSize, Dur: dur}
+	m.stats.TxRts++
+	m.awaitingCts = true
+	m.ch.Transmit(rts)
+	timeout := m.ch.AirTime(rtsSize) + sifs + m.ch.AirTime(ctsSize) + 3*slotTime
+	m.ackTimer = m.sim.After(timeout, func() { m.exchangeTimeout(j) })
+}
+
+// sendData transmits the payload frame (directly, or after winning the
+// RTS/CTS handshake).
+func (m *MAC) sendData(j *job) {
+	dur := sim.Time(0)
+	if j.to != radio.Broadcast {
+		dur = sifs + m.ch.AirTime(ackSize)
+	}
+	frame := &radio.Frame{
+		From:    m.id,
+		To:      j.to,
+		Kind:    radio.Data,
+		Seq:     j.seq,
+		Size:    j.size + headerSize,
+		Dur:     dur,
+		Payload: j.payload,
+	}
+	air := m.ch.AirTime(frame.Size)
+	m.ch.Transmit(frame)
+	if j.to == radio.Broadcast {
+		m.stats.TxBroadcast++
+		m.sim.After(air, func() {
+			if m.cur == j {
+				m.next()
+			}
+		})
+		return
+	}
+	m.stats.TxUnicast++
+	timeout := air + sifs + m.ch.AirTime(ackSize) + 3*slotTime
+	m.ackTimer = m.sim.After(timeout, func() { m.exchangeTimeout(j) })
+}
+
+// exchangeTimeout fires when the expected CTS or ACK never arrived.
+func (m *MAC) exchangeTimeout(j *job) {
+	if m.cur != j {
+		return
+	}
+	m.ackTimer = nil
+	failed := false
+	if m.awaitingCts || !m.useRTS(j) {
+		// Channel acquisition failed (no CTS), or a non-RTS unicast
+		// went unacknowledged: short retry counter.
+		j.shortCnt++
+		failed = j.shortCnt >= shortRetryLimit
+	} else {
+		// The handshake succeeded but DATA drew no ACK: long retry
+		// counter; the retry re-acquires the channel from scratch.
+		j.longCnt++
+		failed = j.longCnt >= longRetryLimit
+	}
+	m.awaitingCts = false
+	if failed {
+		m.stats.DropsRetry++
+		payload, to := j.payload, j.to
+		m.next()
+		m.up.SendFailed(to, payload)
+		return
+	}
+	m.stats.Retries++
+	if j.cw < cwMax {
+		j.cw = j.cw*2 + 1
+		if j.cw > cwMax {
+			j.cw = cwMax
+		}
+	}
+	m.backoff()
+}
+
+// OnFrame implements radio.Receiver.
+func (m *MAC) OnFrame(f *radio.Frame) {
+	// Virtual carrier sense: frames addressed elsewhere reserve the
+	// medium for their advertised duration. An overheard RTS reserves
+	// only up to where its CTS would appear (the 802.11 NAV-reset rule):
+	// if the handshake fails, the medium is not left blocked for the
+	// whole exchange; a successful CTS and the DATA frame extend the
+	// reservation themselves at the stations that must defer.
+	if f.To != m.id && f.Dur > 0 {
+		dur := f.Dur
+		if f.Kind == radio.Rts {
+			short := sifs + m.ch.AirTime(ctsSize) + 2*slotTime
+			if short < dur {
+				dur = short
+			}
+		}
+		m.ch.SetNAV(m.id, m.sim.Now()+dur)
+		return
+	}
+	switch f.Kind {
+	case radio.Rts:
+		m.handleRTS(f)
+	case radio.Cts:
+		if f.To != m.id {
+			return
+		}
+		j := m.cur
+		if j != nil && m.awaitingCts && j.to == f.From && j.seq == f.Seq {
+			m.awaitingCts = false
+			j.shortCnt = 0 // successful acquisition resets SRC
+			if m.ackTimer != nil {
+				m.sim.Cancel(m.ackTimer)
+				m.ackTimer = nil
+			}
+			m.sim.After(sifs, func() {
+				if m.cur == j {
+					m.sendData(j)
+				}
+			})
+		}
+	case radio.Ack:
+		if f.To != m.id {
+			return
+		}
+		m.stats.RxAck++
+		j := m.cur
+		if j != nil && !m.awaitingCts && j.to == f.From && j.seq == f.Seq {
+			payload, to := j.payload, j.to
+			m.next()
+			m.up.SendOK(to, payload)
+		}
+	case radio.Data:
+		switch f.To {
+		case radio.Broadcast:
+			m.stats.RxData++
+			m.up.Deliver(f.From, f.Payload)
+		case m.id:
+			m.sendAck(f)
+			// Dedup retransmissions whose ACK was lost.
+			if last, ok := m.lastSeq[f.From]; ok && last == f.Seq {
+				return
+			}
+			m.lastSeq[f.From] = f.Seq
+			m.stats.RxData++
+			m.up.Deliver(f.From, f.Payload)
+		}
+	}
+}
+
+// handleRTS answers a medium reservation addressed to this station.
+func (m *MAC) handleRTS(f *radio.Frame) {
+	cts := &radio.Frame{
+		From: m.id,
+		To:   f.From,
+		Kind: radio.Cts,
+		Seq:  f.Seq,
+		Size: ctsSize,
+		Dur:  f.Dur - sifs - m.ch.AirTime(ctsSize),
+	}
+	m.sim.After(sifs, func() {
+		if m.ch.Transmitting(m.id) {
+			return // half-duplex conflict: the sender will retry
+		}
+		m.stats.TxCts++
+		m.ch.Transmit(cts)
+	})
+}
+
+// sendAck transmits an ACK for f after SIFS, bypassing the contention queue
+// (ACKs have priority in DCF).
+func (m *MAC) sendAck(f *radio.Frame) {
+	ack := &radio.Frame{
+		From: m.id,
+		To:   f.From,
+		Kind: radio.Ack,
+		Seq:  f.Seq,
+		Size: ackSize,
+	}
+	m.sim.After(sifs, func() {
+		if m.ch.Transmitting(m.id) {
+			return // half-duplex conflict: let the sender retry
+		}
+		m.stats.TxAck++
+		m.ch.Transmit(ack)
+	})
+}

@@ -1,0 +1,54 @@
+package mac
+
+import (
+	"testing"
+	"time"
+
+	"slr/internal/geo"
+	"slr/internal/mobility"
+	"slr/internal/radio"
+	"slr/internal/sim"
+)
+
+// TestStressContention: 20 stations in one collision domain each send 200
+// 512-byte unicasts to a hub at an offered load near capacity; false
+// link-failure reports (DropsRetry) must be rare.
+func TestStressContention(t *testing.T) {
+	s := sim.New(9)
+	p := radio.DefaultParams()
+	p.Range = 300
+	ch := radio.NewChannel(s, p)
+	ups := make([]*upper, 21)
+	macs := make([]*MAC, 21)
+	for i := 0; i <= 20; i++ {
+		ups[i] = &upper{}
+		macs[i] = New(s, ch, radio.NodeID(i), ups[i])
+		ch.Register(radio.NodeID(i), &mobility.Static{At: geo.Point{X: float64(i)}}, macs[i])
+	}
+	const perNode = 200
+	for i := 1; i <= 20; i++ {
+		i := i
+		for k := 0; k < perNode; k++ {
+			k := k
+			// Bursts: all 20 senders enqueue at the same instants,
+			// forcing maximal contention every round.
+			at := sim.Time(k) * 60 * time.Millisecond
+			s.At(at, func() { macs[i].Send(0, 512, [2]int{i, k}) })
+		}
+	}
+	s.RunUntil(30 * time.Second)
+	var retryDrops, queueDrops, retries, sent uint64
+	for i := 1; i <= 20; i++ {
+		st := macs[i].Stats()
+		retryDrops += st.DropsRetry
+		queueDrops += st.DropsQueue
+		retries += st.Retries
+		sent += st.TxUnicast
+	}
+	delivered := len(ups[0].delivered)
+	t.Logf("delivered=%d/%d retryDrops=%d queueDrops=%d retries=%d txUnicast=%d collisions=%d",
+		delivered, 20*perNode, retryDrops, queueDrops, retries, sent, ch.Collisions())
+	if retryDrops > 20 {
+		t.Errorf("excessive false link failures: %d", retryDrops)
+	}
+}

@@ -1,0 +1,94 @@
+// Package metrics collects per-run counters for the paper's three headline
+// metrics — delivery ratio, network load, and data latency — plus the MAC
+// drop and sequence-number series of Figs. 3 and 7, and provides the
+// mean / 95% confidence-interval statistics used in Table I.
+package metrics
+
+import (
+	"time"
+
+	"slr/internal/sim"
+)
+
+// Collector accumulates one simulation run's counters. Protocols and the
+// network stack update it; the scenario reads it at the end of the run.
+type Collector struct {
+	// DataSent counts CBR packets handed to the routing layer at sources.
+	DataSent uint64
+	// DataRecv counts CBR packets delivered at their destinations.
+	DataRecv uint64
+	// latencySum accumulates end-to-end delay of delivered packets.
+	latencySum time.Duration
+	// HopsSum accumulates hop counts of delivered packets.
+	HopsSum uint64
+	// ControlTx counts control-packet transmissions (every hop of every
+	// flood or unicast counts once, matching the paper's "total number of
+	// control packets sent").
+	ControlTx uint64
+	// ControlBytes counts control bytes transmitted.
+	ControlBytes uint64
+	// DataDrops counts data packets dropped by the routing layer, by
+	// reason.
+	DataDrops map[string]uint64
+}
+
+// NewCollector returns an empty Collector.
+func NewCollector() *Collector {
+	return &Collector{DataDrops: make(map[string]uint64)}
+}
+
+// Sent records a CBR origination.
+func (c *Collector) Sent() { c.DataSent++ }
+
+// Delivered records a CBR delivery with its end-to-end latency and hops.
+func (c *Collector) Delivered(latency sim.Time, hops int) {
+	c.DataRecv++
+	c.latencySum += latency
+	c.HopsSum += uint64(hops)
+}
+
+// Control records one control-packet transmission of size bytes.
+func (c *Collector) Control(size int) {
+	c.ControlTx++
+	c.ControlBytes += uint64(size)
+}
+
+// Drop records a routing-layer data drop for the given reason.
+func (c *Collector) Drop(reason string) { c.DataDrops[reason]++ }
+
+// DeliveryRatio returns delivered/sent, the paper's delivery-ratio metric.
+func (c *Collector) DeliveryRatio() float64 {
+	if c.DataSent == 0 {
+		return 0
+	}
+	return float64(c.DataRecv) / float64(c.DataSent)
+}
+
+// NetworkLoad returns control transmissions per delivered data packet, the
+// paper's network-load metric.
+func (c *Collector) NetworkLoad() float64 {
+	if c.DataRecv == 0 {
+		if c.ControlTx == 0 {
+			return 0
+		}
+		return float64(c.ControlTx)
+	}
+	return float64(c.ControlTx) / float64(c.DataRecv)
+}
+
+// MeanLatency returns the mean end-to-end latency in seconds of delivered
+// packets, the paper's latency metric.
+func (c *Collector) MeanLatency() float64 {
+	if c.DataRecv == 0 {
+		return 0
+	}
+	return c.latencySum.Seconds() / float64(c.DataRecv)
+}
+
+// MeanHops returns the mean hop count of delivered packets.
+func (c *Collector) MeanHops() float64 {
+	if c.DataRecv == 0 {
+		return 0
+	}
+	return float64(c.HopsSum) / float64(c.DataRecv)
+}

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestCollectorRatios(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < 10; i++ {
+		c.Sent()
+	}
+	for i := 0; i < 8; i++ {
+		c.Delivered(time.Duration(i+1)*100*time.Millisecond, 3)
+	}
+	c.Control(64)
+	c.Control(64)
+	c.Control(64)
+	c.Control(64)
+
+	if got := c.DeliveryRatio(); got != 0.8 {
+		t.Errorf("DeliveryRatio = %v, want 0.8", got)
+	}
+	if got := c.NetworkLoad(); got != 0.5 {
+		t.Errorf("NetworkLoad = %v, want 0.5", got)
+	}
+	// Latencies 0.1..0.8 s mean 0.45 s.
+	if got := c.MeanLatency(); math.Abs(got-0.45) > 1e-9 {
+		t.Errorf("MeanLatency = %v, want 0.45", got)
+	}
+	if got := c.MeanHops(); got != 3 {
+		t.Errorf("MeanHops = %v, want 3", got)
+	}
+	if c.ControlBytes != 256 {
+		t.Errorf("ControlBytes = %d, want 256", c.ControlBytes)
+	}
+}
+
+func TestCollectorEmpty(t *testing.T) {
+	c := NewCollector()
+	if c.DeliveryRatio() != 0 || c.NetworkLoad() != 0 || c.MeanLatency() != 0 || c.MeanHops() != 0 {
+		t.Error("empty collector must report zeros")
+	}
+}
+
+func TestNetworkLoadNoDeliveries(t *testing.T) {
+	c := NewCollector()
+	c.Control(10)
+	c.Control(10)
+	if got := c.NetworkLoad(); got != 2 {
+		t.Errorf("NetworkLoad with zero deliveries = %v, want raw count 2", got)
+	}
+}
+
+func TestDropReasons(t *testing.T) {
+	c := NewCollector()
+	c.Drop("no-route")
+	c.Drop("no-route")
+	c.Drop("ttl")
+	if c.DataDrops["no-route"] != 2 || c.DataDrops["ttl"] != 1 {
+		t.Errorf("DataDrops = %v", c.DataDrops)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Sample stddev of this set is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if got := StdDev(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Error("degenerate inputs must return 0")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	// n=10 -> t(9) = 2.262.
+	xs := make([]float64, 10)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	want := 2.262 * StdDev(xs) / math.Sqrt(10)
+	if got := CI95(xs); math.Abs(got-want) > 1e-9 {
+		t.Errorf("CI95 = %v, want %v", got, want)
+	}
+	if CI95([]float64{5}) != 0 {
+		t.Error("CI95 of singleton must be 0")
+	}
+	// Large n falls back to 1.96.
+	big := make([]float64, 100)
+	for i := range big {
+		big[i] = float64(i % 10)
+	}
+	want = 1.96 * StdDev(big) / 10
+	if got := CI95(big); math.Abs(got-want) > 1e-9 {
+		t.Errorf("CI95 large-n = %v, want %v", got, want)
+	}
+}
+
+func TestSeriesOverlap(t *testing.T) {
+	a := &Series{}
+	b := &Series{}
+	c := &Series{}
+	for i := 0; i < 10; i++ {
+		a.Add(10 + float64(i%3))
+		b.Add(10.5 + float64(i%3))
+		c.Add(100 + float64(i%3))
+	}
+	if !a.Overlaps(b) {
+		t.Error("close series must overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("distant series must not overlap")
+	}
+	if !a.Overlaps(a) {
+		t.Error("series must overlap itself")
+	}
+}

@@ -1,0 +1,230 @@
+// Package netstack is the network layer of the simulated node: it binds a
+// routing protocol to the MAC, carries data packets hop by hop, dispatches
+// control messages, and feeds the metrics collector.
+//
+// The routing protocol owns every forwarding decision; the stack only
+// provides transmit primitives, timers, and delivery/drop accounting, so
+// SRP and the four baseline protocols plug in behind one interface.
+package netstack
+
+import (
+	"math/rand"
+
+	"slr/internal/mac"
+	"slr/internal/metrics"
+	"slr/internal/radio"
+	"slr/internal/sim"
+)
+
+// NodeID identifies a node; it is the radio station id.
+type NodeID = radio.NodeID
+
+// Broadcast is the broadcast address.
+const Broadcast = radio.Broadcast
+
+// DefaultTTL is the initial TTL of data packets.
+const DefaultTTL = 64
+
+// DataPacket is an application (CBR) packet traveling the network.
+type DataPacket struct {
+	UID     uint64
+	Src     NodeID
+	Dst     NodeID
+	Size    int // payload bytes (512 in the paper's workload)
+	TTL     int
+	Hops    int
+	Created sim.Time
+
+	// Route and RouteIdx carry a DSR-style source route when the routing
+	// protocol uses one; other protocols leave them empty.
+	Route    []NodeID
+	RouteIdx int
+	// Salvaged counts DSR salvage operations on this packet.
+	Salvaged int
+}
+
+// Drop reasons used across protocols.
+const (
+	DropNoRoute   = "no-route"
+	DropTTL       = "ttl-expired"
+	DropLinkLost  = "link-lost"
+	DropQueueFull = "rreq-queue-full"
+	DropTimeout   = "discovery-timeout"
+)
+
+// Protocol is a routing protocol instance bound to one node.
+type Protocol interface {
+	// Attach binds the protocol to its node. Called once, before Start.
+	Attach(n *Node)
+	// Start begins protocol operation (periodic timers etc.).
+	Start()
+	// OriginateData is invoked when the local application sends pkt.
+	OriginateData(pkt *DataPacket)
+	// RecvData handles a data packet received from neighbor `from`.
+	RecvData(from NodeID, pkt *DataPacket)
+	// RecvControl handles a control message received from neighbor
+	// `from`. Messages are protocol-defined types.
+	RecvControl(from NodeID, msg any)
+	// DataFailed reports a data packet the MAC could not deliver to the
+	// next hop `to` (retry limit reached) — the link-layer loss
+	// detection signal of §V.
+	DataFailed(to NodeID, pkt *DataPacket)
+	// DataAcked reports a data packet acknowledged by next hop `to`.
+	DataAcked(to NodeID, pkt *DataPacket)
+	// ControlFailed reports a unicast control message that could not be
+	// delivered to `to`.
+	ControlFailed(to NodeID, msg any)
+}
+
+// controlEnvelope wraps a control message on the air so the stack can
+// distinguish it from data and account for its size.
+type controlEnvelope struct {
+	size int
+	msg  any
+}
+
+// Node is one simulated host: MAC below, routing protocol above.
+type Node struct {
+	id    NodeID
+	sim   *sim.Simulator
+	mac   *mac.MAC
+	proto Protocol
+	mx    *metrics.Collector
+	// uidSeq hands out unique data packet ids node-locally by combining
+	// with the node id; the scenario seeds it.
+	delivered map[uint64]struct{}
+}
+
+// NewNode wires a node together. The caller must register node.MAC() (via
+// Mac()) with the radio channel and call Start.
+func NewNode(s *sim.Simulator, ch *radio.Channel, id NodeID, proto Protocol, mx *metrics.Collector) *Node {
+	n := &Node{
+		id:        id,
+		sim:       s,
+		proto:     proto,
+		mx:        mx,
+		delivered: make(map[uint64]struct{}),
+	}
+	n.mac = mac.New(s, ch, id, (*macUpper)(n))
+	proto.Attach(n)
+	return n
+}
+
+// Mac exposes the MAC for channel registration and stats collection.
+func (n *Node) Mac() *mac.MAC { return n.mac }
+
+// Start starts the routing protocol.
+func (n *Node) Start() { n.proto.Start() }
+
+// Protocol returns the attached routing protocol.
+func (n *Node) Protocol() Protocol { return n.proto }
+
+// ID returns the node id.
+func (n *Node) ID() NodeID { return n.id }
+
+// Now returns the current virtual time.
+func (n *Node) Now() sim.Time { return n.sim.Now() }
+
+// Rand returns the simulation RNG.
+func (n *Node) Rand() *rand.Rand { return n.sim.Rand() }
+
+// After schedules fn on the simulation clock.
+func (n *Node) After(d sim.Time, fn func()) *sim.Event { return n.sim.After(d, fn) }
+
+// Cancel cancels a scheduled event.
+func (n *Node) Cancel(ev *sim.Event) { n.sim.Cancel(ev) }
+
+// Metrics returns the run's collector.
+func (n *Node) Metrics() *metrics.Collector { return n.mx }
+
+// SendData hands an application packet to the routing protocol.
+func (n *Node) SendData(pkt *DataPacket) {
+	n.mx.Sent()
+	n.proto.OriginateData(pkt)
+}
+
+// ForwardData transmits pkt to neighbor `to` over the MAC with ARQ. The
+// protocol hears back via DataAcked or DataFailed.
+func (n *Node) ForwardData(to NodeID, pkt *DataPacket) {
+	n.mac.Send(to, pkt.Size+dataHeaderSize, pkt)
+}
+
+// dataHeaderSize approximates the IP-style network header on data packets.
+const dataHeaderSize = 20
+
+// BroadcastControl transmits a control message to all neighbors. Control
+// packets jump the data queue, as in the ns-2/GloMoSim priority interface
+// queue used by the paper's evaluation.
+func (n *Node) BroadcastControl(size int, msg any) {
+	n.mx.Control(size)
+	n.mac.BroadcastPriority(size, &controlEnvelope{size: size, msg: msg})
+}
+
+// UnicastControl transmits a control message to one neighbor with ARQ and
+// priority over data.
+func (n *Node) UnicastControl(to NodeID, size int, msg any) {
+	n.mx.Control(size)
+	n.mac.SendPriority(to, size, &controlEnvelope{size: size, msg: msg})
+}
+
+// DeliverLocal records the arrival of pkt at its destination. Duplicate
+// UIDs (e.g. a retransmitted copy that raced an ACK) count once.
+func (n *Node) DeliverLocal(pkt *DataPacket) {
+	if _, dup := n.delivered[pkt.UID]; dup {
+		return
+	}
+	n.delivered[pkt.UID] = struct{}{}
+	n.mx.Delivered(n.sim.Now()-pkt.Created, pkt.Hops)
+}
+
+// DropData records a routing-layer drop of pkt.
+func (n *Node) DropData(pkt *DataPacket, reason string) {
+	n.mx.Drop(reason)
+}
+
+// macUpper adapts Node to the mac.UpperLayer interface without exposing
+// those methods on Node's public API.
+type macUpper Node
+
+var _ mac.UpperLayer = (*macUpper)(nil)
+
+func (u *macUpper) Deliver(from radio.NodeID, payload any) {
+	n := (*Node)(u)
+	switch p := payload.(type) {
+	case *DataPacket:
+		n.proto.RecvData(from, p)
+	case *controlEnvelope:
+		n.proto.RecvControl(from, p.msg)
+	}
+}
+
+func (u *macUpper) SendFailed(to radio.NodeID, payload any) {
+	n := (*Node)(u)
+	switch p := payload.(type) {
+	case *DataPacket:
+		n.proto.DataFailed(to, p)
+	case *controlEnvelope:
+		n.proto.ControlFailed(to, p.msg)
+	}
+}
+
+func (u *macUpper) SendOK(to radio.NodeID, payload any) {
+	n := (*Node)(u)
+	switch p := payload.(type) {
+	case *DataPacket:
+		n.proto.DataAcked(to, p)
+	case *controlEnvelope:
+		// Control deliveries need no confirmation.
+		_ = p
+	}
+}
+
+// BaseProtocol provides no-op implementations of the optional Protocol
+// callbacks so protocols only implement what they use.
+type BaseProtocol struct{}
+
+// DataAcked is a no-op.
+func (BaseProtocol) DataAcked(NodeID, *DataPacket) {}
+
+// ControlFailed is a no-op.
+func (BaseProtocol) ControlFailed(NodeID, any) {}

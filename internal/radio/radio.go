@@ -1,0 +1,310 @@
+// Package radio models the shared wireless channel: unit-disk propagation,
+// half-duplex stations, and collision-on-overlap reception.
+//
+// The model corresponds to the physical layer the paper's GloMoSim setup
+// provides to its 802.11 MAC: a 2 Mbps channel where a frame is received by
+// every station within transmission range of the sender unless another
+// audible transmission overlaps it in time at that receiver (including the
+// hidden-terminal case) or the receiver itself is transmitting.
+package radio
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"slr/internal/geo"
+	"slr/internal/mobility"
+	"slr/internal/sim"
+)
+
+// NodeID identifies a station. IDs are small non-negative integers assigned
+// by the scenario; Broadcast is the wildcard destination.
+type NodeID int
+
+// Broadcast is the destination of link-layer broadcast frames.
+const Broadcast NodeID = -1
+
+// FrameKind distinguishes MAC frame types on the air.
+type FrameKind uint8
+
+// Frame kinds.
+const (
+	Data FrameKind = iota + 1
+	Ack
+	Rts
+	Cts
+)
+
+// Frame is a link-layer frame in flight.
+type Frame struct {
+	From NodeID
+	To   NodeID // Broadcast or a unicast destination
+	Kind FrameKind
+	Seq  uint32 // MAC sequence number, used for ACK matching and dedup
+	Size int    // bytes, including MAC framing
+	// Dur is the 802.11 duration field: how long the medium remains
+	// reserved after this frame ends. Overhearers load it into their
+	// NAV (virtual carrier sense).
+	Dur sim.Time
+	// Payload is opaque to the channel; the network layer owns it.
+	Payload any
+}
+
+// Receiver is the upper layer (the MAC) notified of decodable frames.
+// The channel delivers every frame a station can decode, including frames
+// addressed elsewhere; filtering is the MAC's job.
+type Receiver interface {
+	OnFrame(f *Frame)
+}
+
+// Params configures the channel.
+type Params struct {
+	// Range is the transmission (and interference) radius in meters.
+	Range float64
+	// BitRate is the channel rate in bits per second.
+	BitRate float64
+	// PhyOverhead is the fixed per-frame preamble/PLCP time.
+	PhyOverhead sim.Time
+	// CaptureRatio models physical capture: a frame survives an
+	// overlapping transmission whose sender is at least CaptureRatio
+	// times farther from the receiver (the distance form of a 10 dB SNR
+	// threshold under two-ray d^-4 pathloss: 10^(10/40) ≈ 1.78, as in
+	// the GloMoSim/ns-2 radio models). Zero disables capture: any
+	// overlap corrupts.
+	CaptureRatio float64
+}
+
+// DefaultParams matches the paper's setup: 2 Mbps channel and a ~275 m
+// nominal radio range with an 802.11-like 192 us preamble.
+func DefaultParams() Params {
+	return Params{
+		Range:        275,
+		BitRate:      2e6,
+		PhyOverhead:  192 * time.Microsecond,
+		CaptureRatio: 1.78,
+	}
+}
+
+// rx tracks one in-progress reception at a station.
+type rx struct {
+	frame     *Frame
+	corrupted bool
+	end       sim.Time
+	// dist is the sender-receiver distance at transmission start, used
+	// for the capture comparison.
+	dist float64
+}
+
+// station is per-node channel state.
+type station struct {
+	id       NodeID
+	mob      mobility.Model
+	recv     Receiver
+	active   []*rx    // receptions currently on the air at this station
+	txUntil  sim.Time // end of this station's own transmission
+	busyTill sim.Time // latest end of anything audible here
+	navUntil sim.Time // virtual carrier sense (802.11 NAV)
+}
+
+// Channel is the shared medium. It is not safe for concurrent use; a
+// simulation run is single-threaded by construction.
+type Channel struct {
+	sim      *sim.Simulator
+	p        Params
+	stations map[NodeID]*station
+	order    []NodeID // registration order, for deterministic iteration
+
+	// Stats counters.
+	frames     uint64
+	collisions uint64
+}
+
+// NewChannel returns an empty channel bound to the simulator.
+func NewChannel(s *sim.Simulator, p Params) *Channel {
+	return &Channel{
+		sim:      s,
+		p:        p,
+		stations: make(map[NodeID]*station),
+	}
+}
+
+// Register attaches a station with its mobility model and frame receiver.
+// Registering the same id twice panics: it is a wiring bug.
+func (c *Channel) Register(id NodeID, m mobility.Model, r Receiver) {
+	if _, dup := c.stations[id]; dup {
+		panic(fmt.Sprintf("radio: station %d registered twice", id))
+	}
+	c.stations[id] = &station{id: id, mob: m, recv: r}
+	c.order = append(c.order, id)
+}
+
+// AirTime returns how long a frame of size bytes occupies the medium.
+func (c *Channel) AirTime(size int) sim.Time {
+	return c.p.PhyOverhead + sim.Time(float64(size*8)/c.p.BitRate*float64(time.Second))
+}
+
+// Busy reports whether station id senses the medium busy right now:
+// physical carrier sense (any audible transmission, or its own) or virtual
+// carrier sense (NAV).
+func (c *Channel) Busy(id NodeID) bool {
+	st := c.stations[id]
+	now := c.sim.Now()
+	return st.txUntil > now || len(st.active) > 0 || st.navUntil > now
+}
+
+// SetNAV reserves the medium at station id until `until` per an overheard
+// duration field; shorter reservations never shrink the NAV.
+func (c *Channel) SetNAV(id NodeID, until sim.Time) {
+	st := c.stations[id]
+	if until > st.navUntil {
+		st.navUntil = until
+	}
+}
+
+// IdleAt returns the earliest time at or after now when station id will
+// sense the medium idle, based on currently known transmissions and NAV.
+func (c *Channel) IdleAt(id NodeID) sim.Time {
+	st := c.stations[id]
+	t := c.sim.Now()
+	if st.txUntil > t {
+		t = st.txUntil
+	}
+	if st.busyTill > t {
+		t = st.busyTill
+	}
+	if st.navUntil > t {
+		t = st.navUntil
+	}
+	return t
+}
+
+// Transmitting reports whether station id is transmitting right now.
+func (c *Channel) Transmitting(id NodeID) bool {
+	return c.stations[id].txUntil > c.sim.Now()
+}
+
+// Position returns station id's current position.
+func (c *Channel) Position(id NodeID) geo.Point {
+	return c.stations[id].mob.Position(c.sim.Now())
+}
+
+// Neighbors returns the stations currently within range of id, in
+// registration order. It exists for scenario setup and tests; protocols
+// must discover neighbors over the air.
+func (c *Channel) Neighbors(id NodeID) []NodeID {
+	self := c.stations[id]
+	pos := self.mob.Position(c.sim.Now())
+	r2 := c.p.Range * c.p.Range
+	var out []NodeID
+	for _, oid := range c.order {
+		if oid == id {
+			continue
+		}
+		if pos.Dist2(c.stations[oid].mob.Position(c.sim.Now())) <= r2 {
+			out = append(out, oid)
+		}
+	}
+	return out
+}
+
+// Frames returns the total number of transmissions started.
+func (c *Channel) Frames() uint64 { return c.frames }
+
+// Collisions returns the number of receptions corrupted by overlap.
+func (c *Channel) Collisions() uint64 { return c.collisions }
+
+// Transmit puts f on the air from station f.From, starting now. Receptions
+// complete (or are found corrupted) one air-time later. The transmitting
+// station cannot decode anything while sending (half-duplex), and any
+// overlap of audible frames at a station corrupts all of them.
+func (c *Channel) Transmit(f *Frame) {
+	sender, ok := c.stations[f.From]
+	if !ok {
+		panic(fmt.Sprintf("radio: transmit from unregistered station %d", f.From))
+	}
+	now := c.sim.Now()
+	air := c.AirTime(f.Size)
+	end := now + air
+	c.frames++
+
+	// Half duplex: starting to transmit corrupts anything being received.
+	for _, r := range sender.active {
+		if !r.corrupted {
+			r.corrupted = true
+			c.collisions++
+		}
+	}
+	if sender.txUntil < end {
+		sender.txUntil = end
+	}
+
+	pos := sender.mob.Position(now)
+	r2 := c.p.Range * c.p.Range
+	for _, oid := range c.order {
+		if oid == f.From {
+			continue
+		}
+		st := c.stations[oid]
+		d2 := pos.Dist2(st.mob.Position(now))
+		if d2 > r2 {
+			continue
+		}
+		c.beginReception(st, f, end, d2)
+	}
+}
+
+func (c *Channel) beginReception(st *station, f *Frame, end sim.Time, dist2 float64) {
+	r := &rx{frame: f, end: end, dist: math.Sqrt(dist2)}
+	// Overlapping receptions corrupt each other unless one captures: its
+	// sender is CaptureRatio times closer than the interferer's.
+	for _, other := range st.active {
+		if !other.corrupted && !c.captures(other, r) {
+			other.corrupted = true
+			c.collisions++
+		}
+		if !r.corrupted && !c.captures(r, other) {
+			r.corrupted = true
+			c.collisions++
+		}
+	}
+	// A station that is transmitting cannot decode.
+	if st.txUntil > c.sim.Now() && !r.corrupted {
+		r.corrupted = true
+		c.collisions++
+	}
+	st.active = append(st.active, r)
+	if st.busyTill < end {
+		st.busyTill = end
+	}
+	c.sim.At(end, func() { c.endReception(st, r) })
+}
+
+// captures reports whether reception r survives interference from other:
+// r's sender must be CaptureRatio times closer than other's.
+func (c *Channel) captures(r, other *rx) bool {
+	if c.p.CaptureRatio <= 0 {
+		return false
+	}
+	return other.dist >= c.p.CaptureRatio*r.dist
+}
+
+func (c *Channel) endReception(st *station, r *rx) {
+	// Remove r from the active set.
+	for i, other := range st.active {
+		if other == r {
+			st.active[i] = st.active[len(st.active)-1]
+			st.active[len(st.active)-1] = nil
+			st.active = st.active[:len(st.active)-1]
+			break
+		}
+	}
+	// A transmission that started while r was on the air has already
+	// corrupted it (beginReception / Transmit handle both directions).
+	if r.corrupted {
+		return
+	}
+	if st.recv != nil {
+		st.recv.OnFrame(r.frame)
+	}
+}

@@ -1,0 +1,571 @@
+// Package aodv implements the Ad hoc On-demand Distance Vector protocol
+// (Perkins, Belding-Royer, Das; IETF draft-ietf-manet-aodv-10), the primary
+// baseline of the paper's evaluation.
+//
+// AODV prevents loops with per-destination sequence numbers and hop counts:
+// a route may only be replaced by one with a fresher destination sequence
+// number, or an equal one and a smaller hop count. A node that loses a
+// route must increment the destination sequence number it requests, which
+// usually makes it a local maximum — only the destination (or a node with a
+// fresher route) can answer, so repairs are frequently network-wide floods.
+// This is the behaviour Fig. 7 of the paper quantifies.
+package aodv
+
+import (
+	"time"
+
+	"slr/internal/netstack"
+	"slr/internal/sim"
+)
+
+// Config holds AODV's protocol constants.
+type Config struct {
+	ActiveRouteTimeout sim.Time
+	NodeTraversal      sim.Time
+	RreqRetries        int
+	TTLs               []int
+	QueueCap           int
+	// LocalRepair lets an intermediate node that detects a link break
+	// attempt a repair discovery before reporting upstream (§V: "AODV
+	// uses local repair").
+	LocalRepair bool
+	MaxSalvage  int
+	// RreqRateLimit caps RREQ originations per second (RREQ_RATELIMIT).
+	RreqRateLimit int
+	// DiscoveryHoldDown delays a fresh discovery for a destination that
+	// just failed all retries, so saturated flows do not flood the
+	// network with back-to-back failed searches.
+	DiscoveryHoldDown sim.Time
+}
+
+// DefaultConfig returns the constants used in the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		ActiveRouteTimeout: 10 * time.Second,
+		NodeTraversal:      40 * time.Millisecond,
+		RreqRetries:        2,
+		TTLs:               []int{5, 10, 35},
+		QueueCap:           10,
+		LocalRepair:        true,
+		MaxSalvage:         3,
+		RreqRateLimit:      10,
+		DiscoveryHoldDown:  3 * time.Second,
+	}
+}
+
+// rreq is the AODV route request.
+type rreq struct {
+	Src        netstack.NodeID
+	SrcSeq     uint32
+	RreqID     uint32
+	Dst        netstack.NodeID
+	DstSeq     uint32
+	UnknownSeq bool
+	HopCount   int
+	TTL        int
+}
+
+// rrep is the route reply.
+type rrep struct {
+	Src      netstack.NodeID // RREQ originator (reply travels toward it)
+	Dst      netstack.NodeID
+	DstSeq   uint32
+	HopCount int
+	Lifetime sim.Time
+}
+
+// rerr lists unreachable destinations with their invalidated sequence
+// numbers.
+type rerr struct {
+	Dests []rerrDest
+}
+
+type rerrDest struct {
+	Dst netstack.NodeID
+	Seq uint32
+}
+
+// Wire sizes per the AODV draft.
+const (
+	rreqSize     = 24
+	rrepSize     = 20
+	rerrBaseSize = 4
+	rerrPerDest  = 8
+)
+
+func (e *rerr) size() int { return rerrBaseSize + rerrPerDest*len(e.Dests) }
+
+// routeEntry is a routing-table row.
+type routeEntry struct {
+	seq        uint32
+	validSeq   bool
+	hops       int
+	nextHop    netstack.NodeID
+	valid      bool
+	expiry     sim.Time
+	precursors map[netstack.NodeID]struct{}
+}
+
+type rreqKey struct {
+	src netstack.NodeID
+	id  uint32
+}
+
+type pending struct {
+	dst     netstack.NodeID
+	attempt int
+	timer   *sim.Event
+	queue   []*netstack.DataPacket
+	repair  bool // local repair at an intermediate node
+}
+
+// Protocol is one node's AODV instance.
+type Protocol struct {
+	netstack.BaseProtocol
+	cfg  Config
+	node *netstack.Node
+	self netstack.NodeID
+
+	seq     uint32 // own sequence number, starts at 0 (Fig. 7 baseline)
+	rreqID  uint32
+	table   map[netstack.NodeID]*routeEntry
+	seen    map[rreqKey]sim.Time
+	pending map[netstack.NodeID]*pending
+	// recentRreqs rate-limits RREQ originations.
+	recentRreqs []sim.Time
+	// holdDown blocks re-discovery of recently failed destinations.
+	holdDown map[netstack.NodeID]sim.Time
+	// recentRerrs rate-limits RERR broadcasts (RERR_RATELIMIT).
+	recentRerrs []sim.Time
+}
+
+var _ netstack.Protocol = (*Protocol)(nil)
+
+// New returns an AODV instance.
+func New(cfg Config) *Protocol {
+	return &Protocol{
+		cfg:      cfg,
+		table:    make(map[netstack.NodeID]*routeEntry),
+		seen:     make(map[rreqKey]sim.Time),
+		pending:  make(map[netstack.NodeID]*pending),
+		holdDown: make(map[netstack.NodeID]sim.Time),
+	}
+}
+
+// Attach implements netstack.Protocol.
+func (p *Protocol) Attach(n *netstack.Node) {
+	p.node = n
+	p.self = n.ID()
+}
+
+// Start implements netstack.Protocol.
+func (p *Protocol) Start() {
+	var sweep func()
+	sweep = func() {
+		now := p.node.Now()
+		for k, t := range p.seen {
+			if t <= now {
+				delete(p.seen, k)
+			}
+		}
+		p.node.After(10*time.Second, sweep)
+	}
+	p.node.After(10*time.Second, sweep)
+}
+
+// SeqnoDelta reports this node's own sequence number, which starts at zero
+// (the Fig. 7 metric).
+func (p *Protocol) SeqnoDelta() uint64 { return uint64(p.seq) }
+
+// SuccessorsOf exposes the next hop for loop checking.
+func (p *Protocol) SuccessorsOf(dst netstack.NodeID) []netstack.NodeID {
+	if e, ok := p.table[dst]; ok && e.valid && e.expiry > p.node.Now() {
+		return []netstack.NodeID{e.nextHop}
+	}
+	return nil
+}
+
+func (p *Protocol) entry(dst netstack.NodeID) *routeEntry {
+	e, ok := p.table[dst]
+	if !ok {
+		e = &routeEntry{precursors: make(map[netstack.NodeID]struct{})}
+		p.table[dst] = e
+	}
+	return e
+}
+
+// liveRoute returns the valid, unexpired entry for dst.
+func (p *Protocol) liveRoute(dst netstack.NodeID) (*routeEntry, bool) {
+	e, ok := p.table[dst]
+	if !ok || !e.valid || e.expiry <= p.node.Now() {
+		return nil, false
+	}
+	return e, true
+}
+
+// --- Data plane -------------------------------------------------------
+
+// OriginateData implements netstack.Protocol.
+func (p *Protocol) OriginateData(pkt *netstack.DataPacket) {
+	if e, ok := p.liveRoute(pkt.Dst); ok {
+		p.useRoute(e)
+		p.node.ForwardData(e.nextHop, pkt)
+		return
+	}
+	p.enqueue(pkt, false)
+}
+
+// RecvData implements netstack.Protocol.
+func (p *Protocol) RecvData(from netstack.NodeID, pkt *netstack.DataPacket) {
+	if pkt.Dst == p.self {
+		pkt.Hops++
+		p.node.DeliverLocal(pkt)
+		return
+	}
+	pkt.Hops++
+	pkt.TTL--
+	if pkt.TTL <= 0 {
+		p.node.DropData(pkt, netstack.DropTTL)
+		return
+	}
+	e, ok := p.liveRoute(pkt.Dst)
+	if !ok {
+		seq := uint32(0)
+		if old, exists := p.table[pkt.Dst]; exists {
+			seq = old.seq
+		}
+		out := &rerr{Dests: []rerrDest{{Dst: pkt.Dst, Seq: seq}}}
+		p.node.UnicastControl(from, out.size(), out)
+		p.node.DropData(pkt, netstack.DropNoRoute)
+		return
+	}
+	p.useRoute(e)
+	// Refresh the reverse route toward the source as the draft requires.
+	if rev, ok := p.liveRoute(pkt.Src); ok {
+		p.useRoute(rev)
+	}
+	p.node.ForwardData(e.nextHop, pkt)
+}
+
+func (p *Protocol) useRoute(e *routeEntry) {
+	e.expiry = p.node.Now() + p.cfg.ActiveRouteTimeout
+}
+
+// enqueue queues pkt behind a (possibly new) discovery.
+func (p *Protocol) enqueue(pkt *netstack.DataPacket, repair bool) {
+	pd, ok := p.pending[pkt.Dst]
+	if ok {
+		if len(pd.queue) >= p.cfg.QueueCap {
+			p.node.DropData(pkt, netstack.DropQueueFull)
+			return
+		}
+		pd.queue = append(pd.queue, pkt)
+		return
+	}
+	if until, held := p.holdDown[pkt.Dst]; held && p.node.Now() < until {
+		p.node.DropData(pkt, netstack.DropNoRoute)
+		return
+	}
+	pd = &pending{dst: pkt.Dst, queue: []*netstack.DataPacket{pkt}, repair: repair}
+	p.pending[pkt.Dst] = pd
+	p.solicit(pd)
+}
+
+// rreqAllowed enforces RREQ_RATELIMIT; over-cap discoveries are deferred.
+func (p *Protocol) rreqAllowed() bool {
+	if p.cfg.RreqRateLimit <= 0 {
+		return true
+	}
+	now := p.node.Now()
+	kept := p.recentRreqs[:0]
+	for _, t := range p.recentRreqs {
+		if now-t < time.Second {
+			kept = append(kept, t)
+		}
+	}
+	p.recentRreqs = kept
+	if len(kept) >= p.cfg.RreqRateLimit {
+		return false
+	}
+	p.recentRreqs = append(p.recentRreqs, now)
+	return true
+}
+
+// solicit broadcasts a RREQ per the expanding-ring schedule.
+func (p *Protocol) solicit(pd *pending) {
+	if !p.rreqAllowed() {
+		pd.timer = p.node.After(200*time.Millisecond, func() {
+			if p.pending[pd.dst] == pd {
+				p.solicit(pd)
+			}
+		})
+		return
+	}
+	// "Immediately before a node originates a route discovery, it MUST
+	// increment its own sequence number."
+	p.seq++
+	p.rreqID++
+	p.seen[rreqKey{src: p.self, id: p.rreqID}] = p.node.Now() + 30*time.Second
+
+	r := &rreq{
+		Src:    p.self,
+		SrcSeq: p.seq,
+		RreqID: p.rreqID,
+		Dst:    pd.dst,
+		TTL:    p.cfg.TTLs[min(pd.attempt, len(p.cfg.TTLs)-1)],
+	}
+	if e, ok := p.table[pd.dst]; ok && e.validSeq {
+		r.DstSeq = e.seq
+	} else {
+		r.UnknownSeq = true
+	}
+	p.node.BroadcastControl(rreqSize, r)
+	// Binary exponential backoff across retries, per the draft.
+	wait := 2 * sim.Time(r.TTL) * p.cfg.NodeTraversal << uint(pd.attempt)
+	pd.timer = p.node.After(wait, func() { p.retry(pd) })
+}
+
+func (p *Protocol) retry(pd *pending) {
+	if p.pending[pd.dst] != pd {
+		return
+	}
+	pd.attempt++
+	if pd.attempt > p.cfg.RreqRetries {
+		delete(p.pending, pd.dst)
+		p.holdDown[pd.dst] = p.node.Now() + p.cfg.DiscoveryHoldDown
+		for _, pkt := range pd.queue {
+			p.node.DropData(pkt, netstack.DropTimeout)
+		}
+		if pd.repair {
+			// Local repair failed: invalidate and report upstream.
+			e := p.entry(pd.dst)
+			if e.valid {
+				e.valid = false
+				e.seq++
+			}
+			p.propagateRERR(map[netstack.NodeID]*routeEntry{pd.dst: e})
+		}
+		return
+	}
+	p.solicit(pd)
+}
+
+// --- Control plane ----------------------------------------------------
+
+// RecvControl implements netstack.Protocol.
+func (p *Protocol) RecvControl(from netstack.NodeID, msg any) {
+	switch m := msg.(type) {
+	case *rreq:
+		p.handleRREQ(from, m)
+	case *rrep:
+		p.handleRREP(from, m)
+	case *rerr:
+		p.handleRERR(from, m)
+	}
+}
+
+func (p *Protocol) handleRREQ(from netstack.NodeID, r *rreq) {
+	if r.Src == p.self {
+		return
+	}
+	// Build/refresh the reverse route to the originator.
+	p.update(r.Src, r.SrcSeq, true, r.HopCount+1, from)
+
+	key := rreqKey{src: r.Src, id: r.RreqID}
+	if _, dup := p.seen[key]; dup {
+		return
+	}
+	p.seen[key] = p.node.Now() + 30*time.Second
+
+	if r.Dst == p.self {
+		// "If its own sequence number equals the RREQ's destination
+		// sequence number, increment it."
+		if !r.UnknownSeq && r.DstSeq >= p.seq {
+			p.seq = r.DstSeq
+			p.seq++
+		}
+		rep := &rrep{Src: r.Src, Dst: p.self, DstSeq: p.seq, HopCount: 0,
+			Lifetime: p.cfg.ActiveRouteTimeout}
+		p.node.UnicastControl(from, rrepSize, rep)
+		return
+	}
+	// Intermediate reply: valid route with a sequence number at least as
+	// fresh as requested.
+	if e, ok := p.liveRoute(r.Dst); ok && e.validSeq && (r.UnknownSeq || seqGE(e.seq, r.DstSeq)) {
+		e.precursors[from] = struct{}{}
+		rep := &rrep{Src: r.Src, Dst: r.Dst, DstSeq: e.seq, HopCount: e.hops,
+			Lifetime: e.expiry - p.node.Now()}
+		p.node.UnicastControl(from, rrepSize, rep)
+		return
+	}
+	// Relay.
+	if r.TTL <= 1 {
+		return
+	}
+	z := *r
+	z.TTL--
+	z.HopCount++
+	if e, ok := p.table[r.Dst]; ok && e.validSeq && seqGE(e.seq, z.DstSeq) && !z.UnknownSeq {
+		z.DstSeq = e.seq
+	}
+	jitter := sim.Time(p.node.Rand().Int63n(int64(10 * time.Millisecond)))
+	p.node.After(jitter, func() { p.node.BroadcastControl(rreqSize, &z) })
+}
+
+func (p *Protocol) handleRREP(from netstack.NodeID, rep *rrep) {
+	// Install/refresh the forward route to the destination.
+	if !p.update(rep.Dst, rep.DstSeq, true, rep.HopCount+1, from) {
+		return
+	}
+	if rep.Src == p.self {
+		p.complete(rep.Dst)
+		return
+	}
+	// Forward along the reverse route toward the originator.
+	rev, ok := p.liveRoute(rep.Src)
+	if !ok {
+		return
+	}
+	p.useRoute(rev)
+	fwd := p.entry(rep.Dst)
+	fwd.precursors[rev.nextHop] = struct{}{}
+	y := *rep
+	y.HopCount++
+	p.node.UnicastControl(rev.nextHop, rrepSize, &y)
+}
+
+// complete flushes the discovery queue for dst.
+func (p *Protocol) complete(dst netstack.NodeID) {
+	pd, ok := p.pending[dst]
+	if !ok {
+		return
+	}
+	if pd.timer != nil {
+		p.node.Cancel(pd.timer)
+	}
+	delete(p.pending, dst)
+	e, live := p.liveRoute(dst)
+	for _, pkt := range pd.queue {
+		if !live {
+			p.node.DropData(pkt, netstack.DropNoRoute)
+			continue
+		}
+		p.useRoute(e)
+		p.node.ForwardData(e.nextHop, pkt)
+	}
+}
+
+// update applies the draft's route-update rule: adopt when the sequence
+// number is fresher, equal with fewer hops, or the entry is absent or
+// invalid. It reports whether the entry now points via `next`.
+func (p *Protocol) update(dst netstack.NodeID, seq uint32, validSeq bool, hops int, next netstack.NodeID) bool {
+	if dst == p.self {
+		return false
+	}
+	e := p.entry(dst)
+	adopt := !e.valid || !e.validSeq
+	if !adopt && validSeq {
+		adopt = seqGT(seq, e.seq) || (seq == e.seq && hops < e.hops)
+	}
+	if !adopt && e.valid && e.nextHop == next && e.seq == seq {
+		p.useRoute(e) // same route refreshed
+		return true
+	}
+	if !adopt {
+		return e.valid && e.nextHop == next
+	}
+	e.seq = seq
+	e.validSeq = validSeq
+	e.hops = hops
+	e.nextHop = next
+	e.valid = true
+	p.useRoute(e)
+	return true
+}
+
+func (p *Protocol) handleRERR(from netstack.NodeID, e *rerr) {
+	broken := make(map[netstack.NodeID]*routeEntry)
+	for _, d := range e.Dests {
+		ent, ok := p.table[d.Dst]
+		if !ok || !ent.valid || ent.nextHop != from {
+			continue
+		}
+		ent.valid = false
+		if seqGT(d.Seq, ent.seq) {
+			ent.seq = d.Seq
+		}
+		broken[d.Dst] = ent
+	}
+	p.propagateRERR(broken)
+}
+
+// DataFailed implements netstack.Protocol: the MAC reported a broken link.
+func (p *Protocol) DataFailed(to netstack.NodeID, pkt *netstack.DataPacket) {
+	broken := p.breakLink(to)
+	if p.cfg.LocalRepair && pkt.Salvaged < p.cfg.MaxSalvage {
+		pkt.Salvaged++
+		p.enqueue(pkt, true)
+	} else {
+		p.node.DropData(pkt, netstack.DropLinkLost)
+	}
+	p.propagateRERR(broken)
+}
+
+// ControlFailed implements netstack.Protocol.
+func (p *Protocol) ControlFailed(to netstack.NodeID, msg any) {
+	p.propagateRERR(p.breakLink(to))
+}
+
+// breakLink invalidates all routes through `to`, incrementing their
+// sequence numbers as the draft requires on invalidation.
+func (p *Protocol) breakLink(to netstack.NodeID) map[netstack.NodeID]*routeEntry {
+	broken := make(map[netstack.NodeID]*routeEntry)
+	for dst, e := range p.table {
+		if e.valid && e.nextHop == to {
+			e.valid = false
+			e.seq++
+			broken[dst] = e
+		}
+	}
+	return broken
+}
+
+// rerrAllowed enforces RERR_RATELIMIT (10 per second, RFC 3561 §10).
+func (p *Protocol) rerrAllowed() bool {
+	now := p.node.Now()
+	kept := p.recentRerrs[:0]
+	for _, t := range p.recentRerrs {
+		if now-t < time.Second {
+			kept = append(kept, t)
+		}
+	}
+	p.recentRerrs = kept
+	if len(kept) >= 10 {
+		return false
+	}
+	p.recentRerrs = append(p.recentRerrs, now)
+	return true
+}
+
+// propagateRERR notifies precursors of newly invalid destinations.
+func (p *Protocol) propagateRERR(broken map[netstack.NodeID]*routeEntry) {
+	var dests []rerrDest
+	for dst, e := range broken {
+		if len(e.precursors) == 0 {
+			continue
+		}
+		dests = append(dests, rerrDest{Dst: dst, Seq: e.seq})
+		e.precursors = make(map[netstack.NodeID]struct{})
+	}
+	if len(dests) == 0 || !p.rerrAllowed() {
+		return
+	}
+	out := &rerr{Dests: dests}
+	p.node.BroadcastControl(out.size(), out)
+}
+
+// seqGT compares sequence numbers with wraparound (RFC 3561 §6.1).
+func seqGT(a, b uint32) bool { return int32(a-b) > 0 }
+
+// seqGE is seqGT or equal.
+func seqGE(a, b uint32) bool { return a == b || seqGT(a, b) }

@@ -1,0 +1,132 @@
+package aodv
+
+import (
+	"testing"
+	"time"
+
+	"slr/internal/geo"
+	"slr/internal/netstack"
+	"slr/internal/routing/rtest"
+)
+
+// spy records control messages it hears.
+type spy struct {
+	netstack.BaseProtocol
+	node  *netstack.Node
+	rreqs []*rreq
+	rreps []*rrep
+}
+
+func (s *spy) Attach(n *netstack.Node) { s.node = n }
+func (s *spy) Start()                  {}
+func (s *spy) OriginateData(pkt *netstack.DataPacket) {
+	s.node.DropData(pkt, netstack.DropNoRoute)
+}
+func (s *spy) RecvData(netstack.NodeID, *netstack.DataPacket) {}
+func (s *spy) RecvControl(from netstack.NodeID, msg any) {
+	switch m := msg.(type) {
+	case *rreq:
+		s.rreqs = append(s.rreqs, m)
+	case *rrep:
+		s.rreps = append(s.rreps, m)
+	}
+}
+func (s *spy) DataFailed(netstack.NodeID, *netstack.DataPacket) {}
+
+func spyWorld(t *testing.T) (*rtest.World, *Protocol, *spy) {
+	t.Helper()
+	sp := &spy{}
+	var pr *Protocol
+	w := rtest.New(1, 150, func(id netstack.NodeID) netstack.Protocol {
+		if id == 0 {
+			pr = New(DefaultConfig())
+			return pr
+		}
+		return sp
+	}, []geo.Point{{X: 0}, {X: 100}}, nil)
+	return w, pr, sp
+}
+
+func TestExpandingRingTTLs(t *testing.T) {
+	// Discovery for an unreachable destination walks the TTL schedule
+	// 5, 10, 35 with a fresh rreq id and incremented source seqno each
+	// time.
+	w, pr, sp := spyWorld(t)
+	pr.OriginateData(&netstack.DataPacket{UID: 1, Src: 0, Dst: 99, Size: 100, TTL: 64})
+	w.Sim.RunUntil(time.Minute)
+	if len(sp.rreqs) != 3 {
+		t.Fatalf("heard %d RREQs, want 3 ring attempts", len(sp.rreqs))
+	}
+	wantTTL := []int{5, 10, 35}
+	for i, r := range sp.rreqs {
+		if r.TTL != wantTTL[i] {
+			t.Errorf("attempt %d TTL = %d, want %d", i, r.TTL, wantTTL[i])
+		}
+		if r.Dst != 99 || r.Src != 0 {
+			t.Errorf("attempt %d addressed %d->%d", i, r.Src, r.Dst)
+		}
+	}
+	if sp.rreqs[0].SrcSeq >= sp.rreqs[2].SrcSeq+1 {
+		t.Error("source seqno did not increase across attempts")
+	}
+	if sp.rreqs[0].RreqID == sp.rreqs[1].RreqID {
+		t.Error("rreq id reused across attempts")
+	}
+}
+
+func TestReverseRouteFromRREQ(t *testing.T) {
+	w, pr, _ := spyWorld(t)
+	pr.handleRREQ(1, &rreq{Src: 7, SrcSeq: 3, RreqID: 1, Dst: 42,
+		UnknownSeq: true, HopCount: 2, TTL: 5})
+	w.Sim.RunUntil(time.Second)
+	e, ok := pr.liveRoute(7)
+	if !ok {
+		t.Fatal("reverse route not installed")
+	}
+	if e.nextHop != 1 || e.hops != 3 || e.seq != 3 {
+		t.Fatalf("reverse route = %+v", e)
+	}
+}
+
+func TestDestinationReplyHonorsSeqnoRule(t *testing.T) {
+	// "If its own sequence number equals the RREQ's destination sequence
+	// number, increment it before replying."
+	w, pr, sp := spyWorld(t)
+	pr.seq = 5
+	pr.handleRREQ(1, &rreq{Src: 7, SrcSeq: 1, RreqID: 2, Dst: 0, DstSeq: 5, TTL: 5})
+	w.Sim.RunUntil(time.Second)
+	if len(sp.rreps) != 1 {
+		t.Fatalf("heard %d RREPs, want 1", len(sp.rreps))
+	}
+	if sp.rreps[0].DstSeq != 6 {
+		t.Fatalf("reply seqno = %d, want 6", sp.rreps[0].DstSeq)
+	}
+}
+
+func TestRouteUpdateRules(t *testing.T) {
+	w, pr, _ := spyWorld(t)
+	_ = w
+	// Install a route with seq 5, 3 hops.
+	if !pr.update(9, 5, true, 3, 1) {
+		t.Fatal("initial install failed")
+	}
+	// Stale seqno rejected.
+	if pr.update(9, 4, true, 1, 2) {
+		t.Fatal("stale seqno accepted")
+	}
+	// Equal seqno, more hops rejected.
+	if pr.update(9, 5, true, 4, 2) {
+		t.Fatal("longer same-seq route accepted")
+	}
+	// Equal seqno, fewer hops accepted.
+	if !pr.update(9, 5, true, 2, 2) {
+		t.Fatal("shorter same-seq route rejected")
+	}
+	// Fresher seqno accepted regardless of hops.
+	if !pr.update(9, 6, true, 9, 3) {
+		t.Fatal("fresher route rejected")
+	}
+	if e, _ := pr.liveRoute(9); e.nextHop != 3 || e.hops != 9 {
+		t.Fatalf("route = %+v", e)
+	}
+}

@@ -1,0 +1,596 @@
+// Package dsr implements the Dynamic Source Routing protocol (Johnson,
+// Maltz, Hu, Jetcheva; IETF draft-ietf-manet-dsr-07), a baseline of the
+// paper's evaluation.
+//
+// DSR floods route requests that accumulate the traversed path; replies
+// return the complete source route, which data packets then carry hop by
+// hop. Nodes cache every route they learn or overhear and may answer
+// requests from cache, and salvage broken packets with alternate cached
+// routes. Packet paths are inherently loop-free, but aggressive caching
+// turns stale under mobility — the paper observes DSR collapsing at
+// 100 nodes / 30 flows with a MAC drop rate inversely proportional to its
+// delivery ratio (Figs. 3–4).
+package dsr
+
+import (
+	"time"
+
+	"slr/internal/netstack"
+	"slr/internal/sim"
+)
+
+// Config holds DSR's constants.
+type Config struct {
+	CacheLifetime sim.Time
+	RoutesPerDest int
+	RreqRetries   int
+	// FirstTTL is the non-propagating first attempt; later attempts
+	// flood with NetTTL.
+	FirstTTL      int
+	NetTTL        int
+	NodeTraversal sim.Time
+	QueueCap      int
+	MaxSalvage    int
+	// ReplyFromCache lets intermediate nodes answer with cached routes.
+	ReplyFromCache bool
+	// RreqRateLimit caps RREQ originations per second.
+	RreqRateLimit int
+	// DiscoveryHoldDown delays a fresh discovery for a destination that
+	// just failed all retries, so saturated flows do not flood the
+	// network with back-to-back failed searches.
+	DiscoveryHoldDown sim.Time
+}
+
+// DefaultConfig returns the evaluation constants.
+func DefaultConfig() Config {
+	return Config{
+		CacheLifetime:     300 * time.Second,
+		RoutesPerDest:     3,
+		RreqRetries:       2,
+		FirstTTL:          1,
+		NetTTL:            35,
+		NodeTraversal:     40 * time.Millisecond,
+		QueueCap:          10,
+		MaxSalvage:        3,
+		ReplyFromCache:    true,
+		RreqRateLimit:     10,
+		DiscoveryHoldDown: 3 * time.Second,
+	}
+}
+
+// rreq accumulates the traversed path in Path (intermediate nodes only,
+// excluding Src and Dst).
+type rreq struct {
+	Src  netstack.NodeID
+	ID   uint32
+	Dst  netstack.NodeID
+	Path []netstack.NodeID
+	TTL  int
+}
+
+// rrep carries the complete source route Src..Dst in Full and travels back
+// along it; Idx is the position of the current holder in Full.
+type rrep struct {
+	Src  netstack.NodeID
+	ID   uint32
+	Dst  netstack.NodeID
+	Full []netstack.NodeID
+}
+
+// rerr reports the broken link A->B toward the packet source along Route.
+type rerr struct {
+	A, B  netstack.NodeID
+	Route []netstack.NodeID // reversed prefix to travel
+	Idx   int
+}
+
+// Wire sizes: 4 bytes per address in a route record.
+const (
+	rreqBase = 16
+	rrepBase = 16
+	rerrBase = 20
+	perAddr  = 4
+)
+
+type cachedRoute struct {
+	path   []netstack.NodeID // self exclusive, ends at destination
+	expiry sim.Time
+}
+
+type rreqKey struct {
+	src netstack.NodeID
+	id  uint32
+}
+
+type pending struct {
+	dst     netstack.NodeID
+	attempt int
+	timer   *sim.Event
+	queue   []*netstack.DataPacket
+}
+
+// Protocol is one node's DSR instance.
+type Protocol struct {
+	netstack.BaseProtocol
+	cfg  Config
+	node *netstack.Node
+	self netstack.NodeID
+
+	rreqID  uint32
+	cache   map[netstack.NodeID][]*cachedRoute
+	seen    map[rreqKey]sim.Time
+	pending map[netstack.NodeID]*pending
+	// recentRreqs rate-limits RREQ originations.
+	recentRreqs []sim.Time
+	// holdDown blocks re-discovery of recently failed destinations.
+	holdDown map[netstack.NodeID]sim.Time
+}
+
+var _ netstack.Protocol = (*Protocol)(nil)
+
+// New returns a DSR instance.
+func New(cfg Config) *Protocol {
+	return &Protocol{
+		cfg:      cfg,
+		cache:    make(map[netstack.NodeID][]*cachedRoute),
+		seen:     make(map[rreqKey]sim.Time),
+		pending:  make(map[netstack.NodeID]*pending),
+		holdDown: make(map[netstack.NodeID]sim.Time),
+	}
+}
+
+// Attach implements netstack.Protocol.
+func (p *Protocol) Attach(n *netstack.Node) {
+	p.node = n
+	p.self = n.ID()
+}
+
+// Start implements netstack.Protocol.
+func (p *Protocol) Start() {
+	var sweep func()
+	sweep = func() {
+		now := p.node.Now()
+		for k, t := range p.seen {
+			if t <= now {
+				delete(p.seen, k)
+			}
+		}
+		p.node.After(10*time.Second, sweep)
+	}
+	p.node.After(10*time.Second, sweep)
+}
+
+// SuccessorsOf exposes the first hop of the best cached route, for the
+// harness's loop checker (source routes cannot loop, but the checker wants
+// a uniform view).
+func (p *Protocol) SuccessorsOf(dst netstack.NodeID) []netstack.NodeID {
+	if r, ok := p.lookup(dst); ok && len(r) > 0 {
+		return []netstack.NodeID{r[0]}
+	}
+	return nil
+}
+
+// --- Route cache ------------------------------------------------------
+
+// lookup returns the shortest live cached path to dst.
+func (p *Protocol) lookup(dst netstack.NodeID) ([]netstack.NodeID, bool) {
+	now := p.node.Now()
+	routes := p.cache[dst]
+	var best []netstack.NodeID
+	kept := routes[:0]
+	for _, r := range routes {
+		if r.expiry <= now {
+			continue
+		}
+		kept = append(kept, r)
+		if best == nil || len(r.path) < len(best) {
+			best = r.path
+		}
+	}
+	p.cache[dst] = kept
+	if best == nil {
+		return nil, false
+	}
+	return best, true
+}
+
+// addRoute caches path (self-exclusive, ending at its destination) and all
+// its prefixes.
+func (p *Protocol) addRoute(path []netstack.NodeID) {
+	for end := 1; end <= len(path); end++ {
+		sub := path[:end]
+		dst := sub[end-1]
+		if dst == p.self {
+			continue
+		}
+		p.insert(dst, sub)
+	}
+}
+
+func (p *Protocol) insert(dst netstack.NodeID, path []netstack.NodeID) {
+	routes := p.cache[dst]
+	for _, r := range routes {
+		if equalPath(r.path, path) {
+			r.expiry = p.node.Now() + p.cfg.CacheLifetime
+			return
+		}
+	}
+	cp := make([]netstack.NodeID, len(path))
+	copy(cp, path)
+	routes = append(routes, &cachedRoute{path: cp, expiry: p.node.Now() + p.cfg.CacheLifetime})
+	if len(routes) > p.cfg.RoutesPerDest {
+		// Evict the longest.
+		worst := 0
+		for i, r := range routes {
+			if len(r.path) > len(routes[worst].path) {
+				worst = i
+			}
+		}
+		routes[worst] = routes[len(routes)-1]
+		routes = routes[:len(routes)-1]
+	}
+	p.cache[dst] = routes
+}
+
+// removeLink drops every cached route using the directed link a->b.
+func (p *Protocol) removeLink(a, b netstack.NodeID) {
+	for dst, routes := range p.cache {
+		kept := routes[:0]
+		for _, r := range routes {
+			if !usesLink(p.self, r.path, a, b) {
+				kept = append(kept, r)
+			}
+		}
+		p.cache[dst] = kept
+	}
+}
+
+func usesLink(self netstack.NodeID, path []netstack.NodeID, a, b netstack.NodeID) bool {
+	prev := self
+	for _, n := range path {
+		if prev == a && n == b {
+			return true
+		}
+		prev = n
+	}
+	return false
+}
+
+func equalPath(a, b []netstack.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Data plane -------------------------------------------------------
+
+// OriginateData implements netstack.Protocol.
+func (p *Protocol) OriginateData(pkt *netstack.DataPacket) {
+	if path, ok := p.lookup(pkt.Dst); ok {
+		p.sendAlong(pkt, path)
+		return
+	}
+	p.enqueue(pkt)
+}
+
+// sendAlong stamps the source route [self, path...] on pkt and forwards.
+func (p *Protocol) sendAlong(pkt *netstack.DataPacket, path []netstack.NodeID) {
+	route := make([]netstack.NodeID, 0, len(path)+1)
+	route = append(route, p.self)
+	route = append(route, path...)
+	pkt.Route = route
+	pkt.RouteIdx = 0
+	p.node.ForwardData(route[1], pkt)
+}
+
+// RecvData implements netstack.Protocol.
+func (p *Protocol) RecvData(from netstack.NodeID, pkt *netstack.DataPacket) {
+	pkt.Hops++
+	if pkt.Dst == p.self {
+		p.node.DeliverLocal(pkt)
+		return
+	}
+	pkt.TTL--
+	if pkt.TTL <= 0 {
+		p.node.DropData(pkt, netstack.DropTTL)
+		return
+	}
+	// Advance the source route.
+	idx := pkt.RouteIdx + 1
+	if idx >= len(pkt.Route) || pkt.Route[idx] != p.self || idx+1 >= len(pkt.Route) {
+		p.node.DropData(pkt, netstack.DropNoRoute)
+		return
+	}
+	pkt.RouteIdx = idx
+	// Cache the remaining path while forwarding.
+	p.addRoute(pkt.Route[idx+1:])
+	p.node.ForwardData(pkt.Route[idx+1], pkt)
+}
+
+// DataFailed implements netstack.Protocol: broken link self->to. Send a
+// route error to the packet source and salvage from cache if possible.
+func (p *Protocol) DataFailed(to netstack.NodeID, pkt *netstack.DataPacket) {
+	p.removeLink(p.self, to)
+	p.sendRERR(pkt, to)
+	if pkt.Salvaged >= p.cfg.MaxSalvage {
+		p.node.DropData(pkt, netstack.DropLinkLost)
+		return
+	}
+	pkt.Salvaged++
+	if path, ok := p.lookup(pkt.Dst); ok {
+		p.sendAlong(pkt, path)
+		return
+	}
+	if pkt.Src == p.self {
+		p.enqueue(pkt)
+		return
+	}
+	p.node.DropData(pkt, netstack.DropLinkLost)
+}
+
+// sendRERR reports the broken link to pkt's source along the reversed
+// traveled prefix of its source route.
+func (p *Protocol) sendRERR(pkt *netstack.DataPacket, brokenNext netstack.NodeID) {
+	if pkt.Src == p.self || pkt.RouteIdx <= 0 || pkt.RouteIdx >= len(pkt.Route) {
+		return
+	}
+	// Reverse of the traveled portion: route[RouteIdx-1], ..., route[0].
+	rev := make([]netstack.NodeID, 0, pkt.RouteIdx)
+	for i := pkt.RouteIdx - 1; i >= 0; i-- {
+		rev = append(rev, pkt.Route[i])
+	}
+	e := &rerr{A: p.self, B: brokenNext, Route: rev, Idx: 0}
+	p.node.UnicastControl(rev[0], rerrBase+perAddr*len(rev), e)
+}
+
+// ControlFailed implements netstack.Protocol.
+func (p *Protocol) ControlFailed(to netstack.NodeID, msg any) {
+	p.removeLink(p.self, to)
+}
+
+func (p *Protocol) enqueue(pkt *netstack.DataPacket) {
+	pd, ok := p.pending[pkt.Dst]
+	if ok {
+		if len(pd.queue) >= p.cfg.QueueCap {
+			p.node.DropData(pkt, netstack.DropQueueFull)
+			return
+		}
+		pd.queue = append(pd.queue, pkt)
+		return
+	}
+	if until, held := p.holdDown[pkt.Dst]; held && p.node.Now() < until {
+		p.node.DropData(pkt, netstack.DropNoRoute)
+		return
+	}
+	pd = &pending{dst: pkt.Dst, queue: []*netstack.DataPacket{pkt}}
+	p.pending[pkt.Dst] = pd
+	p.solicit(pd)
+}
+
+// --- Control plane ----------------------------------------------------
+
+// rreqAllowed enforces the per-second RREQ origination cap.
+func (p *Protocol) rreqAllowed() bool {
+	if p.cfg.RreqRateLimit <= 0 {
+		return true
+	}
+	now := p.node.Now()
+	kept := p.recentRreqs[:0]
+	for _, t := range p.recentRreqs {
+		if now-t < time.Second {
+			kept = append(kept, t)
+		}
+	}
+	p.recentRreqs = kept
+	if len(kept) >= p.cfg.RreqRateLimit {
+		return false
+	}
+	p.recentRreqs = append(p.recentRreqs, now)
+	return true
+}
+
+func (p *Protocol) solicit(pd *pending) {
+	if !p.rreqAllowed() {
+		pd.timer = p.node.After(200*time.Millisecond, func() {
+			if p.pending[pd.dst] == pd {
+				p.solicit(pd)
+			}
+		})
+		return
+	}
+	p.rreqID++
+	p.seen[rreqKey{src: p.self, id: p.rreqID}] = p.node.Now() + 30*time.Second
+	ttl := p.cfg.FirstTTL
+	if pd.attempt > 0 {
+		ttl = p.cfg.NetTTL
+	}
+	r := &rreq{Src: p.self, ID: p.rreqID, Dst: pd.dst, TTL: ttl}
+	p.node.BroadcastControl(rreqBase, r)
+	// Binary exponential backoff across retries.
+	wait := 2 * sim.Time(ttl) * p.cfg.NodeTraversal << uint(pd.attempt)
+	pd.timer = p.node.After(wait, func() { p.retry(pd) })
+}
+
+func (p *Protocol) retry(pd *pending) {
+	if p.pending[pd.dst] != pd {
+		return
+	}
+	pd.attempt++
+	if pd.attempt > p.cfg.RreqRetries {
+		delete(p.pending, pd.dst)
+		p.holdDown[pd.dst] = p.node.Now() + p.cfg.DiscoveryHoldDown
+		for _, pkt := range pd.queue {
+			p.node.DropData(pkt, netstack.DropTimeout)
+		}
+		return
+	}
+	p.solicit(pd)
+}
+
+// RecvControl implements netstack.Protocol.
+func (p *Protocol) RecvControl(from netstack.NodeID, msg any) {
+	switch m := msg.(type) {
+	case *rreq:
+		p.handleRREQ(from, m)
+	case *rrep:
+		p.handleRREP(from, m)
+	case *rerr:
+		p.handleRERR(from, m)
+	}
+}
+
+func (p *Protocol) handleRREQ(from netstack.NodeID, r *rreq) {
+	if r.Src == p.self {
+		return
+	}
+	key := rreqKey{src: r.Src, id: r.ID}
+	if _, dup := p.seen[key]; dup {
+		return
+	}
+	p.seen[key] = p.node.Now() + 30*time.Second
+	for _, n := range r.Path {
+		if n == p.self {
+			return // already on the record
+		}
+	}
+	// Cache the reverse route to the requester (bidirectional links).
+	rev := make([]netstack.NodeID, 0, len(r.Path)+1)
+	for i := len(r.Path) - 1; i >= 0; i-- {
+		rev = append(rev, r.Path[i])
+	}
+	rev = append(rev, r.Src)
+	p.addRoute(rev)
+
+	if r.Dst == p.self {
+		full := buildFull(r.Src, r.Path, p.self)
+		p.reply(from, r, full)
+		return
+	}
+	if p.cfg.ReplyFromCache {
+		if cached, ok := p.lookup(r.Dst); ok {
+			if full := spliceFull(r.Src, r.Path, p.self, cached); full != nil {
+				p.reply(from, r, full)
+				return
+			}
+		}
+	}
+	if r.TTL <= 1 {
+		return
+	}
+	z := *r
+	z.TTL--
+	z.Path = append(append([]netstack.NodeID{}, r.Path...), p.self)
+	jitter := sim.Time(p.node.Rand().Int63n(int64(10 * time.Millisecond)))
+	size := rreqBase + perAddr*len(z.Path)
+	p.node.After(jitter, func() { p.node.BroadcastControl(size, &z) })
+}
+
+// buildFull assembles src + path + dst.
+func buildFull(src netstack.NodeID, path []netstack.NodeID, dst netstack.NodeID) []netstack.NodeID {
+	full := make([]netstack.NodeID, 0, len(path)+2)
+	full = append(full, src)
+	full = append(full, path...)
+	full = append(full, dst)
+	return full
+}
+
+// spliceFull joins src+path+self with a cached route self->dst, rejecting
+// splices that repeat a node (which would loop).
+func spliceFull(src netstack.NodeID, path []netstack.NodeID, self netstack.NodeID, cached []netstack.NodeID) []netstack.NodeID {
+	full := make([]netstack.NodeID, 0, len(path)+len(cached)+2)
+	full = append(full, src)
+	full = append(full, path...)
+	full = append(full, self)
+	full = append(full, cached...)
+	seen := make(map[netstack.NodeID]struct{}, len(full))
+	for _, n := range full {
+		if _, dup := seen[n]; dup {
+			return nil
+		}
+		seen[n] = struct{}{}
+	}
+	return full
+}
+
+// reply unicasts a RREP carrying the full route back toward the requester.
+func (p *Protocol) reply(from netstack.NodeID, r *rreq, full []netstack.NodeID) {
+	if full == nil {
+		return
+	}
+	idx := indexOf(full, p.self)
+	if idx < 0 {
+		return // the replier must appear on the route record
+	}
+	rep := &rrep{Src: r.Src, ID: r.ID, Dst: full[len(full)-1], Full: full}
+	if idx+1 < len(full) {
+		p.addRoute(full[idx+1:])
+	}
+	p.node.UnicastControl(from, rrepBase+perAddr*len(full), rep)
+}
+
+func indexOf(path []netstack.NodeID, n netstack.NodeID) int {
+	for i, v := range path {
+		if v == n {
+			return i
+		}
+	}
+	return -1
+}
+
+func (p *Protocol) handleRREP(from netstack.NodeID, rep *rrep) {
+	idx := indexOf(rep.Full, p.self)
+	if idx < 0 {
+		return
+	}
+	// Cache the forward remainder of the route.
+	if idx+1 < len(rep.Full) {
+		p.addRoute(rep.Full[idx+1:])
+	}
+	if rep.Src == p.self {
+		p.complete(rep.Dst)
+		return
+	}
+	if idx == 0 {
+		return // malformed: not the requester yet at route head
+	}
+	p.node.UnicastControl(rep.Full[idx-1], rrepBase+perAddr*len(rep.Full), rep)
+}
+
+func (p *Protocol) complete(dst netstack.NodeID) {
+	pd, ok := p.pending[dst]
+	if !ok {
+		return
+	}
+	if pd.timer != nil {
+		p.node.Cancel(pd.timer)
+	}
+	delete(p.pending, dst)
+	for _, pkt := range pd.queue {
+		if path, live := p.lookup(dst); live {
+			p.sendAlong(pkt, path)
+		} else {
+			p.node.DropData(pkt, netstack.DropNoRoute)
+		}
+	}
+}
+
+func (p *Protocol) handleRERR(from netstack.NodeID, e *rerr) {
+	p.removeLink(e.A, e.B)
+	// Forward toward the original source along the reversed route.
+	next := e.Idx + 1
+	if next >= len(e.Route) {
+		return
+	}
+	if e.Route[e.Idx] != p.self {
+		return
+	}
+	z := *e
+	z.Idx = next
+	p.node.UnicastControl(e.Route[next], rerrBase+perAddr*len(e.Route), &z)
+}

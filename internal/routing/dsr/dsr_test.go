@@ -1,0 +1,165 @@
+package dsr
+
+import (
+	"testing"
+	"time"
+
+	"slr/internal/geo"
+	"slr/internal/mobility"
+	"slr/internal/netstack"
+	"slr/internal/routing/rtest"
+	"slr/internal/sim"
+)
+
+func factory(id netstack.NodeID) netstack.Protocol { return New(DefaultConfig()) }
+
+func TestChainDiscoveryAndDelivery(t *testing.T) {
+	w := rtest.New(1, 120, factory, rtest.Chain(5, 100), nil)
+	w.Send(0, 4)
+	w.Sim.RunUntil(5 * time.Second)
+	if w.MX.DataRecv != 1 {
+		t.Fatalf("delivered %d, want 1 (drops %v)", w.MX.DataRecv, w.MX.DataDrops)
+	}
+	if h := w.MX.MeanHops(); h != 4 {
+		t.Fatalf("hops = %v, want 4", h)
+	}
+}
+
+func TestSourceRouteCarried(t *testing.T) {
+	w := rtest.New(1, 120, factory, rtest.Chain(4, 100), nil)
+	w.Send(0, 3)
+	w.Sim.RunUntil(3 * time.Second)
+	// The source keeps the discovered route in cache.
+	src := w.Nodes[0].Protocol().(*Protocol)
+	path, ok := src.lookup(3)
+	if !ok {
+		t.Fatal("source has no cached route")
+	}
+	want := []netstack.NodeID{1, 2, 3}
+	if !equalPath(path, want) {
+		t.Fatalf("cached path = %v, want %v", path, want)
+	}
+}
+
+func TestPrefixesCached(t *testing.T) {
+	w := rtest.New(1, 120, factory, rtest.Chain(4, 100), nil)
+	w.Send(0, 3)
+	w.Sim.RunUntil(3 * time.Second)
+	src := w.Nodes[0].Protocol().(*Protocol)
+	for dst := 1; dst <= 3; dst++ {
+		if _, ok := src.lookup(netstack.NodeID(dst)); !ok {
+			t.Errorf("prefix route to %d not cached", dst)
+		}
+	}
+}
+
+func TestReplyFromCache(t *testing.T) {
+	// After 0 learns a route to 4, node 5 (near 0 and 1 only) requests 4
+	// with a non-propagating RREQ; node 1's cache answers.
+	pts := rtest.Chain(5, 100)
+	pts = append(pts, geo.Point{X: 50, Y: 90})
+	w := rtest.New(1, 120, factory, pts, nil)
+	w.Send(0, 4)
+	w.Sim.RunUntil(3 * time.Second)
+	w.Send(5, 4)
+	w.Sim.RunUntil(6 * time.Second)
+	if w.MX.DataRecv != 2 {
+		t.Fatalf("delivered %d, want 2 (drops %v)", w.MX.DataRecv, w.MX.DataDrops)
+	}
+}
+
+func TestSalvageOnLinkBreak(t *testing.T) {
+	pts := rtest.Chain(5, 100)
+	models := make([]mobility.Model, 6)
+	models[2] = mobility.NewTrace([]mobility.TracePoint{
+		{At: 0, Pos: pts[2]},
+		{At: 5 * time.Second, Pos: pts[2]},
+		{At: 8 * time.Second, Pos: geo.Point{X: pts[2].X, Y: 5000}},
+	})
+	positions := append(pts, geo.Point{X: 200, Y: 60})
+	w := rtest.New(1, 120, factory, positions, models)
+	for i := 0; i < 30; i++ {
+		i := i
+		w.Sim.At(sim.Time(i)*time.Second, func() { w.Send(0, 4) })
+	}
+	w.Sim.RunUntil(40 * time.Second)
+	if w.MX.DataRecv < 18 {
+		t.Fatalf("delivered %d/30 (drops %v)", w.MX.DataRecv, w.MX.DataDrops)
+	}
+}
+
+func TestRERRPurgesStaleCache(t *testing.T) {
+	p := New(DefaultConfig())
+	w := rtest.New(1, 120, func(netstack.NodeID) netstack.Protocol { return p },
+		[]geo.Point{{X: 0}}, nil)
+	_ = w
+	p.addRoute([]netstack.NodeID{1, 2, 3})
+	if _, ok := p.lookup(3); !ok {
+		t.Fatal("route not cached")
+	}
+	p.handleRERR(1, &rerr{A: 1, B: 2, Route: []netstack.NodeID{0}, Idx: 0})
+	if _, ok := p.lookup(3); ok {
+		t.Fatal("stale route survived RERR")
+	}
+	// The 0->1 prefix does not use the broken link and must survive.
+	if _, ok := p.lookup(1); !ok {
+		t.Fatal("unaffected prefix was purged")
+	}
+}
+
+func TestSpliceRejectsLoops(t *testing.T) {
+	// Splicing src=0 path=[1] self=2 with cached route [1,5] repeats 1.
+	if full := spliceFull(0, []netstack.NodeID{1}, 2, []netstack.NodeID{1, 5}); full != nil {
+		t.Fatalf("loopy splice accepted: %v", full)
+	}
+	full := spliceFull(0, []netstack.NodeID{1}, 2, []netstack.NodeID{3, 4})
+	want := []netstack.NodeID{0, 1, 2, 3, 4}
+	if !equalPath(full, want) {
+		t.Fatalf("splice = %v, want %v", full, want)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	p := New(DefaultConfig())
+	w := rtest.New(1, 120, func(netstack.NodeID) netstack.Protocol { return p },
+		[]geo.Point{{X: 0}}, nil)
+	_ = w
+	p.insert(9, []netstack.NodeID{1, 9})
+	p.insert(9, []netstack.NodeID{2, 3, 9})
+	p.insert(9, []netstack.NodeID{4, 5, 6, 9})
+	p.insert(9, []netstack.NodeID{7, 9}) // evicts the longest
+	routes := p.cache[9]
+	if len(routes) != p.cfg.RoutesPerDest {
+		t.Fatalf("cache size = %d, want %d", len(routes), p.cfg.RoutesPerDest)
+	}
+	for _, r := range routes {
+		if len(r.path) == 4 {
+			t.Fatal("longest route not evicted")
+		}
+	}
+	// Lookup returns the shortest.
+	got, _ := p.lookup(9)
+	if len(got) != 2 {
+		t.Fatalf("lookup returned %v, want a 2-hop path", got)
+	}
+}
+
+func TestDiscoveryTimeout(t *testing.T) {
+	w := rtest.New(1, 120, factory, rtest.Chain(3, 100), nil)
+	w.Send(0, 9)
+	w.Sim.RunUntil(time.Minute)
+	if w.MX.DataDrops[netstack.DropTimeout] != 1 {
+		t.Fatalf("drops = %v", w.MX.DataDrops)
+	}
+}
+
+func TestNonPropagatingFirstAttempt(t *testing.T) {
+	// First RREQ has TTL 1: in a 3-hop chain the destination cannot hear
+	// it, so discovery needs at least two attempts; the second floods.
+	w := rtest.New(1, 120, factory, rtest.Chain(4, 100), nil)
+	w.Send(0, 3)
+	w.Sim.RunUntil(10 * time.Second)
+	if w.MX.DataRecv != 1 {
+		t.Fatalf("delivered %d, want 1", w.MX.DataRecv)
+	}
+}

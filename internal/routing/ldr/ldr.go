@@ -1,0 +1,568 @@
+// Package ldr implements Labeled Distance Routing (Garcia-Luna-Aceves,
+// Mosko, Perkins — "A new approach to on-demand loop free routing in ad hoc
+// networks", PODC 2003), the closest predecessor of SRP and a baseline of
+// the paper's evaluation.
+//
+// LDR orders nodes by (destination sequence number, feasible distance): a
+// neighbor advertising (sn', d') is a feasible successor when sn' is
+// fresher, or equally fresh with d' below the node's feasible distance FD —
+// the non-increasing minimum distance known in the current sequence-number
+// era. Because integers are not dense, a broken path whose nodes cannot be
+// re-ordered within the current era cannot be repaired locally: the route
+// request must travel to the destination, which increments its sequence
+// number to reset the ordering. SRP's contribution is precisely removing
+// this limitation with a dense label set; Fig. 7 of the paper contrasts the
+// resulting sequence-number growth (LDR low but nonzero, SRP zero).
+package ldr
+
+import (
+	"time"
+
+	"slr/internal/netstack"
+	"slr/internal/sim"
+)
+
+// infinity is the feasible distance of an unassigned node.
+const infinity = int(^uint(0) >> 1)
+
+// Config holds LDR's constants; they mirror SRP's for a fair comparison.
+type Config struct {
+	ActiveRouteTimeout sim.Time
+	NodeTraversal      sim.Time
+	RreqRetries        int
+	TTLs               []int
+	QueueCap           int
+	MaxSalvage         int
+	MinReplyHops       int
+	UsePacketCache     bool
+	// RreqRateLimit caps RREQ originations per second.
+	RreqRateLimit int
+	// DiscoveryHoldDown delays a fresh discovery for a destination that
+	// just failed all retries, so saturated flows do not flood the
+	// network with back-to-back failed searches.
+	DiscoveryHoldDown sim.Time
+}
+
+// DefaultConfig returns the evaluation constants.
+func DefaultConfig() Config {
+	return Config{
+		ActiveRouteTimeout: 10 * time.Second,
+		NodeTraversal:      40 * time.Millisecond,
+		RreqRetries:        2,
+		TTLs:               []int{5, 10, 35},
+		QueueCap:           10,
+		MaxSalvage:         3,
+		MinReplyHops:       2,
+		UsePacketCache:     true,
+		RreqRateLimit:      10,
+		DiscoveryHoldDown:  3 * time.Second,
+	}
+}
+
+// rreq is the LDR route request: a solicitation carrying the requester's
+// ordering (sequence number, feasible distance) and a reset flag.
+type rreq struct {
+	Src     netstack.NodeID
+	RreqID  uint32
+	Dst     netstack.NodeID
+	DstSeq  uint64
+	FD      int // constraint: minimum feasible distance along the path
+	Unknown bool
+	Reset   bool
+	TTL     int
+	D       int // hops traveled
+}
+
+// rrep advertises a route with the replier's (sequence number, distance).
+type rrep struct {
+	Src      netstack.NodeID
+	RreqID   uint32
+	Dst      netstack.NodeID
+	DstSeq   uint64
+	D        int
+	Lifetime sim.Time
+}
+
+// rerr lists newly unreachable destinations.
+type rerr struct {
+	Dests []netstack.NodeID
+}
+
+// Wire sizes: AODV formats with 64-bit sequence numbers.
+const (
+	rreqSize     = 36
+	rrepSize     = 28
+	rerrBaseSize = 4
+	rerrPerDest  = 12
+)
+
+func (e *rerr) size() int { return rerrBaseSize + rerrPerDest*len(e.Dests) }
+
+// entry is the per-destination state: the ordering (sn, fd), measured
+// distance, and single next hop (uni-path LDR, as simulated in the paper).
+type entry struct {
+	sn      uint64
+	fd      int // feasible distance, non-increasing within an era
+	d       int
+	nextHop netstack.NodeID
+	valid   bool
+	expiry  sim.Time
+}
+
+type rreqKey struct {
+	src netstack.NodeID
+	id  uint32
+}
+
+type rreqState struct {
+	lastHop netstack.NodeID
+	reqSn   uint64
+	reqFD   int
+	replied bool
+	expiry  sim.Time
+}
+
+type pending struct {
+	dst     netstack.NodeID
+	attempt int
+	timer   *sim.Event
+	queue   []*netstack.DataPacket
+}
+
+// Protocol is one node's LDR instance.
+type Protocol struct {
+	netstack.BaseProtocol
+	cfg  Config
+	node *netstack.Node
+	self netstack.NodeID
+
+	mySeq    uint64 // own destination sequence number, starts at 0
+	seqBumps uint64 // increments, the Fig. 7 metric
+	rreqID   uint32
+	table    map[netstack.NodeID]*entry
+	rreqs    map[rreqKey]*rreqState
+	pending  map[netstack.NodeID]*pending
+	// recentRreqs rate-limits RREQ originations.
+	recentRreqs []sim.Time
+	// holdDown blocks re-discovery of recently failed destinations.
+	holdDown map[netstack.NodeID]sim.Time
+	// recentRerrs rate-limits RERR broadcasts (RERR_RATELIMIT).
+	recentRerrs []sim.Time
+}
+
+var _ netstack.Protocol = (*Protocol)(nil)
+
+// New returns an LDR instance.
+func New(cfg Config) *Protocol {
+	return &Protocol{
+		cfg:      cfg,
+		table:    make(map[netstack.NodeID]*entry),
+		rreqs:    make(map[rreqKey]*rreqState),
+		pending:  make(map[netstack.NodeID]*pending),
+		holdDown: make(map[netstack.NodeID]sim.Time),
+	}
+}
+
+// Attach implements netstack.Protocol.
+func (p *Protocol) Attach(n *netstack.Node) {
+	p.node = n
+	p.self = n.ID()
+}
+
+// Start implements netstack.Protocol.
+func (p *Protocol) Start() {
+	var sweep func()
+	sweep = func() {
+		now := p.node.Now()
+		for k, st := range p.rreqs {
+			if st.expiry <= now {
+				delete(p.rreqs, k)
+			}
+		}
+		p.node.After(10*time.Second, sweep)
+	}
+	p.node.After(10*time.Second, sweep)
+}
+
+// SeqnoDelta reports own-sequence-number increments (Fig. 7).
+func (p *Protocol) SeqnoDelta() uint64 { return p.seqBumps }
+
+// SuccessorsOf exposes the next hop for loop checking.
+func (p *Protocol) SuccessorsOf(dst netstack.NodeID) []netstack.NodeID {
+	if e, ok := p.live(dst); ok {
+		return []netstack.NodeID{e.nextHop}
+	}
+	return nil
+}
+
+func (p *Protocol) get(dst netstack.NodeID) *entry {
+	e, ok := p.table[dst]
+	if !ok {
+		e = &entry{fd: infinity}
+		p.table[dst] = e
+	}
+	return e
+}
+
+func (p *Protocol) live(dst netstack.NodeID) (*entry, bool) {
+	e, ok := p.table[dst]
+	if !ok || !e.valid || e.expiry <= p.node.Now() {
+		return nil, false
+	}
+	return e, true
+}
+
+// --- Data plane -------------------------------------------------------
+
+// OriginateData implements netstack.Protocol.
+func (p *Protocol) OriginateData(pkt *netstack.DataPacket) { p.sendOrDiscover(pkt) }
+
+// RecvData implements netstack.Protocol.
+func (p *Protocol) RecvData(from netstack.NodeID, pkt *netstack.DataPacket) {
+	if pkt.Dst == p.self {
+		pkt.Hops++
+		p.node.DeliverLocal(pkt)
+		return
+	}
+	pkt.Hops++
+	pkt.TTL--
+	if pkt.TTL <= 0 {
+		p.node.DropData(pkt, netstack.DropTTL)
+		return
+	}
+	e, ok := p.live(pkt.Dst)
+	if !ok {
+		out := &rerr{Dests: []netstack.NodeID{pkt.Dst}}
+		p.node.UnicastControl(from, out.size(), out)
+		p.node.DropData(pkt, netstack.DropNoRoute)
+		return
+	}
+	e.expiry = p.node.Now() + p.cfg.ActiveRouteTimeout
+	p.node.ForwardData(e.nextHop, pkt)
+}
+
+func (p *Protocol) sendOrDiscover(pkt *netstack.DataPacket) {
+	if e, ok := p.live(pkt.Dst); ok {
+		e.expiry = p.node.Now() + p.cfg.ActiveRouteTimeout
+		p.node.ForwardData(e.nextHop, pkt)
+		return
+	}
+	pd, ok := p.pending[pkt.Dst]
+	if ok {
+		if len(pd.queue) >= p.cfg.QueueCap {
+			p.node.DropData(pkt, netstack.DropQueueFull)
+			return
+		}
+		pd.queue = append(pd.queue, pkt)
+		return
+	}
+	if until, held := p.holdDown[pkt.Dst]; held && p.node.Now() < until {
+		p.node.DropData(pkt, netstack.DropNoRoute)
+		return
+	}
+	pd = &pending{dst: pkt.Dst, queue: []*netstack.DataPacket{pkt}}
+	p.pending[pkt.Dst] = pd
+	p.solicit(pd)
+}
+
+// DataFailed implements netstack.Protocol.
+func (p *Protocol) DataFailed(to netstack.NodeID, pkt *netstack.DataPacket) {
+	p.linkBreak(to)
+	if !p.cfg.UsePacketCache || pkt.Salvaged >= p.cfg.MaxSalvage {
+		p.node.DropData(pkt, netstack.DropLinkLost)
+		return
+	}
+	pkt.Salvaged++
+	p.sendOrDiscover(pkt)
+}
+
+// ControlFailed implements netstack.Protocol.
+func (p *Protocol) ControlFailed(to netstack.NodeID, msg any) { p.linkBreak(to) }
+
+// rerrAllowed enforces the per-second RERR broadcast cap.
+func (p *Protocol) rerrAllowed() bool {
+	now := p.node.Now()
+	kept := p.recentRerrs[:0]
+	for _, t := range p.recentRerrs {
+		if now-t < time.Second {
+			kept = append(kept, t)
+		}
+	}
+	p.recentRerrs = kept
+	if len(kept) >= 10 {
+		return false
+	}
+	p.recentRerrs = append(p.recentRerrs, now)
+	return true
+}
+
+func (p *Protocol) linkBreak(to netstack.NodeID) {
+	var lost []netstack.NodeID
+	for dst, e := range p.table {
+		if e.valid && e.nextHop == to {
+			e.valid = false
+			lost = append(lost, dst)
+		}
+	}
+	if len(lost) > 0 && p.rerrAllowed() {
+		out := &rerr{Dests: lost}
+		p.node.BroadcastControl(out.size(), out)
+	}
+}
+
+// --- Control plane ----------------------------------------------------
+
+// rreqAllowed enforces the per-second RREQ origination cap.
+func (p *Protocol) rreqAllowed() bool {
+	if p.cfg.RreqRateLimit <= 0 {
+		return true
+	}
+	now := p.node.Now()
+	kept := p.recentRreqs[:0]
+	for _, t := range p.recentRreqs {
+		if now-t < time.Second {
+			kept = append(kept, t)
+		}
+	}
+	p.recentRreqs = kept
+	if len(kept) >= p.cfg.RreqRateLimit {
+		return false
+	}
+	p.recentRreqs = append(p.recentRreqs, now)
+	return true
+}
+
+func (p *Protocol) solicit(pd *pending) {
+	if !p.rreqAllowed() {
+		pd.timer = p.node.After(200*time.Millisecond, func() {
+			if p.pending[pd.dst] == pd {
+				p.solicit(pd)
+			}
+		})
+		return
+	}
+	p.rreqID++
+	key := rreqKey{src: p.self, id: p.rreqID}
+	p.rreqs[key] = &rreqState{lastHop: p.self, reqFD: infinity,
+		expiry: p.node.Now() + 30*time.Second, replied: true}
+	e := p.get(pd.dst)
+	r := &rreq{
+		Src:    p.self,
+		RreqID: p.rreqID,
+		Dst:    pd.dst,
+		TTL:    p.cfg.TTLs[min(pd.attempt, len(p.cfg.TTLs)-1)],
+	}
+	if e.fd == infinity && e.sn == 0 {
+		r.Unknown = true
+		r.FD = infinity
+	} else {
+		r.DstSeq = e.sn
+		r.FD = e.fd
+	}
+	p.node.BroadcastControl(rreqSize, r)
+	// Binary exponential backoff across retries.
+	wait := 2 * sim.Time(r.TTL) * p.cfg.NodeTraversal << uint(pd.attempt)
+	pd.timer = p.node.After(wait, func() { p.retry(pd) })
+}
+
+func (p *Protocol) retry(pd *pending) {
+	if p.pending[pd.dst] != pd {
+		return
+	}
+	pd.attempt++
+	if pd.attempt > p.cfg.RreqRetries {
+		delete(p.pending, pd.dst)
+		p.holdDown[pd.dst] = p.node.Now() + p.cfg.DiscoveryHoldDown
+		for _, pkt := range pd.queue {
+			p.node.DropData(pkt, netstack.DropTimeout)
+		}
+		return
+	}
+	p.solicit(pd)
+}
+
+// RecvControl implements netstack.Protocol.
+func (p *Protocol) RecvControl(from netstack.NodeID, msg any) {
+	switch m := msg.(type) {
+	case *rreq:
+		p.handleRREQ(from, m)
+	case *rrep:
+		p.handleRREP(from, m)
+	case *rerr:
+		p.handleRERR(from, m)
+	}
+}
+
+func (p *Protocol) handleRREQ(from netstack.NodeID, r *rreq) {
+	if r.Src == p.self {
+		return
+	}
+	key := rreqKey{src: r.Src, id: r.RreqID}
+	if _, dup := p.rreqs[key]; dup {
+		return
+	}
+	p.rreqs[key] = &rreqState{
+		lastHop: from,
+		reqSn:   r.DstSeq,
+		reqFD:   r.FD,
+		expiry:  p.node.Now() + 30*time.Second,
+	}
+
+	if r.Dst == p.self {
+		// Destination reply. A reset-required request forces a larger
+		// sequence number — LDR's ordering reset.
+		if r.Reset && r.DstSeq >= p.mySeq {
+			p.mySeq = r.DstSeq + 1
+			p.seqBumps++
+		}
+		rep := &rrep{Src: r.Src, RreqID: r.RreqID, Dst: p.self,
+			DstSeq: p.mySeq, D: 0, Lifetime: p.cfg.ActiveRouteTimeout}
+		p.node.UnicastControl(from, rrepSize, rep)
+		return
+	}
+
+	// Intermediate reply: an active route that is in-order for the
+	// request (fresher era, or same era below the FD constraint).
+	if e, ok := p.live(r.Dst); ok && r.D+1 >= p.cfg.MinReplyHops {
+		inOrder := e.sn > r.DstSeq || r.Unknown ||
+			(e.sn == r.DstSeq && e.fd < r.FD && !r.Reset)
+		if inOrder {
+			st := p.rreqs[key]
+			st.replied = true
+			rep := &rrep{Src: r.Src, RreqID: r.RreqID, Dst: r.Dst,
+				DstSeq: e.sn, D: e.d, Lifetime: p.cfg.ActiveRouteTimeout}
+			p.node.UnicastControl(from, rrepSize, rep)
+			return
+		}
+	}
+
+	// Relay, strengthening the constraint (the integer analogue of
+	// SRP's Eq. 10) and setting the reset flag when this node is
+	// out-of-order and cannot be threaded into the current era — the
+	// integer set is not dense, so there is no room to re-order it
+	// (the situation SRP's mediant split removes).
+	if r.TTL <= 1 {
+		return
+	}
+	z := *r
+	z.TTL--
+	z.D++
+	if e, ok := p.table[r.Dst]; ok && e.fd != infinity {
+		switch {
+		case e.sn > r.DstSeq || r.Unknown:
+			z.DstSeq, z.FD = e.sn, e.fd
+			z.Unknown = false
+			z.Reset = false
+		case e.sn == r.DstSeq && e.fd < r.FD:
+			z.FD = e.fd
+		case e.sn == r.DstSeq:
+			z.Reset = true
+		}
+	}
+	jitter := sim.Time(p.node.Rand().Int63n(int64(10 * time.Millisecond)))
+	p.node.After(jitter, func() { p.node.BroadcastControl(rreqSize, &z) })
+}
+
+func (p *Protocol) handleRREP(from netstack.NodeID, rep *rrep) {
+	key := rreqKey{src: rep.Src, id: rep.RreqID}
+	st := p.rreqs[key]
+	terminus := rep.Src == p.self
+
+	if !p.accept(from, rep) {
+		// Infeasible advertisement: answer from the node's own route
+		// when it is in-order for the cached request.
+		if !terminus && st != nil && !st.replied {
+			if e, ok := p.live(rep.Dst); ok &&
+				(e.sn > st.reqSn || (e.sn == st.reqSn && e.fd < st.reqFD)) {
+				st.replied = true
+				y := &rrep{Src: rep.Src, RreqID: rep.RreqID, Dst: rep.Dst,
+					DstSeq: e.sn, D: e.d, Lifetime: p.cfg.ActiveRouteTimeout}
+				p.node.UnicastControl(st.lastHop, rrepSize, y)
+			}
+		}
+		return
+	}
+
+	if terminus {
+		p.complete(rep.Dst)
+		return
+	}
+	if st == nil || st.replied {
+		return
+	}
+	// Forward only while the reply can still satisfy the request's
+	// feasible-distance constraint (the Eq. 4 analogue): the new
+	// distance must sit strictly below the carried minimum FD when the
+	// eras match.
+	e := p.table[rep.Dst]
+	if e.sn == st.reqSn && e.d >= st.reqFD {
+		return
+	}
+	st.replied = true
+	y := &rrep{Src: rep.Src, RreqID: rep.RreqID, Dst: rep.Dst,
+		DstSeq: e.sn, D: e.d, Lifetime: p.cfg.ActiveRouteTimeout}
+	p.node.UnicastControl(st.lastHop, rrepSize, y)
+}
+
+// accept applies the SNC update rule: adopt a fresher era, or a same-era
+// route whose advertised distance is strictly below the stored feasible
+// distance. It reports whether the route was installed.
+func (p *Protocol) accept(from netstack.NodeID, rep *rrep) bool {
+	if rep.Dst == p.self {
+		return false
+	}
+	e := p.get(rep.Dst)
+	switch {
+	case rep.DstSeq > e.sn:
+		e.sn = rep.DstSeq
+		e.d = rep.D + 1
+		e.fd = e.d // new era: feasible distance resets
+	case rep.DstSeq == e.sn && rep.D < e.fd:
+		e.d = rep.D + 1
+		if e.d < e.fd {
+			e.fd = e.d // FD is the minimum distance seen this era
+		}
+	default:
+		return false
+	}
+	e.nextHop = from
+	e.valid = true
+	e.expiry = p.node.Now() + rep.Lifetime
+	return true
+}
+
+func (p *Protocol) complete(dst netstack.NodeID) {
+	pd, ok := p.pending[dst]
+	if !ok {
+		return
+	}
+	if pd.timer != nil {
+		p.node.Cancel(pd.timer)
+	}
+	delete(p.pending, dst)
+	for _, pkt := range pd.queue {
+		e, live := p.live(dst)
+		if !live {
+			p.node.DropData(pkt, netstack.DropNoRoute)
+			continue
+		}
+		e.expiry = p.node.Now() + p.cfg.ActiveRouteTimeout
+		p.node.ForwardData(e.nextHop, pkt)
+	}
+}
+
+func (p *Protocol) handleRERR(from netstack.NodeID, e *rerr) {
+	var lost []netstack.NodeID
+	for _, dst := range e.Dests {
+		ent, ok := p.table[dst]
+		if !ok || !ent.valid || ent.nextHop != from {
+			continue
+		}
+		ent.valid = false
+		lost = append(lost, dst)
+	}
+	if len(lost) > 0 && p.rerrAllowed() {
+		out := &rerr{Dests: lost}
+		p.node.BroadcastControl(out.size(), out)
+	}
+}

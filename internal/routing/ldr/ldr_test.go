@@ -1,0 +1,169 @@
+package ldr
+
+import (
+	"testing"
+	"time"
+
+	"slr/internal/geo"
+	"slr/internal/mobility"
+	"slr/internal/netstack"
+	"slr/internal/routing/rtest"
+	"slr/internal/sim"
+)
+
+func factory(id netstack.NodeID) netstack.Protocol { return New(DefaultConfig()) }
+
+func TestChainDiscoveryAndDelivery(t *testing.T) {
+	w := rtest.New(1, 120, factory, rtest.Chain(5, 100), nil)
+	w.Send(0, 4)
+	w.Sim.RunUntil(5 * time.Second)
+	if w.MX.DataRecv != 1 {
+		t.Fatalf("delivered %d, want 1 (drops %v)", w.MX.DataRecv, w.MX.DataDrops)
+	}
+	if h := w.MX.MeanHops(); h != 4 {
+		t.Fatalf("hops = %v, want 4", h)
+	}
+	if err := w.CheckLoopFree(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeasibleDistanceOrdering(t *testing.T) {
+	w := rtest.New(1, 120, factory, rtest.Chain(5, 100), nil)
+	w.Send(0, 4)
+	w.Sim.RunUntil(5 * time.Second)
+	// FDs along the reply path must strictly decrease toward the
+	// destination: node 0 has fd 4, node 3 has fd 1.
+	for i := 0; i < 4; i++ {
+		p := w.Nodes[i].Protocol().(*Protocol)
+		e, ok := p.table[netstack.NodeID(4)]
+		if !ok {
+			t.Fatalf("node %d has no entry", i)
+		}
+		if want := 4 - i; e.fd != want {
+			t.Fatalf("node %d fd = %d, want %d", i, e.fd, want)
+		}
+	}
+}
+
+func TestNoSeqnoBumpOnFirstDiscovery(t *testing.T) {
+	w := rtest.New(1, 120, factory, rtest.Chain(3, 100), nil)
+	w.Send(0, 2)
+	w.Sim.RunUntil(3 * time.Second)
+	d := w.Nodes[2].Protocol().(*Protocol)
+	if d.SeqnoDelta() != 0 {
+		t.Fatalf("destination bumped seqno %d times on clean discovery", d.SeqnoDelta())
+	}
+}
+
+func TestResetRequiredBumpsSeqno(t *testing.T) {
+	// A solicitation with the Reset flag reaching the destination must
+	// increment its sequence number past the requested one.
+	w := rtest.New(1, 120, factory, rtest.Chain(2, 100), nil)
+	d := w.Nodes[1].Protocol().(*Protocol)
+	d.handleRREQ(0, &rreq{Src: 0, RreqID: 1, Dst: 1, DstSeq: 5, FD: 3, Reset: true, TTL: 3})
+	if d.mySeq != 6 {
+		t.Fatalf("mySeq = %d, want 6", d.mySeq)
+	}
+	if d.SeqnoDelta() != 1 {
+		t.Fatalf("SeqnoDelta = %d, want 1", d.SeqnoDelta())
+	}
+}
+
+func TestOutOfOrderRelaySetsReset(t *testing.T) {
+	p := New(DefaultConfig())
+	w := rtest.New(1, 120, func(netstack.NodeID) netstack.Protocol { return p },
+		[]geo.Point{{X: 0}}, nil)
+	_ = w
+	// Relay has a same-era entry with fd >= the carried constraint: the
+	// relayed RREQ must carry the reset flag.
+	e := p.get(9)
+	e.sn, e.fd, e.d = 4, 5, 5
+	r := &rreq{Src: 3, RreqID: 7, Dst: 9, DstSeq: 4, FD: 3, TTL: 4, D: 1}
+	p.handleRREQ(3, r)
+	// The relayed packet is scheduled with jitter; run the sim and
+	// inspect via the control counter (1 broadcast happened).
+	w.Sim.RunUntil(time.Second)
+	if w.MX.ControlTx != 1 {
+		t.Fatalf("ControlTx = %d, want 1 relayed RREQ", w.MX.ControlTx)
+	}
+}
+
+func TestAcceptRules(t *testing.T) {
+	p := New(DefaultConfig())
+	w := rtest.New(1, 120, func(netstack.NodeID) netstack.Protocol { return p },
+		[]geo.Point{{X: 0}}, nil)
+	_ = w
+	// Fresh era accepted.
+	if !p.accept(2, &rrep{Dst: 9, DstSeq: 3, D: 4, Lifetime: time.Second}) {
+		t.Fatal("fresh era rejected")
+	}
+	e := p.table[9]
+	if e.sn != 3 || e.d != 5 || e.fd != 5 {
+		t.Fatalf("entry = %+v", e)
+	}
+	// Same era, shorter distance accepted; FD decreases.
+	if !p.accept(3, &rrep{Dst: 9, DstSeq: 3, D: 2, Lifetime: time.Second}) {
+		t.Fatal("same-era shorter rejected")
+	}
+	if e.fd != 3 || e.d != 3 || e.nextHop != 3 {
+		t.Fatalf("entry = %+v", e)
+	}
+	// Same era, distance >= FD rejected (SNC).
+	if p.accept(4, &rrep{Dst: 9, DstSeq: 3, D: 3, Lifetime: time.Second}) {
+		t.Fatal("SNC-violating advertisement accepted")
+	}
+	// Older era rejected.
+	if p.accept(4, &rrep{Dst: 9, DstSeq: 2, D: 0, Lifetime: time.Second}) {
+		t.Fatal("stale era accepted")
+	}
+}
+
+func TestLinkBreakRepair(t *testing.T) {
+	pts := rtest.Chain(5, 100)
+	models := make([]mobility.Model, 6)
+	models[2] = mobility.NewTrace([]mobility.TracePoint{
+		{At: 0, Pos: pts[2]},
+		{At: 5 * time.Second, Pos: pts[2]},
+		{At: 8 * time.Second, Pos: geo.Point{X: pts[2].X, Y: 5000}},
+	})
+	positions := append(pts, geo.Point{X: 200, Y: 60})
+	w := rtest.New(1, 120, factory, positions, models)
+	for i := 0; i < 30; i++ {
+		i := i
+		w.Sim.At(sim.Time(i)*time.Second, func() { w.Send(0, 4) })
+	}
+	w.Sim.RunUntil(40 * time.Second)
+	if err := w.CheckLoopFree(); err != nil {
+		t.Fatal(err)
+	}
+	if w.MX.DataRecv < 20 {
+		t.Fatalf("delivered %d/30 (drops %v)", w.MX.DataRecv, w.MX.DataDrops)
+	}
+}
+
+func TestMobileNetworkLoopFree(t *testing.T) {
+	const n = 20
+	positions := make([]geo.Point, n)
+	models := make([]mobility.Model, n)
+	rng := sim.New(31).Rand()
+	terrain := geo.Terrain{Width: 800, Height: 300}
+	for i := range models {
+		models[i] = mobility.NewWaypoint(terrain, rng, 0, 20, 0)
+	}
+	w := rtest.New(5, 250, factory, positions, models)
+	for i := 0; i < 40; i++ {
+		i := i
+		w.Sim.At(sim.Time(i)*time.Second, func() {
+			src := i % n
+			w.Send(src, (src+1+i%(n-1))%n)
+			if err := w.CheckLoopFree(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	w.Sim.RunUntil(45 * time.Second)
+	if w.MX.DataRecv == 0 {
+		t.Fatal("nothing delivered")
+	}
+}

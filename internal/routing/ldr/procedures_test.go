@@ -1,0 +1,119 @@
+package ldr
+
+import (
+	"testing"
+	"time"
+
+	"slr/internal/geo"
+	"slr/internal/netstack"
+	"slr/internal/routing/rtest"
+)
+
+// spy records control messages it hears.
+type spy struct {
+	netstack.BaseProtocol
+	node  *netstack.Node
+	rreqs []*rreq
+	rreps []*rrep
+}
+
+func (s *spy) Attach(n *netstack.Node) { s.node = n }
+func (s *spy) Start()                  {}
+func (s *spy) OriginateData(pkt *netstack.DataPacket) {
+	s.node.DropData(pkt, netstack.DropNoRoute)
+}
+func (s *spy) RecvData(netstack.NodeID, *netstack.DataPacket) {}
+func (s *spy) RecvControl(from netstack.NodeID, msg any) {
+	switch m := msg.(type) {
+	case *rreq:
+		s.rreqs = append(s.rreqs, m)
+	case *rrep:
+		s.rreps = append(s.rreps, m)
+	}
+}
+func (s *spy) DataFailed(netstack.NodeID, *netstack.DataPacket) {}
+
+func spyWorld(t *testing.T) (*rtest.World, *Protocol, *spy) {
+	t.Helper()
+	sp := &spy{}
+	var pr *Protocol
+	w := rtest.New(1, 150, func(id netstack.NodeID) netstack.Protocol {
+		if id == 0 {
+			pr = New(DefaultConfig())
+			return pr
+		}
+		return sp
+	}, []geo.Point{{X: 0}, {X: 100}}, nil)
+	return w, pr, sp
+}
+
+func TestRelayStrengthensConstraint(t *testing.T) {
+	// A relay with a same-era smaller FD must carry its own FD as the
+	// new constraint (the integer analogue of SRP's Eq. 10).
+	w, pr, sp := spyWorld(t)
+	e := pr.get(9)
+	e.sn, e.fd, e.d = 4, 2, 2
+	pr.handleRREQ(1, &rreq{Src: 5, RreqID: 1, Dst: 9, DstSeq: 4, FD: 6, TTL: 5, D: 3})
+	w.Sim.RunUntil(time.Second)
+	// D+1 >= MinReplyHops and the entry is NOT active (no valid next
+	// hop), so it relays rather than replies.
+	if len(sp.rreqs) != 1 {
+		t.Fatalf("heard %d rreqs, want 1", len(sp.rreqs))
+	}
+	if sp.rreqs[0].FD != 2 {
+		t.Fatalf("relayed FD = %d, want 2", sp.rreqs[0].FD)
+	}
+	if sp.rreqs[0].Reset {
+		t.Fatal("in-order relay set the reset flag")
+	}
+}
+
+func TestOutOfOrderRelayRequestsReset(t *testing.T) {
+	// Same era, FD not below the constraint: integers are not dense, so
+	// the relay cannot be threaded in-order — reset required.
+	w, pr, sp := spyWorld(t)
+	e := pr.get(9)
+	e.sn, e.fd, e.d = 4, 8, 8
+	pr.handleRREQ(1, &rreq{Src: 5, RreqID: 2, Dst: 9, DstSeq: 4, FD: 3, TTL: 5, D: 1})
+	w.Sim.RunUntil(time.Second)
+	if len(sp.rreqs) != 1 {
+		t.Fatalf("heard %d rreqs, want 1", len(sp.rreqs))
+	}
+	if !sp.rreqs[0].Reset {
+		t.Fatal("out-of-order relay did not set reset")
+	}
+	if sp.rreqs[0].FD != 3 {
+		t.Fatalf("constraint changed to %d, want 3", sp.rreqs[0].FD)
+	}
+}
+
+func TestFresherRelayClearsReset(t *testing.T) {
+	w, pr, sp := spyWorld(t)
+	e := pr.get(9)
+	e.sn, e.fd, e.d = 9, 4, 4
+	pr.handleRREQ(1, &rreq{Src: 5, RreqID: 3, Dst: 9, DstSeq: 4, FD: 3,
+		TTL: 5, D: 1, Reset: true})
+	w.Sim.RunUntil(time.Second)
+	if len(sp.rreqs) != 1 {
+		t.Fatalf("heard %d rreqs, want 1", len(sp.rreqs))
+	}
+	z := sp.rreqs[0]
+	if z.Reset {
+		t.Fatal("fresher relay kept the reset flag")
+	}
+	if z.DstSeq != 9 || z.FD != 4 {
+		t.Fatalf("relayed ordering = (%d, %d), want (9, 4)", z.DstSeq, z.FD)
+	}
+}
+
+func TestDestinationAlwaysAnswers(t *testing.T) {
+	w, pr, sp := spyWorld(t)
+	pr.handleRREQ(1, &rreq{Src: 5, RreqID: 4, Dst: 0, Unknown: true, FD: infinity, TTL: 5})
+	w.Sim.RunUntil(time.Second)
+	if len(sp.rreps) != 1 {
+		t.Fatalf("heard %d rreps, want 1", len(sp.rreps))
+	}
+	if sp.rreps[0].D != 0 || sp.rreps[0].Dst != 0 {
+		t.Fatalf("reply = %+v", sp.rreps[0])
+	}
+}

@@ -1,0 +1,471 @@
+// Package olsr implements the Optimized Link State Routing protocol
+// (Clausen, Jacquet, et al.; IETF draft-ietf-manet-olsr-06), the proactive
+// baseline of the paper's evaluation.
+//
+// Every node broadcasts periodic HELLOs to discover symmetric neighbors and
+// the two-hop neighborhood, selects a minimal multipoint relay (MPR) set
+// covering all two-hop neighbors, and floods topology-control (TC) messages
+// through the MPR backbone. Routes are shortest paths over the resulting
+// link-state database. OLSR has routes ready before traffic arrives (the
+// paper's Fig. 6 shows its low latency) at the price of constant control
+// overhead (Fig. 5) — and it is not loop-free at every instant during
+// topology transients.
+package olsr
+
+import (
+	"time"
+
+	"slr/internal/netstack"
+	"slr/internal/sim"
+)
+
+// Config holds OLSR's intervals and holds.
+type Config struct {
+	HelloInterval sim.Time
+	TCInterval    sim.Time
+	NeighborHold  sim.Time
+	TopologyHold  sim.Time
+	Jitter        sim.Time
+}
+
+// DefaultConfig returns the draft's default timing.
+func DefaultConfig() Config {
+	return Config{
+		HelloInterval: 2 * time.Second,
+		TCInterval:    5 * time.Second,
+		NeighborHold:  6 * time.Second,
+		TopologyHold:  15 * time.Second,
+		Jitter:        500 * time.Millisecond,
+	}
+}
+
+// hello advertises the sender's neighbor set; receivers use it for link
+// sensing (bidirectionality), two-hop discovery, and MPR signaling.
+type hello struct {
+	From      netstack.NodeID
+	Neighbors []netstack.NodeID // symmetric neighbors of From
+	MPRs      []netstack.NodeID // neighbors From selected as MPR
+}
+
+// tc floods the sender's MPR-selector set through the MPR backbone.
+type tc struct {
+	Orig       netstack.NodeID
+	Seq        uint32
+	Advertised []netstack.NodeID
+	TTL        int
+}
+
+// Wire sizes.
+const (
+	helloBase = 8
+	tcBase    = 12
+	perAddr   = 4
+)
+
+type neighbor struct {
+	sym       bool
+	expiry    sim.Time
+	twoHop    map[netstack.NodeID]sim.Time
+	selectsMe bool // neighbor chose this node as MPR
+}
+
+type topoEntry struct {
+	advertised map[netstack.NodeID]struct{}
+	seq        uint32
+	expiry     sim.Time
+}
+
+type tcKey struct {
+	orig netstack.NodeID
+	seq  uint32
+}
+
+// Protocol is one node's OLSR instance.
+type Protocol struct {
+	netstack.BaseProtocol
+	cfg  Config
+	node *netstack.Node
+	self netstack.NodeID
+
+	neighbors map[netstack.NodeID]*neighbor
+	mprs      map[netstack.NodeID]struct{}
+	topo      map[netstack.NodeID]*topoEntry
+	seenTC    map[tcKey]sim.Time
+	tcSeq     uint32
+
+	routes map[netstack.NodeID]netstack.NodeID // dst -> next hop
+	hops   map[netstack.NodeID]int
+	dirty  bool
+}
+
+var _ netstack.Protocol = (*Protocol)(nil)
+
+// New returns an OLSR instance.
+func New(cfg Config) *Protocol {
+	return &Protocol{
+		cfg:       cfg,
+		neighbors: make(map[netstack.NodeID]*neighbor),
+		mprs:      make(map[netstack.NodeID]struct{}),
+		topo:      make(map[netstack.NodeID]*topoEntry),
+		seenTC:    make(map[tcKey]sim.Time),
+		routes:    make(map[netstack.NodeID]netstack.NodeID),
+		hops:      make(map[netstack.NodeID]int),
+	}
+}
+
+// Attach implements netstack.Protocol.
+func (p *Protocol) Attach(n *netstack.Node) {
+	p.node = n
+	p.self = n.ID()
+}
+
+// Start implements netstack.Protocol: kick off the periodic HELLO and TC
+// schedules with initial jitter so nodes do not synchronize.
+func (p *Protocol) Start() {
+	var helloTick func()
+	helloTick = func() {
+		p.sendHello()
+		p.node.After(p.cfg.HelloInterval+p.jitter(), helloTick)
+	}
+	p.node.After(p.jitter(), helloTick)
+
+	var tcTick func()
+	tcTick = func() {
+		p.sendTC()
+		p.node.After(p.cfg.TCInterval+p.jitter(), tcTick)
+	}
+	p.node.After(p.cfg.HelloInterval+p.jitter(), tcTick)
+
+	var sweep func()
+	sweep = func() {
+		p.expire()
+		p.node.After(time.Second, sweep)
+	}
+	p.node.After(time.Second, sweep)
+}
+
+func (p *Protocol) jitter() sim.Time {
+	return sim.Time(p.node.Rand().Int63n(int64(p.cfg.Jitter)))
+}
+
+// SuccessorsOf exposes the next hop for inspection.
+func (p *Protocol) SuccessorsOf(dst netstack.NodeID) []netstack.NodeID {
+	p.recompute()
+	if nh, ok := p.routes[dst]; ok {
+		return []netstack.NodeID{nh}
+	}
+	return nil
+}
+
+// --- Periodic control -------------------------------------------------
+
+func (p *Protocol) sendHello() {
+	now := p.node.Now()
+	var nbs, mprList []netstack.NodeID
+	for id, nb := range p.neighbors {
+		if nb.expiry <= now {
+			continue
+		}
+		// Both heard (asymmetric) and symmetric links are advertised;
+		// hearing oneself in a HELLO is what upgrades a link to
+		// symmetric, so asymmetric links must be included to
+		// bootstrap.
+		nbs = append(nbs, id)
+		if _, isMPR := p.mprs[id]; isMPR {
+			mprList = append(mprList, id)
+		}
+	}
+	h := &hello{From: p.self, Neighbors: nbs, MPRs: mprList}
+	p.node.BroadcastControl(helloBase+perAddr*(len(nbs)+len(mprList)), h)
+}
+
+func (p *Protocol) sendTC() {
+	// Only nodes selected as MPR by someone originate TCs.
+	var selectors []netstack.NodeID
+	now := p.node.Now()
+	for id, nb := range p.neighbors {
+		if nb.expiry > now && nb.selectsMe {
+			selectors = append(selectors, id)
+		}
+	}
+	if len(selectors) == 0 {
+		return
+	}
+	p.tcSeq++
+	m := &tc{Orig: p.self, Seq: p.tcSeq, Advertised: selectors, TTL: 35}
+	p.seenTC[tcKey{orig: p.self, seq: p.tcSeq}] = now + 30*time.Second
+	p.node.BroadcastControl(tcBase+perAddr*len(selectors), m)
+}
+
+func (p *Protocol) expire() {
+	now := p.node.Now()
+	for id, nb := range p.neighbors {
+		if nb.expiry <= now {
+			delete(p.neighbors, id)
+			p.dirty = true
+			continue
+		}
+		for th, exp := range nb.twoHop {
+			if exp <= now {
+				delete(nb.twoHop, th)
+				p.dirty = true
+			}
+		}
+	}
+	for id, te := range p.topo {
+		if te.expiry <= now {
+			delete(p.topo, id)
+			p.dirty = true
+		}
+	}
+	for k, t := range p.seenTC {
+		if t <= now {
+			delete(p.seenTC, k)
+		}
+	}
+	if p.dirty {
+		p.selectMPRs()
+	}
+}
+
+// RecvControl implements netstack.Protocol.
+func (p *Protocol) RecvControl(from netstack.NodeID, msg any) {
+	switch m := msg.(type) {
+	case *hello:
+		p.handleHello(from, m)
+	case *tc:
+		p.handleTC(from, m)
+	}
+}
+
+func (p *Protocol) handleHello(from netstack.NodeID, h *hello) {
+	now := p.node.Now()
+	nb, ok := p.neighbors[from]
+	if !ok {
+		nb = &neighbor{twoHop: make(map[netstack.NodeID]sim.Time)}
+		p.neighbors[from] = nb
+	}
+	nb.expiry = now + p.cfg.NeighborHold
+	// The link is symmetric once the neighbor lists us.
+	wasSym := nb.sym
+	nb.sym = false
+	for _, n := range h.Neighbors {
+		if n == p.self {
+			nb.sym = true
+		}
+	}
+	nb.selectsMe = false
+	for _, n := range h.MPRs {
+		if n == p.self {
+			nb.selectsMe = true
+		}
+	}
+	// Two-hop neighborhood from the neighbor's symmetric set.
+	for k := range nb.twoHop {
+		delete(nb.twoHop, k)
+	}
+	for _, n := range h.Neighbors {
+		if n != p.self {
+			nb.twoHop[n] = now + p.cfg.NeighborHold
+		}
+	}
+	if nb.sym != wasSym {
+		p.dirty = true
+	}
+	p.dirty = true
+	p.selectMPRs()
+}
+
+func (p *Protocol) handleTC(from netstack.NodeID, m *tc) {
+	if m.Orig == p.self {
+		return
+	}
+	key := tcKey{orig: m.Orig, seq: m.Seq}
+	now := p.node.Now()
+	if _, dup := p.seenTC[key]; !dup {
+		p.seenTC[key] = now + 30*time.Second
+		te, ok := p.topo[m.Orig]
+		if !ok || !seqNewer(te.seq, m.Seq) {
+			adv := make(map[netstack.NodeID]struct{}, len(m.Advertised))
+			for _, n := range m.Advertised {
+				adv[n] = struct{}{}
+			}
+			p.topo[m.Orig] = &topoEntry{advertised: adv, seq: m.Seq,
+				expiry: now + p.cfg.TopologyHold}
+			p.dirty = true
+		}
+		// MPR forwarding rule: relay only if the transmitter selected
+		// this node as MPR.
+		if nb, ok := p.neighbors[from]; ok && nb.selectsMe && m.TTL > 1 {
+			z := *m
+			z.TTL--
+			jit := sim.Time(p.node.Rand().Int63n(int64(10 * time.Millisecond)))
+			size := tcBase + perAddr*len(z.Advertised)
+			p.node.After(jit, func() { p.node.BroadcastControl(size, &z) })
+		}
+	}
+}
+
+// seqNewer reports that stored is newer than incoming.
+func seqNewer(stored, incoming uint32) bool { return int32(stored-incoming) > 0 }
+
+// selectMPRs runs the greedy set cover of the strict two-hop neighborhood.
+func (p *Protocol) selectMPRs() {
+	now := p.node.Now()
+	sym := make(map[netstack.NodeID]*neighbor)
+	for id, nb := range p.neighbors {
+		if nb.sym && nb.expiry > now {
+			sym[id] = nb
+		}
+	}
+	// Strict two-hop set: reachable through a symmetric neighbor, not a
+	// symmetric neighbor itself, not self.
+	uncovered := make(map[netstack.NodeID]struct{})
+	for _, nb := range sym {
+		for th := range nb.twoHop {
+			if th == p.self {
+				continue
+			}
+			if _, oneHop := sym[th]; oneHop {
+				continue
+			}
+			uncovered[th] = struct{}{}
+		}
+	}
+	mprs := make(map[netstack.NodeID]struct{})
+	for len(uncovered) > 0 {
+		var best netstack.NodeID
+		bestCover := 0
+		for id, nb := range sym {
+			if _, chosen := mprs[id]; chosen {
+				continue
+			}
+			cover := 0
+			for th := range nb.twoHop {
+				if _, u := uncovered[th]; u {
+					cover++
+				}
+			}
+			if cover > bestCover || (cover == bestCover && cover > 0 && id < best) {
+				best, bestCover = id, cover
+			}
+		}
+		if bestCover == 0 {
+			break // remaining two-hops unreachable (stale info)
+		}
+		mprs[best] = struct{}{}
+		for th := range sym[best].twoHop {
+			delete(uncovered, th)
+		}
+	}
+	// Keep at least one MPR whenever a symmetric neighbor exists, so
+	// every node is advertised in some TC and remains reachable from
+	// beyond two hops.
+	if len(mprs) == 0 && len(sym) > 0 {
+		first := netstack.NodeID(-1)
+		for id := range sym {
+			if first < 0 || id < first {
+				first = id
+			}
+		}
+		mprs[first] = struct{}{}
+	}
+	p.mprs = mprs
+}
+
+// --- Routing table ----------------------------------------------------
+
+// recompute rebuilds shortest paths over the link-state database (BFS on
+// unit-cost links).
+func (p *Protocol) recompute() {
+	if !p.dirty {
+		return
+	}
+	p.dirty = false
+	now := p.node.Now()
+	routes := make(map[netstack.NodeID]netstack.NodeID)
+	hops := map[netstack.NodeID]int{p.self: 0}
+
+	// First ring: symmetric neighbors.
+	queue := make([]netstack.NodeID, 0, len(p.neighbors))
+	for id, nb := range p.neighbors {
+		if nb.sym && nb.expiry > now {
+			routes[id] = id
+			hops[id] = 1
+			queue = append(queue, id)
+		}
+	}
+	// Expand over TC-advertised links.
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		te, ok := p.topo[cur]
+		if !ok || te.expiry <= now {
+			continue
+		}
+		for adv := range te.advertised {
+			if adv == p.self {
+				continue
+			}
+			if _, known := hops[adv]; known {
+				continue
+			}
+			hops[adv] = hops[cur] + 1
+			routes[adv] = routes[cur]
+			queue = append(queue, adv)
+		}
+	}
+	p.routes = routes
+	p.hops = hops
+}
+
+// --- Data plane -------------------------------------------------------
+
+// OriginateData implements netstack.Protocol.
+func (p *Protocol) OriginateData(pkt *netstack.DataPacket) {
+	p.recompute()
+	nh, ok := p.routes[pkt.Dst]
+	if !ok {
+		p.node.DropData(pkt, netstack.DropNoRoute)
+		return
+	}
+	p.node.ForwardData(nh, pkt)
+}
+
+// RecvData implements netstack.Protocol.
+func (p *Protocol) RecvData(from netstack.NodeID, pkt *netstack.DataPacket) {
+	pkt.Hops++
+	if pkt.Dst == p.self {
+		p.node.DeliverLocal(pkt)
+		return
+	}
+	pkt.TTL--
+	if pkt.TTL <= 0 {
+		p.node.DropData(pkt, netstack.DropTTL)
+		return
+	}
+	p.recompute()
+	nh, ok := p.routes[pkt.Dst]
+	if !ok {
+		p.node.DropData(pkt, netstack.DropNoRoute)
+		return
+	}
+	p.node.ForwardData(nh, pkt)
+}
+
+// DataFailed implements netstack.Protocol: proactive OLSR has no reactive
+// repair; the link will age out of the neighbor set. Drop the neighbor
+// immediately to react a little faster, as link-layer feedback is enabled
+// for all protocols in the evaluation.
+func (p *Protocol) DataFailed(to netstack.NodeID, pkt *netstack.DataPacket) {
+	delete(p.neighbors, to)
+	p.dirty = true
+	p.selectMPRs()
+	p.node.DropData(pkt, netstack.DropLinkLost)
+}
+
+// ControlFailed implements netstack.Protocol.
+func (p *Protocol) ControlFailed(to netstack.NodeID, msg any) {
+	delete(p.neighbors, to)
+	p.dirty = true
+}

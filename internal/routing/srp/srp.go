@@ -1,0 +1,856 @@
+package srp
+
+import (
+	"time"
+
+	"slr/internal/frac"
+	"slr/internal/label"
+	"slr/internal/netstack"
+	"slr/internal/sim"
+)
+
+// Config holds SRP's protocol constants and the heuristic switches that the
+// ablation benchmarks toggle.
+type Config struct {
+	// ActiveRouteTimeout is how long an unused successor stays valid.
+	ActiveRouteTimeout sim.Time
+	// DeletePeriod bounds control-packet age and ordering retention
+	// (§III, 60 s).
+	DeletePeriod sim.Time
+	// MaxDenom triggers a destination-controlled path reset when the
+	// terminus' fraction denominator exceeds it (§III, one billion).
+	MaxDenom uint32
+	// NodeTraversal is the estimated per-hop latency for RREQ timers.
+	NodeTraversal sim.Time
+	// RreqRetries is the number of retries after the first attempt.
+	RreqRetries int
+	// TTLs is the expanding-ring schedule; the last entry repeats.
+	TTLs []int
+	// MinReplyHops keeps intermediate nodes within this many hops of the
+	// source from answering (§V: "RREQ packets need to travel several
+	// hops before allowing a node to reply").
+	MinReplyHops int
+	// QueueCap bounds the per-destination packet queue during discovery.
+	QueueCap int
+	// MaxSalvage bounds per-packet packet-cache retransmissions.
+	MaxSalvage int
+	// RreqRateLimit caps RREQ originations per node per second
+	// (RREQ_RATELIMIT of the AODV framework SRP's messaging follows).
+	RreqRateLimit int
+	// DiscoveryHoldDown delays a fresh discovery for a destination that
+	// just failed all retries, so saturated flows do not flood the
+	// network with back-to-back failed searches.
+	DiscoveryHoldDown sim.Time
+	// UseLie enables the understated RREQ ordering of §V.
+	UseLie bool
+	// UsePacketCache enables resending MAC-dropped packets on new routes.
+	UsePacketCache bool
+	// Farey replaces mediant splits with Stern–Brocot interpolation.
+	Farey bool
+	// NextElementOnly disables mediant splits: relabeling may only take
+	// the next-element of the advertisement, which frequently violates
+	// the cached request bound and forces path resets — an ablation that
+	// degrades SRP toward integer-ordering protocols like LDR.
+	NextElementOnly bool
+	// Multipath selects the successor-choice policy for forwarding.
+	Multipath PathPolicy
+	// HelloInterval, when positive, broadcasts periodic Hello
+	// advertisements carrying this node's orderings for destinations
+	// with active routes (Procedure 3 handles Hello advertisements with
+	// C = Unassigned). The paper's simulations run without hellos; this
+	// is the protocol-complete option.
+	HelloInterval sim.Time
+	// HelloFanout caps the advertised destinations per Hello.
+	HelloFanout int
+	// RequestRack asks the next hop of every forwarded RREP to confirm
+	// it with a RACK message (AODV's RREP-ACK carrying src and rreqid,
+	// §III). With a MAC that ACKs unicasts it is informational.
+	RequestRack bool
+}
+
+// DefaultConfig returns the configuration used in the paper's simulations.
+func DefaultConfig() Config {
+	return Config{
+		ActiveRouteTimeout: 10 * time.Second,
+		DeletePeriod:       60 * time.Second,
+		MaxDenom:           1_000_000_000,
+		NodeTraversal:      40 * time.Millisecond,
+		RreqRetries:        2,
+		TTLs:               []int{5, 10, 35},
+		MinReplyHops:       2,
+		QueueCap:           10,
+		MaxSalvage:         3,
+		RreqRateLimit:      10,
+		DiscoveryHoldDown:  3 * time.Second,
+		UseLie:             true,
+		UsePacketCache:     true,
+		Farey:              false,
+		Multipath:          PolicyMinHop,
+		HelloFanout:        10,
+	}
+}
+
+// Protocol is one node's SRP instance.
+type Protocol struct {
+	netstack.BaseProtocol
+	cfg  Config
+	node *netstack.Node
+	self netstack.NodeID
+
+	// mySeq is this node's destination-controlled sequence number for
+	// itself, starting at 1 (Definition 7); seqIncrements counts resets
+	// for Fig. 7.
+	mySeq         label.SeqNo
+	seqIncrements uint64
+
+	rreqID  uint32
+	routes  map[netstack.NodeID]*route
+	rreqs   map[rreqKey]*rreqState
+	pending map[netstack.NodeID]*pendingDiscovery
+	// recentRreqs rate-limits RREQ originations.
+	recentRreqs []sim.Time
+	// holdDown blocks re-discovery of recently failed destinations.
+	holdDown map[netstack.NodeID]sim.Time
+	// recentRerrs rate-limits RERR broadcasts (RERR_RATELIMIT).
+	recentRerrs []sim.Time
+
+	// stats for analysis.
+	statRREQ, statRREP, statRERR, statRACK uint64
+	statOrderViolations                    uint64
+	maxDenomSeen                           uint32
+}
+
+var _ netstack.Protocol = (*Protocol)(nil)
+
+// New returns an SRP instance with the given configuration.
+func New(cfg Config) *Protocol {
+	return &Protocol{
+		cfg:      cfg,
+		mySeq:    1,
+		routes:   make(map[netstack.NodeID]*route),
+		rreqs:    make(map[rreqKey]*rreqState),
+		pending:  make(map[netstack.NodeID]*pendingDiscovery),
+		holdDown: make(map[netstack.NodeID]sim.Time),
+	}
+}
+
+// Attach implements netstack.Protocol.
+func (p *Protocol) Attach(n *netstack.Node) {
+	p.node = n
+	p.self = n.ID()
+}
+
+// Start implements netstack.Protocol. SRP as simulated in the paper has no
+// periodic messaging; only a slow sweep reclaims expired computation state.
+// When HelloInterval is set, periodic Hello advertisements run too.
+func (p *Protocol) Start() {
+	var sweep func()
+	sweep = func() {
+		p.sweep()
+		p.node.After(10*time.Second, sweep)
+	}
+	p.node.After(10*time.Second, sweep)
+
+	if p.cfg.HelloInterval > 0 {
+		var tick func()
+		tick = func() {
+			p.sendHello()
+			jitter := sim.Time(p.node.Rand().Int63n(int64(p.cfg.HelloInterval) / 4))
+			p.node.After(p.cfg.HelloInterval+jitter, tick)
+		}
+		p.node.After(sim.Time(p.node.Rand().Int63n(int64(p.cfg.HelloInterval))), tick)
+	}
+}
+
+// sendHello broadcasts this node's orderings for up to HelloFanout active
+// destinations.
+func (p *Protocol) sendHello() {
+	now := p.node.Now()
+	h := &hello{}
+	for dst, r := range p.routes {
+		if !r.assigned || !r.active(now) {
+			continue
+		}
+		h.Entries = append(h.Entries, helloEntry{Dst: dst, SN: r.order.SN, F: r.order.FD, D: r.dist})
+		if p.cfg.HelloFanout > 0 && len(h.Entries) >= p.cfg.HelloFanout {
+			break
+		}
+	}
+	if len(h.Entries) == 0 {
+		return
+	}
+	p.node.BroadcastControl(h.size(), h)
+}
+
+// handleHello applies each advertised ordering via Procedure 3 with
+// C = Unassigned.
+func (p *Protocol) handleHello(from netstack.NodeID, h *hello) {
+	for _, e := range h.Entries {
+		if e.Dst == p.self {
+			continue
+		}
+		adv := label.Order{SN: e.SN, FD: e.F}
+		p.setRoute(from, e.Dst, adv, e.D+1, label.Unassigned, p.cfg.ActiveRouteTimeout)
+	}
+}
+
+// SeqnoDelta reports how many times this node incremented its own sequence
+// number (Fig. 7's metric; identically zero for SRP in the paper's runs).
+func (p *Protocol) SeqnoDelta() uint64 { return p.seqIncrements }
+
+// MaxDenominator reports the largest fraction denominator this node ever
+// adopted (the paper observed a maximum below 840 million).
+func (p *Protocol) MaxDenominator() uint32 { return p.maxDenomSeen }
+
+// ControlBreakdown reports how many RREQ, RREP, and RERR transmissions this
+// node made, for experiment diagnostics.
+func (p *Protocol) ControlBreakdown() (rreq, rrep, rerr uint64) {
+	return p.statRREQ, p.statRREP, p.statRERR
+}
+
+// OrderViolations reports how often the Theorem 1 guard rejected a label
+// that would have increased — zero in a correct implementation.
+func (p *Protocol) OrderViolations() uint64 { return p.statOrderViolations }
+
+func (p *Protocol) sweep() {
+	now := p.node.Now()
+	for k, st := range p.rreqs {
+		if st.expiry <= now {
+			delete(p.rreqs, k)
+		}
+	}
+	for dst, r := range p.routes {
+		if !r.active(now) && r.orderExpiry != 0 && r.orderExpiry <= now {
+			delete(p.routes, dst)
+		}
+	}
+}
+
+// rt returns the route entry for dst, creating it if needed.
+func (p *Protocol) rt(dst netstack.NodeID) *route {
+	r, ok := p.routes[dst]
+	if !ok {
+		r = &route{succ: make(map[netstack.NodeID]*successor)}
+		p.routes[dst] = r
+	}
+	return r
+}
+
+// order returns this node's ordering for dst; for itself it is the
+// destination label (mySeq, 0/1) per Definition 7.
+func (p *Protocol) order(dst netstack.NodeID) label.Order {
+	if dst == p.self {
+		return label.Destination(p.mySeq)
+	}
+	if r, ok := p.routes[dst]; ok && r.assigned {
+		return r.order
+	}
+	return label.Unassigned
+}
+
+// --- Data plane -------------------------------------------------------
+
+// OriginateData implements netstack.Protocol.
+func (p *Protocol) OriginateData(pkt *netstack.DataPacket) {
+	p.sendOrDiscover(pkt)
+}
+
+// RecvData implements netstack.Protocol.
+func (p *Protocol) RecvData(from netstack.NodeID, pkt *netstack.DataPacket) {
+	if pkt.Dst == p.self {
+		pkt.Hops++
+		p.node.DeliverLocal(pkt)
+		return
+	}
+	pkt.Hops++
+	pkt.TTL--
+	if pkt.TTL <= 0 {
+		p.node.DropData(pkt, netstack.DropTTL)
+		return
+	}
+	r := p.rt(pkt.Dst)
+	next, ok := r.pick(p.cfg.Multipath, p.node.Rand(), p.node.Now())
+	if !ok {
+		// §II route errors: unicast a RERR to the data packet's last
+		// hop; it is repeated for each such packet, so no reliability
+		// is needed.
+		p.node.UnicastControl(from, (&rerr{Dests: []netstack.NodeID{pkt.Dst}}).size(),
+			&rerr{Dests: []netstack.NodeID{pkt.Dst}})
+		p.statRERR++
+		p.node.DropData(pkt, netstack.DropNoRoute)
+		return
+	}
+	p.refresh(r, next)
+	p.node.ForwardData(next, pkt)
+}
+
+// sendOrDiscover forwards pkt if a route is active, else queues it behind a
+// route discovery (Procedure 1).
+func (p *Protocol) sendOrDiscover(pkt *netstack.DataPacket) {
+	r := p.rt(pkt.Dst)
+	if next, ok := r.pick(p.cfg.Multipath, p.node.Rand(), p.node.Now()); ok {
+		p.refresh(r, next)
+		p.node.ForwardData(next, pkt)
+		return
+	}
+	pd, ok := p.pending[pkt.Dst]
+	if ok {
+		if len(pd.queue) >= p.cfg.QueueCap {
+			p.node.DropData(pkt, netstack.DropQueueFull)
+			return
+		}
+		pd.queue = append(pd.queue, pkt)
+		return
+	}
+	if until, held := p.holdDown[pkt.Dst]; held && p.node.Now() < until {
+		p.node.DropData(pkt, netstack.DropNoRoute)
+		return
+	}
+	pd = &pendingDiscovery{dst: pkt.Dst, queue: []*netstack.DataPacket{pkt}}
+	p.pending[pkt.Dst] = pd
+	p.solicit(pd)
+}
+
+// refresh extends the lifetime of a successor in use.
+func (p *Protocol) refresh(r *route, next netstack.NodeID) {
+	if s, ok := r.succ[next]; ok {
+		s.expiry = p.node.Now() + p.cfg.ActiveRouteTimeout
+	}
+}
+
+// DataFailed implements netstack.Protocol: link-layer loss detection. The
+// next hop is declared broken for every destination, and the packet-cache
+// heuristic reroutes the dropped packet (§V).
+func (p *Protocol) DataFailed(to netstack.NodeID, pkt *netstack.DataPacket) {
+	p.linkBreak(to)
+	if !p.cfg.UsePacketCache || pkt.Salvaged >= p.cfg.MaxSalvage {
+		p.node.DropData(pkt, netstack.DropLinkLost)
+		return
+	}
+	pkt.Salvaged++
+	p.sendOrDiscover(pkt)
+}
+
+// ControlFailed implements netstack.Protocol: a lost unicast control packet
+// also marks the link broken. RREPs are not retransmitted; the requester's
+// retry timer recovers.
+func (p *Protocol) ControlFailed(to netstack.NodeID, msg any) {
+	p.linkBreak(to)
+}
+
+// rerrAllowed enforces the per-second RERR broadcast cap, damping error
+// cascades under congestion (the AODV framework's RERR_RATELIMIT).
+func (p *Protocol) rerrAllowed() bool {
+	now := p.node.Now()
+	kept := p.recentRerrs[:0]
+	for _, t := range p.recentRerrs {
+		if now-t < time.Second {
+			kept = append(kept, t)
+		}
+	}
+	p.recentRerrs = kept
+	if len(kept) >= 10 {
+		return false
+	}
+	p.recentRerrs = append(p.recentRerrs, now)
+	return true
+}
+
+// linkBreak removes `to` as successor for all destinations and broadcasts a
+// RERR for those that became invalid.
+func (p *Protocol) linkBreak(to netstack.NodeID) {
+	now := p.node.Now()
+	var lost []netstack.NodeID
+	for dst, r := range p.routes {
+		if _, ok := r.succ[to]; !ok {
+			continue
+		}
+		if r.dropSuccessor(to, now) {
+			r.orderExpiry = now + p.cfg.DeletePeriod
+			lost = append(lost, dst)
+		}
+	}
+	if len(lost) > 0 && p.rerrAllowed() {
+		e := &rerr{Dests: lost}
+		p.node.BroadcastControl(e.size(), e)
+		p.statRERR++
+	}
+}
+
+// --- Solicitation (Procedures 1 and 2) --------------------------------
+
+// rreqAllowed enforces the per-second RREQ origination cap; when over the
+// cap the discovery is deferred, not abandoned.
+func (p *Protocol) rreqAllowed() bool {
+	if p.cfg.RreqRateLimit <= 0 {
+		return true
+	}
+	now := p.node.Now()
+	kept := p.recentRreqs[:0]
+	for _, t := range p.recentRreqs {
+		if now-t < time.Second {
+			kept = append(kept, t)
+		}
+	}
+	p.recentRreqs = kept
+	if len(kept) >= p.cfg.RreqRateLimit {
+		return false
+	}
+	p.recentRreqs = append(p.recentRreqs, now)
+	return true
+}
+
+// solicit issues a RREQ for pd's destination (Procedure 1).
+func (p *Protocol) solicit(pd *pendingDiscovery) {
+	if !p.rreqAllowed() {
+		pd.timer = p.node.After(200*time.Millisecond, func() {
+			if p.pending[pd.dst] == pd {
+				p.solicit(pd)
+			}
+		})
+		return
+	}
+	p.rreqID++
+	pd.rreqID = p.rreqID
+	key := rreqKey{src: p.self, id: pd.rreqID}
+	p.rreqs[key] = &rreqState{
+		cached:  label.Unassigned, // M_k = infinity at the requester
+		lastHop: p.self,
+		active:  true,
+		expiry:  p.node.Now() + p.cfg.DeletePeriod,
+	}
+	ttl := p.cfg.TTLs[min(pd.attempt, len(p.cfg.TTLs)-1)]
+	r := &rreq{
+		Src:    p.self,
+		RreqID: pd.rreqID,
+		Dst:    pd.dst,
+		TTL:    ttl,
+		// Advertisement for self: own destination label.
+		SrcSeq:   p.mySeq,
+		LF:       frac.Zero,
+		LD:       0,
+		Lifetime: p.cfg.ActiveRouteTimeout,
+	}
+	if o := p.order(pd.dst); !o.IsUnassigned() {
+		r.DstSeq = o.SN
+		r.F = o.FD
+		if p.cfg.UseLie {
+			r.F = lie(o.FD)
+		}
+	} else {
+		r.Flags |= flagU
+	}
+	p.statRREQ++
+	p.node.BroadcastControl(rreqSize, r)
+
+	// Binary exponential backoff across attempts, per the AODV
+	// framework's retry rule.
+	wait := 2 * sim.Time(ttl) * p.cfg.NodeTraversal << uint(pd.attempt)
+	pd.timer = p.node.After(wait, func() { p.retry(pd) })
+}
+
+// retry re-issues or abandons a discovery when its timer expires.
+func (p *Protocol) retry(pd *pendingDiscovery) {
+	if p.pending[pd.dst] != pd {
+		return
+	}
+	pd.attempt++
+	if pd.attempt > p.cfg.RreqRetries {
+		delete(p.pending, pd.dst)
+		p.holdDown[pd.dst] = p.node.Now() + p.cfg.DiscoveryHoldDown
+		for _, pkt := range pd.queue {
+			p.node.DropData(pkt, netstack.DropTimeout)
+		}
+		return
+	}
+	p.solicit(pd)
+}
+
+// RecvControl implements netstack.Protocol.
+func (p *Protocol) RecvControl(from netstack.NodeID, msg any) {
+	switch m := msg.(type) {
+	case *rreq:
+		p.handleRREQ(from, m)
+	case *rrep:
+		p.handleRREP(from, m)
+	case *rerr:
+		p.handleRERR(from, m)
+	case *rack:
+		p.statRACK++
+	case *hello:
+		p.handleHello(from, m)
+	}
+}
+
+// handleRREQ implements Procedure 2 (relay solicitation) plus destination
+// and intermediate replies (SDC).
+func (p *Protocol) handleRREQ(from netstack.NodeID, r *rreq) {
+	if r.Age >= p.cfg.DeletePeriod || r.Src == p.self {
+		return
+	}
+	// Process the advertisement piece for the source (Procedure 3 with
+	// C = Unassigned), building or refreshing the reverse route.
+	if r.Flags&flagN == 0 {
+		p.setRoute(from, r.Src, r.srcOrder(), r.LD+1, label.Unassigned, r.Lifetime)
+	}
+
+	key := rreqKey{src: r.Src, id: r.RreqID}
+	if _, engaged := p.rreqs[key]; engaged {
+		return // only passive nodes may become engaged (§III)
+	}
+	p.rreqs[key] = &rreqState{
+		cached:  r.order(),
+		lastHop: from,
+		expiry:  p.node.Now() + p.cfg.DeletePeriod,
+	}
+
+	if r.Dst == p.self {
+		p.destinationReply(from, r)
+		return
+	}
+	if r.Flags&flagD == 0 && p.satisfiesSDC(r) {
+		p.intermediateReply(from, r)
+		return
+	}
+	p.relayRREQ(from, r)
+}
+
+// destinationReply answers a solicitation for this node (§III: "The
+// destination T may respond to any solicitation for itself"). A set reset
+// bit or a D-bit probe forces a larger sequence number than requested.
+func (p *Protocol) destinationReply(from netstack.NodeID, r *rreq) {
+	if r.Flags&(flagT|flagD) != 0 {
+		if req := r.order().SN; req >= p.mySeq {
+			p.mySeq = req + 1
+			p.seqIncrements++
+		}
+	}
+	rep := &rrep{
+		Src:      r.Src,
+		RreqID:   r.RreqID,
+		Dst:      p.self,
+		DstSeq:   p.mySeq,
+		LF:       frac.Zero,
+		LD:       0,
+		Lifetime: p.cfg.ActiveRouteTimeout,
+	}
+	if p.cfg.RequestRack {
+		rep.Flags |= flagA
+	}
+	p.statRREP++
+	p.node.UnicastControl(from, rrepSize, rep)
+}
+
+// satisfiesSDC checks the Start Distance Condition plus the §V
+// several-hops heuristic for intermediate replies.
+func (p *Protocol) satisfiesSDC(r *rreq) bool {
+	if r.D+1 < p.cfg.MinReplyHops {
+		return false
+	}
+	rt, ok := p.routes[r.Dst]
+	if !ok || !rt.assigned || !rt.active(p.node.Now()) {
+		return false
+	}
+	if rt.order.SN > r.DstSeq {
+		return true
+	}
+	return r.order().Precedes(rt.order) && r.Flags&flagT == 0
+}
+
+// intermediateReply advertises this node's own route to r.Dst.
+func (p *Protocol) intermediateReply(from netstack.NodeID, r *rreq) {
+	rt := p.routes[r.Dst]
+	rep := &rrep{
+		Src:      r.Src,
+		RreqID:   r.RreqID,
+		Dst:      r.Dst,
+		DstSeq:   rt.order.SN,
+		LF:       rt.order.FD,
+		LD:       rt.dist,
+		Lifetime: p.cfg.ActiveRouteTimeout,
+	}
+	if p.cfg.RequestRack {
+		rep.Flags |= flagA
+	}
+	st := p.rreqs[rreqKey{src: r.Src, id: r.RreqID}]
+	st.replied = true
+	p.statRREP++
+	p.node.UnicastControl(from, rrepSize, rep)
+}
+
+// relayRREQ implements Eqs. 9–11 and rebroadcasts (or unicasts a D-bit
+// probe along the forward path).
+func (p *Protocol) relayRREQ(from netstack.NodeID, r *rreq) {
+	if r.TTL <= 1 {
+		return
+	}
+	mine := p.order(r.Dst)
+	z := *r
+	z.TTL = r.TTL - 1
+	z.D = r.D + 1 // Eq. 9, unit link costs
+	z.Age = r.Age + p.cfg.NodeTraversal
+
+	// Eq. 10: relay the minimum ordering of the node and the request.
+	reqO := r.order()
+	var zo label.Order
+	switch {
+	case r.Flags&flagU != 0 && mine.IsUnassigned():
+		zo = label.Unassigned
+	case mine.SN > reqO.SN:
+		zo = mine
+	case mine.SN == reqO.SN:
+		zo = label.Min(mine, reqO)
+	default:
+		zo = reqO
+	}
+	if zo.IsUnassigned() {
+		z.Flags |= flagU
+	} else {
+		z.Flags &^= flagU
+		z.DstSeq, z.F = zo.SN, zo.FD
+	}
+
+	// Eq. 11: the reset-required bit.
+	switch {
+	case r.Flags&flagU != 0 && mine.IsUnassigned():
+		z.Flags &^= flagT
+	case mine.SN > reqO.SN:
+		z.Flags &^= flagT
+	case !reqO.Precedes(mine) && frac.SplitOverflows(r.F, mine.FD):
+		z.Flags |= flagT
+	}
+
+	// Advertisement piece for the source: replace with this node's own
+	// route to Src if active, else mark N (§III).
+	if rt, ok := p.routes[r.Src]; ok && rt.assigned && rt.active(p.node.Now()) {
+		z.SrcSeq, z.LF, z.LD = rt.order.SN, rt.order.FD, rt.dist
+		z.Flags &^= flagN
+		z.Lifetime = p.cfg.ActiveRouteTimeout
+	} else {
+		z.Flags |= flagN
+	}
+
+	p.statRREQ++
+	if r.Flags&flagD != 0 {
+		// Path-reset probe: travel the unicast forward path to Dst.
+		if rt, ok := p.routes[r.Dst]; ok {
+			if next, live := rt.best(p.node.Now()); live {
+				p.node.UnicastControl(next, rreqSize, &z)
+				return
+			}
+		}
+		return
+	}
+	// Jitter desynchronizes neighbor rebroadcasts of the flood.
+	jitter := sim.Time(p.node.Rand().Int63n(int64(10 * time.Millisecond)))
+	p.node.After(jitter, func() { p.node.BroadcastControl(rreqSize, &z) })
+}
+
+// --- Advertisements (Procedures 3 and 4) ------------------------------
+
+// handleRREP processes an advertisement traveling the reverse path.
+func (p *Protocol) handleRREP(from netstack.NodeID, rep *rrep) {
+	if rep.Age >= p.cfg.DeletePeriod {
+		return
+	}
+	if rep.Flags&flagA != 0 {
+		p.node.UnicastControl(from, rackSize, &rack{Src: rep.Src, RreqID: rep.RreqID})
+	}
+	terminus := rep.Src == p.self
+	key := rreqKey{src: rep.Src, id: rep.RreqID}
+	st := p.rreqs[key]
+
+	// C^A_? — Unassigned at the terminus or without cached state.
+	c := label.Unassigned
+	if !terminus && st != nil {
+		c = st.cached
+	}
+
+	mine := p.order(rep.Dst)
+	adv := rep.order()
+	if !mine.IsUnassigned() && !mine.Precedes(adv) {
+		// Infeasible advertisement: issue a fresh advertisement from
+		// this node's own label if it can (§III), else discard.
+		if !terminus && st != nil && !st.replied {
+			if rt, ok := p.routes[rep.Dst]; ok && rt.assigned && rt.active(p.node.Now()) && c.Precedes(rt.order) {
+				st.replied = true
+				p.forwardRREP(st.lastHop, rep, rt.order, rt.dist)
+			}
+		}
+		return
+	}
+
+	g := p.setRoute(from, rep.Dst, adv, rep.LD+1, c, rep.Lifetime)
+	if !g.Finite() {
+		return // Procedure 3: drop the advertisement
+	}
+
+	if terminus {
+		p.completeDiscovery(rep, g)
+		return
+	}
+	if st == nil || st.replied {
+		return // at most one reply per (source, rreqid) (Procedure 4)
+	}
+	st.replied = true
+	rt := p.routes[rep.Dst]
+	p.forwardRREP(st.lastHop, rep, g, rt.dist)
+}
+
+// forwardRREP relays an advertisement rewritten with this node's ordering
+// (Procedure 4: O_y <- O_A, d_y <- d_A).
+func (p *Protocol) forwardRREP(to netstack.NodeID, rep *rrep, o label.Order, dist int) {
+	y := *rep
+	y.DstSeq, y.LF, y.LD = o.SN, o.FD, dist
+	y.Age = rep.Age + p.cfg.NodeTraversal
+	p.statRREP++
+	p.node.UnicastControl(to, rrepSize, &y)
+}
+
+// completeDiscovery flushes queued packets once the requester installs the
+// route, and requests a path reset when the fraction has grown too deep.
+func (p *Protocol) completeDiscovery(rep *rrep, g label.Order) {
+	if g.FD.Den > p.cfg.MaxDenom {
+		p.requestPathReset(rep.Dst)
+	}
+	// Any reply for the destination completes the discovery, even one
+	// answering an earlier attempt: the route is already installed.
+	pd, ok := p.pending[rep.Dst]
+	if !ok {
+		return
+	}
+	if pd.timer != nil {
+		p.node.Cancel(pd.timer)
+	}
+	delete(p.pending, rep.Dst)
+	r := p.rt(rep.Dst)
+	for _, pkt := range pd.queue {
+		next, live := r.best(p.node.Now())
+		if !live {
+			p.node.DropData(pkt, netstack.DropNoRoute)
+			continue
+		}
+		p.refresh(r, next)
+		p.node.ForwardData(next, pkt)
+	}
+}
+
+// requestPathReset sends a D-bit unicast RREQ along the forward path so the
+// destination issues a reply with a larger sequence number (§III).
+func (p *Protocol) requestPathReset(dst netstack.NodeID) {
+	rt, ok := p.routes[dst]
+	if !ok {
+		return
+	}
+	next, live := rt.best(p.node.Now())
+	if !live {
+		return
+	}
+	p.rreqID++
+	key := rreqKey{src: p.self, id: p.rreqID}
+	p.rreqs[key] = &rreqState{
+		cached:  label.Unassigned,
+		lastHop: p.self,
+		active:  true,
+		expiry:  p.node.Now() + p.cfg.DeletePeriod,
+	}
+	probe := &rreq{
+		Src:    p.self,
+		RreqID: p.rreqID,
+		Dst:    dst,
+		DstSeq: rt.order.SN,
+		F:      rt.order.FD,
+		TTL:    len(p.cfg.TTLs) * 35,
+		Flags:  flagD | flagN,
+		SrcSeq: p.mySeq,
+		LF:     frac.Zero,
+	}
+	p.statRREQ++
+	p.node.UnicastControl(next, rreqSize, probe)
+}
+
+// setRoute implements Procedure 3: compute a new ordering via Algorithm 1,
+// adopt it if finite, record the advertiser as successor, and prune
+// out-of-order successors. It returns the computed ordering.
+func (p *Protocol) setRoute(from, dst netstack.NodeID, adv label.Order, dist int, c label.Order, lifetime sim.Time) label.Order {
+	if dst == p.self || adv.FD == frac.One {
+		return label.Unassigned
+	}
+	mine := p.order(dst)
+	if !mine.IsUnassigned() && !mine.Precedes(adv) {
+		return label.Unassigned // infeasible (Theorem 2 guard)
+	}
+	g := newOrder(mine, c, adv, splitMode(p.cfg))
+	if !g.Finite() {
+		return g
+	}
+	// Theorem 1 guard: labels are non-increasing with time. Algorithm 1
+	// guarantees this structurally (Theorem 6); the check is defensive
+	// and counts violations instead of installing an unsafe label.
+	if !mine.IsUnassigned() && !g.Equal(mine) && !mine.Precedes(g) {
+		p.statOrderViolations++
+		return label.Unassigned
+	}
+	r := p.rt(dst)
+	r.assigned = true
+	r.order = g
+	r.dist = dist
+	if g.FD.Den > p.maxDenomSeen {
+		p.maxDenomSeen = g.FD.Den
+	}
+	if lifetime <= 0 {
+		lifetime = p.cfg.ActiveRouteTimeout
+	}
+	r.succ[from] = &successor{order: adv, dist: dist, expiry: p.node.Now() + lifetime}
+	r.pruneOutOfOrder(g)
+	r.orderExpiry = 0
+	return g
+}
+
+// handleRERR drops the sender as successor for the listed destinations and
+// propagates for routes that became invalid.
+func (p *Protocol) handleRERR(from netstack.NodeID, e *rerr) {
+	now := p.node.Now()
+	var lost []netstack.NodeID
+	for _, dst := range e.Dests {
+		r, ok := p.routes[dst]
+		if !ok {
+			continue
+		}
+		if _, uses := r.succ[from]; !uses {
+			continue
+		}
+		if r.dropSuccessor(from, now) {
+			r.orderExpiry = now + p.cfg.DeletePeriod
+			lost = append(lost, dst)
+		}
+	}
+	if len(lost) > 0 && p.rerrAllowed() {
+		out := &rerr{Dests: lost}
+		p.node.BroadcastControl(out.size(), out)
+		p.statRERR++
+	}
+}
+
+// Orders exposes the node's (assigned) orderings per destination for
+// invariant checking by the scenario harness.
+func (p *Protocol) Orders() map[netstack.NodeID]label.Order {
+	out := make(map[netstack.NodeID]label.Order, len(p.routes)+1)
+	out[p.self] = label.Destination(p.mySeq)
+	for dst, r := range p.routes {
+		if r.assigned {
+			out[dst] = r.order
+		}
+	}
+	return out
+}
+
+// SuccessorsOf exposes the live successor set for a destination, for
+// invariant checking and the multipath example.
+func (p *Protocol) SuccessorsOf(dst netstack.NodeID) []netstack.NodeID {
+	r, ok := p.routes[dst]
+	if !ok {
+		return nil
+	}
+	return r.successors(p.node.Now())
+}

@@ -1,0 +1,168 @@
+package srp
+
+import (
+	"math/rand"
+
+	"slr/internal/label"
+	"slr/internal/netstack"
+	"slr/internal/sim"
+)
+
+// PathPolicy selects among feasible successors when forwarding. The paper
+// leaves multipath selection open ("Node A is free to use any successor
+// contained in the successor table", §III); these are the provided
+// policies.
+type PathPolicy int
+
+const (
+	// PolicyMinHop forwards via the minimum measured distance successor
+	// (the paper's "simple implementation ... single successor chosen
+	// from the min-hop set").
+	PolicyMinHop PathPolicy = iota
+	// PolicyRoundRobin rotates across feasible successors, spreading
+	// load over the multipath DAG.
+	PolicyRoundRobin
+	// PolicyRandom picks a uniform random feasible successor.
+	PolicyRandom
+)
+
+// successor is one entry of the successor set S^A_T: a next hop with the
+// ordering it advertised and its measured distance.
+type successor struct {
+	order  label.Order
+	dist   int
+	expiry sim.Time
+}
+
+// route is the per-destination state at a node: its own ordering O^A_T
+// (Definition 3: "assigned" once present; it must be kept for at least
+// DELETE_PERIOD after the route becomes invalid), the successor set, and
+// the measured distance.
+type route struct {
+	assigned bool
+	order    label.Order
+	dist     int
+	succ     map[netstack.NodeID]*successor
+	// orderExpiry is when an invalid route's ordering may be forgotten.
+	orderExpiry sim.Time
+	// rrIndex cycles PolicyRoundRobin through the successor set.
+	rrIndex uint32
+}
+
+// active reports whether the route has at least one live successor
+// (Definition 2).
+func (r *route) active(now sim.Time) bool {
+	for n, s := range r.succ {
+		if s.expiry > now {
+			return true
+		}
+		delete(r.succ, n)
+	}
+	return false
+}
+
+// best returns the live successor with minimum measured distance (the
+// "min-hop set" uni-path rule of §III) and false if none.
+func (r *route) best(now sim.Time) (netstack.NodeID, bool) {
+	bestID := netstack.NodeID(-1)
+	bestDist := int(^uint(0) >> 1)
+	found := false
+	for n, s := range r.succ {
+		if s.expiry <= now {
+			delete(r.succ, n)
+			continue
+		}
+		if !found || s.dist < bestDist || (s.dist == bestDist && n < bestID) {
+			bestID, bestDist, found = n, s.dist, true
+		}
+	}
+	return bestID, found
+}
+
+// pick returns a successor per the policy; ok is false when none is live.
+func (r *route) pick(policy PathPolicy, rng *rand.Rand, now sim.Time) (netstack.NodeID, bool) {
+	switch policy {
+	case PolicyRoundRobin:
+		live := r.successors(now)
+		if len(live) == 0 {
+			return 0, false
+		}
+		sortNodeIDs(live)
+		r.rrIndex++
+		return live[int(r.rrIndex)%len(live)], true
+	case PolicyRandom:
+		live := r.successors(now)
+		if len(live) == 0 {
+			return 0, false
+		}
+		sortNodeIDs(live)
+		return live[rng.Intn(len(live))], true
+	default:
+		return r.best(now)
+	}
+}
+
+func sortNodeIDs(ids []netstack.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// successors returns the ids of live successors.
+func (r *route) successors(now sim.Time) []netstack.NodeID {
+	var out []netstack.NodeID
+	for n, s := range r.succ {
+		if s.expiry > now {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// dropSuccessor removes next hop n; it reports whether the route is now
+// invalid.
+func (r *route) dropSuccessor(n netstack.NodeID, now sim.Time) bool {
+	delete(r.succ, n)
+	return !r.active(now)
+}
+
+// pruneOutOfOrder implements Algorithm 1 line 13: eliminate any successor i
+// whose stored ordering is not preceded by g. It returns the number pruned.
+func (r *route) pruneOutOfOrder(g label.Order) int {
+	pruned := 0
+	for n, s := range r.succ {
+		if !g.Precedes(s.order) {
+			delete(r.succ, n)
+			pruned++
+		}
+	}
+	return pruned
+}
+
+// rreqState is the per-(source, rreqID) computation state (§III): passive
+// nodes have no entry; engaged and active nodes cache the solicitation
+// ordering C (the M of SLR) and the last hop for the reverse path.
+type rreqState struct {
+	cached  label.Order // C^A_?: ordering of the relayed solicitation
+	lastHop netstack.NodeID
+	active  bool // true at the computation's originator
+	replied bool // at most one reply forwarded per computation
+	expiry  sim.Time
+}
+
+// rreqKey identifies a route computation.
+type rreqKey struct {
+	src netstack.NodeID
+	id  uint32
+}
+
+// pendingDiscovery tracks an in-progress route discovery at the originator.
+type pendingDiscovery struct {
+	dst     netstack.NodeID
+	rreqID  uint32
+	attempt int
+	timer   *sim.Event
+	queue   []*netstack.DataPacket
+}

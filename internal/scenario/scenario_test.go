@@ -1,0 +1,127 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"slr/internal/geo"
+	"slr/internal/traffic"
+)
+
+// smallParams returns a scaled-down scenario (25 nodes, 60 s, 8 flows)
+// that keeps test time reasonable while exercising the full stack.
+func smallParams(proto ProtocolName, pause time.Duration, seed int64) Params {
+	p := DefaultParams(proto, pause, seed)
+	p.Nodes = 25
+	p.Terrain = geo.Terrain{Width: 1100, Height: 300}
+	p.Duration = 60 * time.Second
+	p.Traffic = traffic.Params{Flows: 8, PacketSize: 512, Rate: 4, MeanLife: 30 * time.Second}
+	return p
+}
+
+func TestAllProtocolsDeliverTraffic(t *testing.T) {
+	for _, proto := range AllProtocols {
+		proto := proto
+		t.Run(string(proto), func(t *testing.T) {
+			t.Parallel()
+			r := Run(smallParams(proto, 0, 7))
+			if r.DataSent == 0 {
+				t.Fatal("no traffic generated")
+			}
+			if r.DeliveryRatio < 0.3 {
+				t.Fatalf("delivery ratio %.2f implausibly low (sent %d, recv %d)",
+					r.DeliveryRatio, r.DataSent, r.DataRecv)
+			}
+			if proto != OLSR && r.ControlTx == 0 {
+				t.Fatal("no control packets")
+			}
+			if r.Latency <= 0 || r.Latency > 30 {
+				t.Fatalf("latency %.3f s implausible", r.Latency)
+			}
+		})
+	}
+}
+
+func TestLoopFreedomInvariantHolds(t *testing.T) {
+	// SRP and LDR must never show a successor cycle; run with the
+	// continuous checker on, at constant mobility (hardest case).
+	for _, proto := range []ProtocolName{SRP, LDR, AODV} {
+		proto := proto
+		t.Run(string(proto), func(t *testing.T) {
+			t.Parallel()
+			p := smallParams(proto, 0, 11)
+			p.CheckInvariants = true
+			r := Run(p)
+			if r.LoopChecks == 0 {
+				t.Fatal("checker never ran")
+			}
+			if len(r.LoopErrors) > 0 {
+				t.Fatalf("loop-freedom violated: %v", r.LoopErrors)
+			}
+		})
+	}
+}
+
+func TestSameSeedSameTopologyAcrossProtocols(t *testing.T) {
+	// The same seed must generate identical workloads for different
+	// protocols (the paper fixes mobility/traffic scripts per trial).
+	a := Run(smallParams(SRP, 900*time.Second, 3))
+	b := Run(smallParams(OLSR, 900*time.Second, 3))
+	if a.DataSent != b.DataSent {
+		t.Fatalf("workload differs across protocols: %d vs %d", a.DataSent, b.DataSent)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Run(smallParams(SRP, 0, 5))
+	b := Run(smallParams(SRP, 0, 5))
+	if a.DataRecv != b.DataRecv || a.ControlTx != b.ControlTx || a.Latency != b.Latency {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestSRPSeqnoStaysZero(t *testing.T) {
+	r := Run(smallParams(SRP, 0, 13))
+	if r.AvgSeqno != 0 {
+		t.Fatalf("SRP average seqno = %v, paper reports exactly 0", r.AvgSeqno)
+	}
+	if r.MaxDenom == 0 {
+		t.Fatal("no fraction denominators recorded")
+	}
+}
+
+func TestAODVSeqnoGrows(t *testing.T) {
+	r := Run(smallParams(AODV, 0, 13))
+	if r.AvgSeqno <= 0 {
+		t.Fatal("AODV average seqno did not grow")
+	}
+}
+
+func TestRunTrialsParallelAndOrdered(t *testing.T) {
+	p := smallParams(SRP, 900*time.Second, 100)
+	p.Nodes = 15
+	p.Duration = 20 * time.Second
+	ts := RunTrials(p, 4)
+	if len(ts.Results) != 4 {
+		t.Fatalf("got %d results", len(ts.Results))
+	}
+	for i, r := range ts.Results {
+		if r.Seed != 100+int64(i) {
+			t.Fatalf("result %d has seed %d", i, r.Seed)
+		}
+	}
+	s := ts.Series(func(r Result) float64 { return r.DeliveryRatio })
+	if len(s.Values) != 4 {
+		t.Fatalf("series has %d values", len(s.Values))
+	}
+}
+
+func TestUnknownProtocolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown protocol")
+		}
+	}()
+	Run(Params{Protocol: "bogus", Nodes: 2, Terrain: geo.Terrain{Width: 100, Height: 100},
+		Range: 100, Duration: time.Second, Traffic: traffic.DefaultParams()})
+}

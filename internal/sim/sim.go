@@ -1,0 +1,184 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is the substrate equivalent of GloMoSim's event engine used in
+// the paper's evaluation: a virtual clock, a binary-heap event queue, and a
+// seeded random number generator. A single Simulator instance is
+// single-threaded by design so that a given seed always reproduces the same
+// event ordering; parallelism is obtained by running many Simulator
+// instances concurrently (one per trial).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is virtual simulation time. It uses time.Duration so the rest of the
+// code can use natural literals (e.g. 50*time.Millisecond) while remaining a
+// pure virtual quantity.
+type Time = time.Duration
+
+// Event is a scheduled callback.
+type Event struct {
+	at     Time
+	seq    uint64 // tie-break so equal-time events run FIFO
+	fn     func()
+	index  int // heap index, -1 once popped or canceled
+	halted bool
+}
+
+// Canceled reports whether the event was canceled before firing.
+func (e *Event) Canceled() bool { return e.halted }
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Simulator is a discrete-event scheduler with a virtual clock.
+type Simulator struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	rng    *rand.Rand
+	fired  uint64
+	maxGas uint64 // safety bound on total events; 0 = unlimited
+}
+
+// New returns a Simulator whose RNG is seeded with seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand returns the simulation RNG. All randomness in a run must come from
+// this generator so a seed fully determines the run.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// SetEventLimit bounds the total number of events fired by Run; 0 removes
+// the bound. It is a guard against runaway event storms in tests.
+func (s *Simulator) SetEventLimit(n uint64) { s.maxGas = n }
+
+// Fired returns the number of events executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events currently scheduled.
+func (s *Simulator) Pending() int { return s.queue.Len() }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// panics: it always indicates a logic error in a discrete-event model.
+func (s *Simulator) At(at Time, fn func()) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
+	}
+	ev := &Event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (s *Simulator) After(d Time, fn func()) *Event {
+	return s.At(s.now+d, fn)
+}
+
+// Cancel removes ev from the queue if it has not yet fired.
+func (s *Simulator) Cancel(ev *Event) {
+	if ev == nil || ev.halted {
+		return
+	}
+	ev.halted = true
+	if ev.index >= 0 {
+		heap.Remove(&s.queue, ev.index)
+	}
+}
+
+// Step runs the next event. It returns false when the queue is empty.
+func (s *Simulator) Step() bool {
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(*Event)
+		if ev.halted {
+			continue
+		}
+		s.now = ev.at
+		s.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the clock would pass end or the queue
+// drains. Events scheduled exactly at end do run.
+func (s *Simulator) RunUntil(end Time) {
+	for s.queue.Len() > 0 {
+		if s.maxGas != 0 && s.fired >= s.maxGas {
+			return
+		}
+		next := s.peek()
+		if next == nil {
+			return
+		}
+		if next.at > end {
+			s.now = end
+			return
+		}
+		s.Step()
+	}
+	if s.now < end {
+		s.now = end
+	}
+}
+
+// Run executes events until the queue drains.
+func (s *Simulator) Run() {
+	for s.Step() {
+		if s.maxGas != 0 && s.fired >= s.maxGas {
+			return
+		}
+	}
+}
+
+func (s *Simulator) peek() *Event {
+	for s.queue.Len() > 0 {
+		ev := s.queue[0]
+		if !ev.halted {
+			return ev
+		}
+		heap.Pop(&s.queue)
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(3*time.Second, func() { got = append(got, 3) })
+	s.At(1*time.Second, func() { got = append(got, 1) })
+	s.At(2*time.Second, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("Now = %v, want 3s", s.Now())
+	}
+}
+
+func TestEqualTimeFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("equal-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	s := New(1)
+	var fired Time
+	s.At(5*time.Second, func() {
+		s.After(2*time.Second, func() { fired = s.Now() })
+	})
+	s.Run()
+	if fired != 7*time.Second {
+		t.Fatalf("fired at %v, want 7s", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	ran := false
+	ev := s.At(time.Second, func() { ran = true })
+	s.Cancel(ev)
+	s.Run()
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+	// Canceling twice or canceling nil must be safe.
+	s.Cancel(ev)
+	s.Cancel(nil)
+}
+
+func TestCancelFromWithinEvent(t *testing.T) {
+	s := New(1)
+	ran := false
+	ev := s.At(2*time.Second, func() { ran = true })
+	s.At(time.Second, func() { s.Cancel(ev) })
+	s.Run()
+	if ran {
+		t.Fatal("event canceled mid-run still ran")
+	}
+}
+
+func TestRunUntilStopsClock(t *testing.T) {
+	s := New(1)
+	count := 0
+	s.At(1*time.Second, func() { count++ })
+	s.At(10*time.Second, func() { count++ })
+	s.RunUntil(5 * time.Second)
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+	if s.Now() != 5*time.Second {
+		t.Fatalf("Now = %v, want 5s", s.Now())
+	}
+	// The 10s event must still fire if we keep running.
+	s.RunUntil(20 * time.Second)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}
+
+func TestRunUntilInclusiveBoundary(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.At(5*time.Second, func() { ran = true })
+	s.RunUntil(5 * time.Second)
+	if !ran {
+		t.Fatal("event at boundary did not run")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New(1)
+	s.At(5*time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		s.At(time.Second, func() {})
+	})
+	s.Run()
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		s := New(seed)
+		var vals []int64
+		var tick func()
+		tick = func() {
+			vals = append(vals, s.Rand().Int63n(1000))
+			if len(vals) < 50 {
+				s.After(time.Duration(s.Rand().Int63n(int64(time.Second))), tick)
+			}
+		}
+		s.After(0, tick)
+		s.Run()
+		return vals
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if i < len(c) && a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	s := New(1)
+	s.SetEventLimit(10)
+	var tick func()
+	tick = func() { s.After(time.Millisecond, tick) }
+	s.After(0, tick)
+	s.RunUntil(time.Hour)
+	if s.Fired() != 10 {
+		t.Fatalf("fired %d events, want 10", s.Fired())
+	}
+}
+
+func TestPending(t *testing.T) {
+	s := New(1)
+	s.At(time.Second, func() {})
+	s.At(2*time.Second, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+	s.Step()
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+}
