@@ -1,0 +1,39 @@
+# Make targets mirror exactly what CI runs (.github/workflows/ci.yml) so
+# humans and the workflow can never drift apart.
+
+GO      ?= go
+SCALE   ?= mid
+WORKERS ?= 0
+
+.PHONY: all build test race bench fmt vet sweep
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Bench smoke: one iteration of every bench, so regressions in the bench
+# harness itself surface quickly. Full runs: `go test -bench=. -benchmem .`
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# Regenerate the paper's Table I and Figures 3-7 on the work-stealing
+# runner. SCALE=full for the paper's exact setup (hours of CPU).
+sweep:
+	$(GO) run ./cmd/experiments -scale $(SCALE) -workers $(WORKERS) \
+		-jsonl results-$(SCALE).jsonl -csv results-$(SCALE).csv

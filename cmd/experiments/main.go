@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"slr/internal/experiments"
+	"slr/internal/runner"
 	"slr/internal/scenario"
 )
 
@@ -39,7 +40,10 @@ func run(args []string) error {
 		trials    = fs.Int("trials", 0, "override trials per grid point (0 = scale default)")
 		seed      = fs.Int64("seed", 1, "base random seed")
 		quiet     = fs.Bool("quiet", false, "suppress per-run progress output")
+		workers   = fs.Int("workers", 0, "worker goroutines for the sweep (0 = all CPUs)")
 		jsonOut   = fs.String("json", "", "also write the raw grid as JSON to this file")
+		jsonlOut  = fs.String("jsonl", "", "stream per-trial results as JSON lines to this file")
+		csvOut    = fs.String("csv", "", "stream per-trial results as CSV to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,25 +76,35 @@ func run(args []string) error {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
 
-	progress := os.Stderr
-	if *quiet {
-		progress = nil
+	opts := experiments.SweepOptions{Workers: *workers}
+	if !*quiet {
+		opts.Progress = os.Stderr
 	}
-	var w = os.Stderr
-	if progress == nil {
-		devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	for _, stream := range []struct {
+		path string
+		mk   func(w *os.File) runner.Emitter
+	}{
+		{*jsonlOut, func(w *os.File) runner.Emitter { return runner.NewJSONL(w) }},
+		{*csvOut, func(w *os.File) runner.Emitter { return runner.NewCSV(w) }},
+	} {
+		if stream.path == "" {
+			continue
+		}
+		f, err := os.Create(stream.path)
 		if err != nil {
 			return err
 		}
-		defer devnull.Close()
-		w = devnull
+		defer f.Close()
+		opts.Emitters = append(opts.Emitters, stream.mk(f))
 	}
 
 	fmt.Fprintf(os.Stderr, "sweeping %s scale: %d nodes, %d flows, %v, %d trials x %d pauses x %d protocols\n",
 		scale.Name, scale.Nodes, scale.Flows, scale.Duration, scale.Trials,
 		len(experiments.PauseFractions), len(protos))
 	start := time.Now()
-	grid := experiments.Sweep(scale, protos, *seed, w)
+	// An emitter failure (e.g. disk full under -jsonl) must not discard a
+	// fully computed grid: print the tables, then report the error.
+	grid, sweepErr := experiments.SweepOpts(scale, protos, *seed, opts)
 	fmt.Fprintf(os.Stderr, "sweep finished in %v\n\n", time.Since(start).Round(time.Second))
 
 	switch *exp {
@@ -110,6 +124,9 @@ func run(args []string) error {
 			return fmt.Errorf("writing %s: %w", *jsonOut, err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+	}
+	if sweepErr != nil {
+		return fmt.Errorf("per-trial streaming failed (tables above are complete): %w", sweepErr)
 	}
 	return nil
 }

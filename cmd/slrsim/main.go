@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"slr/internal/geo"
+	"slr/internal/runner"
 	"slr/internal/scenario"
 	"slr/internal/traffic"
 )
@@ -70,7 +71,10 @@ func run(args []string) error {
 	}
 	p.CheckInvariants = *check
 
-	ts := scenario.RunTrials(p, *trials)
+	ts, err := runner.Trials(p, *trials, runner.Options{})
+	if err != nil {
+		return err
+	}
 	for _, r := range ts.Results {
 		fmt.Printf("protocol=%s seed=%d pause=%v\n", r.Protocol, r.Seed, r.Pause)
 		fmt.Printf("  delivery ratio  %.4f  (%d/%d)\n", r.DeliveryRatio, r.DataRecv, r.DataSent)

@@ -9,4 +9,12 @@
 // ordinal set), and internal/routing/srp (the SRP protocol). The
 // benchmarks in bench_test.go regenerate every table and figure of the
 // paper's §V; cmd/experiments prints them as text tables.
+//
+// The evaluation substrate is built for scale: internal/sim is a
+// zero-steady-state-allocation event kernel (indexed 4-ary heap over
+// pooled events with generation-checked timers), and internal/runner
+// flattens the whole (protocol x pause x trial) grid into one job queue
+// consumed by a work-stealing worker pool, streaming per-trial JSONL/CSV
+// results as they complete. Identical seeds give identical results
+// whatever the worker count.
 package slr

@@ -13,6 +13,7 @@ import (
 
 	"slr/internal/geo"
 	"slr/internal/metrics"
+	"slr/internal/runner"
 	"slr/internal/scenario"
 	"slr/internal/sim"
 	"slr/internal/traffic"
@@ -107,24 +108,76 @@ type Grid struct {
 	cells  map[point]scenario.TrialSet
 }
 
-// Sweep runs the whole grid. Progress lines go to w (pass io.Discard to
-// silence). The same seeds are reused across protocols so each trial
-// compares protocols on identical topology and traffic, as the paper does.
+// SweepOptions configures a sweep beyond its grid coordinates.
+type SweepOptions struct {
+	// Workers is the runner worker count; 0 means GOMAXPROCS.
+	Workers int
+	// Progress receives one summary line per completed grid point (the
+	// historical per-point format); nil is silent.
+	Progress io.Writer
+	// Emitters stream every completed trial (JSONL/CSV) as it finishes.
+	Emitters []runner.Emitter
+}
+
+// Sweep runs the whole grid across all CPUs. Progress lines go to w (pass
+// io.Discard to silence). The same seeds are reused across protocols so
+// each trial compares protocols on identical topology and traffic, as the
+// paper does.
 func Sweep(s Scale, protos []scenario.ProtocolName, seed int64, w io.Writer) *Grid {
+	g, _ := SweepOpts(s, protos, seed, SweepOptions{Progress: w})
+	return g
+}
+
+// SweepOpts runs the whole grid on the work-stealing runner: every
+// (protocol, pause, trial) cell becomes one job in a single flat queue, so
+// slow cells never serialize the sweep the way per-point parallelism did.
+// Results are identical to running every point through the serial
+// scenario.RunTrials. The error is the first emitter failure, if any; the
+// grid is complete either way.
+func SweepOpts(s Scale, protos []scenario.ProtocolName, seed int64, opts SweepOptions) (*Grid, error) {
 	g := &Grid{Scale: s, Protos: protos, cells: make(map[point]scenario.TrialSet)}
-	for _, proto := range protos {
-		for _, pf := range PauseFractions {
-			p := s.Params(proto, pf, seed)
-			start := time.Now()
-			ts := scenario.RunTrials(p, s.Trials)
-			g.cells[point{proto, pf}] = ts
-			deliv := ts.Series(func(r scenario.Result) float64 { return r.DeliveryRatio })
-			fmt.Fprintf(w, "%-4s pause=%4ss deliv=%.3f (%d trials, %v)\n",
-				proto, s.PauseLabel(pf), deliv.Mean(), s.Trials,
+	jobs := runner.GridJobs(protos, PauseFractions, s.Trials, seed, s.Params)
+
+	// Per-point completion tracking for the progress lines.
+	remaining := make(map[point]int, len(protos)*len(PauseFractions))
+	sums := make(map[point]float64, len(remaining))
+	for _, j := range jobs {
+		remaining[point{j.Params.Protocol, j.PauseFrac}]++
+	}
+	start := time.Now()
+	onResult := func(j runner.Job, r scenario.Result) {
+		if opts.Progress == nil {
+			return
+		}
+		pt := point{j.Params.Protocol, j.PauseFrac}
+		sums[pt] += r.DeliveryRatio
+		remaining[pt]--
+		if remaining[pt] == 0 {
+			fmt.Fprintf(opts.Progress, "%-4s pause=%4ss deliv=%.3f (%d trials, %v elapsed)\n",
+				pt.proto, s.PauseLabel(pt.pause), sums[pt]/float64(s.Trials), s.Trials,
 				time.Since(start).Round(time.Millisecond))
 		}
 	}
-	return g
+
+	results, err := runner.Run(jobs, runner.Options{
+		Workers:  opts.Workers,
+		Emitters: opts.Emitters,
+		OnResult: onResult,
+	})
+
+	// Scatter the flat results back into (protocol, pause) cells, trials
+	// in seed order.
+	for i, j := range jobs {
+		pt := point{j.Params.Protocol, j.PauseFrac}
+		ts, ok := g.cells[pt]
+		if !ok {
+			ts = scenario.TrialSet{Protocol: j.Params.Protocol, Pause: j.Params.Pause,
+				Results: make([]scenario.Result, 0, s.Trials)}
+		}
+		ts.Results = append(ts.Results, results[i])
+		g.cells[pt] = ts
+	}
+	return g, err
 }
 
 // Cell returns the trials at one grid point.

@@ -100,8 +100,11 @@ type MAC struct {
 	up    UpperLayer
 	queue []*job
 	cur   *job
-	// ackTimer waits for the CTS or ACK of cur.
-	ackTimer *sim.Event
+	// ackTimer waits for the CTS or ACK of cur; it is re-armed in place
+	// across retries (sim.Reschedule) instead of canceled and reallocated.
+	ackTimer sim.Timer
+	// waitTimer is the pending backoff/attempt event for cur.
+	waitTimer sim.Timer
 	// awaitingCts marks the RTS phase of cur's exchange.
 	awaitingCts bool
 	seq         uint32
@@ -205,10 +208,10 @@ func (m *MAC) enqueue(j *job) {
 }
 
 func (m *MAC) next() {
-	if m.ackTimer != nil {
-		m.sim.Cancel(m.ackTimer)
-		m.ackTimer = nil
-	}
+	m.sim.Cancel(m.ackTimer)
+	m.ackTimer = sim.Timer{}
+	m.sim.Cancel(m.waitTimer)
+	m.waitTimer = sim.Timer{}
 	m.awaitingCts = false
 	if len(m.queue) == 0 {
 		m.cur = nil
@@ -227,7 +230,8 @@ func (m *MAC) backoff() {
 	j := m.cur
 	start := m.ch.IdleAt(m.id)
 	wait := difs + sim.Time(m.sim.Rand().Intn(j.cw+1))*slotTime
-	m.sim.At(start+wait, func() {
+	m.waitTimer = m.sim.Reschedule(m.waitTimer, start+wait, func() {
+		m.waitTimer = sim.Timer{}
 		if m.cur != j {
 			return // job completed or superseded meanwhile
 		}
@@ -266,7 +270,7 @@ func (m *MAC) sendRTS(j *job) {
 	m.awaitingCts = true
 	m.ch.Transmit(rts)
 	timeout := m.ch.AirTime(rtsSize) + sifs + m.ch.AirTime(ctsSize) + 3*slotTime
-	m.ackTimer = m.sim.After(timeout, func() { m.exchangeTimeout(j) })
+	m.ackTimer = m.sim.RescheduleAfter(m.ackTimer, timeout, func() { m.exchangeTimeout(j) })
 }
 
 // sendData transmits the payload frame (directly, or after winning the
@@ -298,7 +302,7 @@ func (m *MAC) sendData(j *job) {
 	}
 	m.stats.TxUnicast++
 	timeout := air + sifs + m.ch.AirTime(ackSize) + 3*slotTime
-	m.ackTimer = m.sim.After(timeout, func() { m.exchangeTimeout(j) })
+	m.ackTimer = m.sim.RescheduleAfter(m.ackTimer, timeout, func() { m.exchangeTimeout(j) })
 }
 
 // exchangeTimeout fires when the expected CTS or ACK never arrived.
@@ -306,7 +310,7 @@ func (m *MAC) exchangeTimeout(j *job) {
 	if m.cur != j {
 		return
 	}
-	m.ackTimer = nil
+	m.ackTimer = sim.Timer{}
 	failed := false
 	if m.awaitingCts || !m.useRTS(j) {
 		// Channel acquisition failed (no CTS), or a non-RTS unicast
@@ -367,11 +371,10 @@ func (m *MAC) OnFrame(f *radio.Frame) {
 		if j != nil && m.awaitingCts && j.to == f.From && j.seq == f.Seq {
 			m.awaitingCts = false
 			j.shortCnt = 0 // successful acquisition resets SRC
-			if m.ackTimer != nil {
-				m.sim.Cancel(m.ackTimer)
-				m.ackTimer = nil
-			}
-			m.sim.After(sifs, func() {
+			// Re-arm the pending CTS-timeout node in place as the SIFS
+			// timer that launches DATA.
+			m.ackTimer = m.sim.RescheduleAfter(m.ackTimer, sifs, func() {
+				m.ackTimer = sim.Timer{}
 				if m.cur == j {
 					m.sendData(j)
 				}

@@ -129,10 +129,16 @@ func (n *Node) Now() sim.Time { return n.sim.Now() }
 func (n *Node) Rand() *rand.Rand { return n.sim.Rand() }
 
 // After schedules fn on the simulation clock.
-func (n *Node) After(d sim.Time, fn func()) *sim.Event { return n.sim.After(d, fn) }
+func (n *Node) After(d sim.Time, fn func()) sim.Timer { return n.sim.After(d, fn) }
 
-// Cancel cancels a scheduled event.
-func (n *Node) Cancel(ev *sim.Event) { n.sim.Cancel(ev) }
+// RescheduleAfter re-arms t to fire fn d from now, reusing its queue node
+// when t is still pending.
+func (n *Node) RescheduleAfter(t sim.Timer, d sim.Time, fn func()) sim.Timer {
+	return n.sim.RescheduleAfter(t, d, fn)
+}
+
+// Cancel cancels a scheduled event; stale and zero timers are ignored.
+func (n *Node) Cancel(t sim.Timer) { n.sim.Cancel(t) }
 
 // Metrics returns the run's collector.
 func (n *Node) Metrics() *metrics.Collector { return n.mx }

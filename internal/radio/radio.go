@@ -86,14 +86,19 @@ func DefaultParams() Params {
 	}
 }
 
-// rx tracks one in-progress reception at a station.
+// rx tracks one in-progress reception at a station. rx structs are pooled
+// per Channel: a reception is the hottest allocation in a run (every frame
+// allocates one per audible receiver), so endReception returns them to a
+// freelist and allocRx reuses them, together with their end-of-reception
+// closure (built once per pooled node, capturing only the node itself).
 type rx struct {
 	frame     *Frame
 	corrupted bool
-	end       sim.Time
 	// dist is the sender-receiver distance at transmission start, used
 	// for the capture comparison.
 	dist float64
+	st   *station // receiving station, set for the node's current life
+	done func()   // calls endReception(rx); allocated once per node
 }
 
 // station is per-node channel state.
@@ -114,6 +119,7 @@ type Channel struct {
 	p        Params
 	stations map[NodeID]*station
 	order    []NodeID // registration order, for deterministic iteration
+	freeRx   []*rx    // reception freelist (see rx)
 
 	// Stats counters.
 	frames     uint64
@@ -254,8 +260,24 @@ func (c *Channel) Transmit(f *Frame) {
 	}
 }
 
+// allocRx takes a reception node from the freelist, or builds a fresh one
+// with its reusable end-of-reception closure.
+func (c *Channel) allocRx(st *station, f *Frame, dist float64) *rx {
+	var r *rx
+	if n := len(c.freeRx); n > 0 {
+		r = c.freeRx[n-1]
+		c.freeRx[n-1] = nil
+		c.freeRx = c.freeRx[:n-1]
+	} else {
+		r = &rx{}
+		r.done = func() { c.endReception(r) }
+	}
+	r.st, r.frame, r.dist, r.corrupted = st, f, dist, false
+	return r
+}
+
 func (c *Channel) beginReception(st *station, f *Frame, end sim.Time, dist2 float64) {
-	r := &rx{frame: f, end: end, dist: math.Sqrt(dist2)}
+	r := c.allocRx(st, f, math.Sqrt(dist2))
 	// Overlapping receptions corrupt each other unless one captures: its
 	// sender is CaptureRatio times closer than the interferer's.
 	for _, other := range st.active {
@@ -277,7 +299,7 @@ func (c *Channel) beginReception(st *station, f *Frame, end sim.Time, dist2 floa
 	if st.busyTill < end {
 		st.busyTill = end
 	}
-	c.sim.At(end, func() { c.endReception(st, r) })
+	c.sim.At(end, r.done)
 }
 
 // captures reports whether reception r survives interference from other:
@@ -289,7 +311,8 @@ func (c *Channel) captures(r, other *rx) bool {
 	return other.dist >= c.p.CaptureRatio*r.dist
 }
 
-func (c *Channel) endReception(st *station, r *rx) {
+func (c *Channel) endReception(r *rx) {
+	st := r.st
 	// Remove r from the active set.
 	for i, other := range st.active {
 		if other == r {
@@ -299,12 +322,15 @@ func (c *Channel) endReception(st *station, r *rx) {
 			break
 		}
 	}
+	frame, corrupted := r.frame, r.corrupted
+	r.frame, r.st = nil, nil
+	c.freeRx = append(c.freeRx, r)
 	// A transmission that started while r was on the air has already
 	// corrupted it (beginReception / Transmit handle both directions).
-	if r.corrupted {
+	if corrupted {
 		return
 	}
 	if st.recv != nil {
-		st.recv.OnFrame(r.frame)
+		st.recv.OnFrame(frame)
 	}
 }

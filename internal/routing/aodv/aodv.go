@@ -114,7 +114,7 @@ type rreqKey struct {
 type pending struct {
 	dst     netstack.NodeID
 	attempt int
-	timer   *sim.Event
+	timer   sim.Timer
 	queue   []*netstack.DataPacket
 	repair  bool // local repair at an intermediate node
 }
@@ -440,9 +440,7 @@ func (p *Protocol) complete(dst netstack.NodeID) {
 	if !ok {
 		return
 	}
-	if pd.timer != nil {
-		p.node.Cancel(pd.timer)
-	}
+	p.node.Cancel(pd.timer)
 	delete(p.pending, dst)
 	e, live := p.liveRoute(dst)
 	for _, pkt := range pd.queue {

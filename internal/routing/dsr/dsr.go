@@ -105,7 +105,7 @@ type rreqKey struct {
 type pending struct {
 	dst     netstack.NodeID
 	attempt int
-	timer   *sim.Event
+	timer   sim.Timer
 	queue   []*netstack.DataPacket
 }
 
@@ -567,9 +567,7 @@ func (p *Protocol) complete(dst netstack.NodeID) {
 	if !ok {
 		return
 	}
-	if pd.timer != nil {
-		p.node.Cancel(pd.timer)
-	}
+	p.node.Cancel(pd.timer)
 	delete(p.pending, dst)
 	for _, pkt := range pd.queue {
 		if path, live := p.lookup(dst); live {

@@ -125,7 +125,7 @@ type rreqState struct {
 type pending struct {
 	dst     netstack.NodeID
 	attempt int
-	timer   *sim.Event
+	timer   sim.Timer
 	queue   []*netstack.DataPacket
 }
 
@@ -536,9 +536,7 @@ func (p *Protocol) complete(dst netstack.NodeID) {
 	if !ok {
 		return
 	}
-	if pd.timer != nil {
-		p.node.Cancel(pd.timer)
-	}
+	p.node.Cancel(pd.timer)
 	delete(p.pending, dst)
 	for _, pkt := range pd.queue {
 		e, live := p.live(dst)

@@ -13,6 +13,7 @@
 package olsr
 
 import (
+	"sort"
 	"time"
 
 	"slr/internal/netstack"
@@ -70,7 +71,10 @@ type neighbor struct {
 }
 
 type topoEntry struct {
-	advertised map[netstack.NodeID]struct{}
+	// advertised is kept sorted by id: route recomputation walks it, and
+	// equal-cost tie-breaks must not depend on incidental ordering (the
+	// sender serialized its selector map in map-iteration order).
+	advertised []netstack.NodeID
 	seq        uint32
 	expiry     sim.Time
 }
@@ -286,10 +290,8 @@ func (p *Protocol) handleTC(from netstack.NodeID, m *tc) {
 		p.seenTC[key] = now + 30*time.Second
 		te, ok := p.topo[m.Orig]
 		if !ok || !seqNewer(te.seq, m.Seq) {
-			adv := make(map[netstack.NodeID]struct{}, len(m.Advertised))
-			for _, n := range m.Advertised {
-				adv[n] = struct{}{}
-			}
+			adv := append([]netstack.NodeID(nil), m.Advertised...)
+			sort.Slice(adv, func(i, j int) bool { return adv[i] < adv[j] })
 			p.topo[m.Orig] = &topoEntry{advertised: adv, seq: m.Seq,
 				expiry: now + p.cfg.TopologyHold}
 			p.dirty = true
@@ -386,14 +388,21 @@ func (p *Protocol) recompute() {
 	routes := make(map[netstack.NodeID]netstack.NodeID)
 	hops := map[netstack.NodeID]int{p.self: 0}
 
-	// First ring: symmetric neighbors.
+	// First ring: symmetric neighbors, visited in id order — the BFS
+	// assigns each destination the first equal-cost route it reaches, so
+	// tie-breaks must not depend on map iteration order (it varies across
+	// goroutines, which would make trial results depend on the worker
+	// count of the sweep runner).
 	queue := make([]netstack.NodeID, 0, len(p.neighbors))
 	for id, nb := range p.neighbors {
 		if nb.sym && nb.expiry > now {
-			routes[id] = id
-			hops[id] = 1
 			queue = append(queue, id)
 		}
+	}
+	sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
+	for _, id := range queue {
+		routes[id] = id
+		hops[id] = 1
 	}
 	// Expand over TC-advertised links.
 	for len(queue) > 0 {
@@ -403,7 +412,7 @@ func (p *Protocol) recompute() {
 		if !ok || te.expiry <= now {
 			continue
 		}
-		for adv := range te.advertised {
+		for _, adv := range te.advertised {
 			if adv == p.self {
 				continue
 			}

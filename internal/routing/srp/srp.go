@@ -113,6 +113,10 @@ type Protocol struct {
 	holdDown map[netstack.NodeID]sim.Time
 	// recentRerrs rate-limits RERR broadcasts (RERR_RATELIMIT).
 	recentRerrs []sim.Time
+	// helloCursor rotates the HelloFanout window over the (sorted) active
+	// destinations, so which routes a HELLO advertises is deterministic
+	// instead of following map iteration order.
+	helloCursor uint32
 
 	// stats for analysis.
 	statRREQ, statRREP, statRERR, statRACK uint64
@@ -166,16 +170,25 @@ func (p *Protocol) Start() {
 // destinations.
 func (p *Protocol) sendHello() {
 	now := p.node.Now()
-	h := &hello{}
+	var dsts []netstack.NodeID
 	for dst, r := range p.routes {
 		if !r.assigned || !r.active(now) {
 			continue
 		}
-		h.Entries = append(h.Entries, helloEntry{Dst: dst, SN: r.order.SN, F: r.order.FD, D: r.dist})
-		if p.cfg.HelloFanout > 0 && len(h.Entries) >= p.cfg.HelloFanout {
-			break
-		}
+		dsts = append(dsts, dst)
 	}
+	sortNodeIDs(dsts)
+	limit := len(dsts)
+	if p.cfg.HelloFanout > 0 && limit > p.cfg.HelloFanout {
+		limit = p.cfg.HelloFanout
+	}
+	h := &hello{}
+	for k := 0; k < limit; k++ {
+		dst := dsts[(int(p.helloCursor)+k)%len(dsts)]
+		r := p.routes[dst]
+		h.Entries = append(h.Entries, helloEntry{Dst: dst, SN: r.order.SN, F: r.order.FD, D: r.dist})
+	}
+	p.helloCursor += uint32(limit)
 	if len(h.Entries) == 0 {
 		return
 	}
@@ -371,6 +384,7 @@ func (p *Protocol) linkBreak(to netstack.NodeID) {
 		}
 	}
 	if len(lost) > 0 && p.rerrAllowed() {
+		sortNodeIDs(lost) // deterministic RERR content whatever the map order
 		e := &rerr{Dests: lost}
 		p.node.BroadcastControl(e.size(), e)
 		p.statRERR++
@@ -719,9 +733,7 @@ func (p *Protocol) completeDiscovery(rep *rrep, g label.Order) {
 	if !ok {
 		return
 	}
-	if pd.timer != nil {
-		p.node.Cancel(pd.timer)
-	}
+	p.node.Cancel(pd.timer)
 	delete(p.pending, rep.Dst)
 	r := p.rt(rep.Dst)
 	for _, pkt := range pd.queue {

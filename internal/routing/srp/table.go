@@ -50,15 +50,20 @@ type route struct {
 }
 
 // active reports whether the route has at least one live successor
-// (Definition 2).
+// (Definition 2). It prunes every expired successor, not just those seen
+// before the first live one: linkBreak and handleRERR make membership
+// checks against succ, so the set's content after a call must be a
+// function of event history alone, never of map iteration order.
 func (r *route) active(now sim.Time) bool {
+	live := false
 	for n, s := range r.succ {
 		if s.expiry > now {
-			return true
+			live = true
+			continue
 		}
 		delete(r.succ, n)
 	}
-	return false
+	return live
 }
 
 // best returns the live successor with minimum measured distance (the
@@ -163,6 +168,6 @@ type pendingDiscovery struct {
 	dst     netstack.NodeID
 	rreqID  uint32
 	attempt int
-	timer   *sim.Event
+	timer   sim.Timer
 	queue   []*netstack.DataPacket
 }

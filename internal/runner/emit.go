@@ -1,0 +1,124 @@
+package runner
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"slr/internal/scenario"
+)
+
+// Emitter is a streaming sink for completed trials. The runner serializes
+// Emit calls and calls Flush once after the last job.
+type Emitter interface {
+	Emit(j Job, r scenario.Result) error
+	Flush() error
+}
+
+// Record is the flat per-trial form written by the JSONL and CSV emitters.
+type Record struct {
+	Protocol      string  `json:"protocol"`
+	PauseSeconds  float64 `json:"pause_seconds"`
+	Trial         int     `json:"trial"`
+	Seed          int64   `json:"seed"`
+	DeliveryRatio float64 `json:"delivery_ratio"`
+	NetworkLoad   float64 `json:"network_load"`
+	LatencySec    float64 `json:"latency_sec"`
+	MACDrops      float64 `json:"mac_drops_per_node"`
+	AvgSeqno      float64 `json:"avg_seqno"`
+	MeanHops      float64 `json:"mean_hops"`
+	DataSent      uint64  `json:"data_sent"`
+	DataRecv      uint64  `json:"data_recv"`
+	ControlTx     uint64  `json:"control_tx"`
+	Collisions    uint64  `json:"collisions"`
+	MaxDenom      uint32  `json:"max_denom,omitempty"`
+}
+
+// NewRecord flattens one trial.
+func NewRecord(j Job, r scenario.Result) Record {
+	return Record{
+		Protocol:      string(r.Protocol),
+		PauseSeconds:  r.Pause.Seconds(),
+		Trial:         j.Trial,
+		Seed:          r.Seed,
+		DeliveryRatio: r.DeliveryRatio,
+		NetworkLoad:   r.NetworkLoad,
+		LatencySec:    r.Latency,
+		MACDrops:      r.MACDrops,
+		AvgSeqno:      r.AvgSeqno,
+		MeanHops:      r.MeanHops,
+		DataSent:      r.DataSent,
+		DataRecv:      r.DataRecv,
+		ControlTx:     r.ControlTx,
+		Collisions:    r.Collisions,
+		MaxDenom:      r.MaxDenom,
+	}
+}
+
+// JSONLEmitter streams one JSON object per line per completed trial.
+type JSONLEmitter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONL returns a JSONL emitter writing to w.
+func NewJSONL(w io.Writer) *JSONLEmitter {
+	bw := bufio.NewWriter(w)
+	return &JSONLEmitter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit writes one trial as a JSON line.
+func (e *JSONLEmitter) Emit(j Job, r scenario.Result) error {
+	return e.enc.Encode(NewRecord(j, r))
+}
+
+// Flush flushes buffered lines.
+func (e *JSONLEmitter) Flush() error { return e.bw.Flush() }
+
+// csvHeader lists the CSV columns, matching Record field order.
+var csvHeader = []string{
+	"protocol", "pause_seconds", "trial", "seed",
+	"delivery_ratio", "network_load", "latency_sec", "mac_drops_per_node",
+	"avg_seqno", "mean_hops", "data_sent", "data_recv", "control_tx",
+	"collisions", "max_denom",
+}
+
+// CSVEmitter streams one CSV row per completed trial, with a header row
+// before the first.
+type CSVEmitter struct {
+	w      *csv.Writer
+	header bool
+}
+
+// NewCSV returns a CSV emitter writing to w.
+func NewCSV(w io.Writer) *CSVEmitter {
+	return &CSVEmitter{w: csv.NewWriter(w)}
+}
+
+// Emit writes one trial as a CSV row.
+func (e *CSVEmitter) Emit(j Job, r scenario.Result) error {
+	if !e.header {
+		e.header = true
+		if err := e.w.Write(csvHeader); err != nil {
+			return err
+		}
+	}
+	rec := NewRecord(j, r)
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	return e.w.Write([]string{
+		rec.Protocol, f(rec.PauseSeconds), strconv.Itoa(rec.Trial),
+		strconv.FormatInt(rec.Seed, 10),
+		f(rec.DeliveryRatio), f(rec.NetworkLoad), f(rec.LatencySec), f(rec.MACDrops),
+		f(rec.AvgSeqno), f(rec.MeanHops), u(rec.DataSent), u(rec.DataRecv),
+		u(rec.ControlTx), u(rec.Collisions), strconv.FormatUint(uint64(rec.MaxDenom), 10),
+	})
+}
+
+// Flush flushes buffered rows.
+func (e *CSVEmitter) Flush() error {
+	e.w.Flush()
+	return e.w.Error()
+}

@@ -1,0 +1,258 @@
+// Package runner executes simulation trials across all CPUs with a
+// work-stealing scheduler.
+//
+// The paper's evaluation (§V) is one grid of (protocol x pause time x
+// trial) simulation runs. The runner flattens any such grid into a single
+// job list and consumes it with GOMAXPROCS workers: each worker owns a
+// contiguous span of job indices and, when its span drains, steals the back
+// half of the largest remaining span. Long-running cells (a chatty protocol
+// at zero pause) therefore never leave cores idle the way per-point
+// parallelism does.
+//
+// Results are deterministic regardless of worker count: every job carries
+// fully seeded scenario.Params fixed at flatten time, each trial runs on
+// its own single-threaded sim.Simulator, and results[i] is written only by
+// the worker that claimed job i. The same flattened grid produces
+// byte-identical results under one worker, many workers, or the serial
+// reference loop (scenario.RunTrials) — see TestRunnerMatchesSerial.
+//
+// Completed trials stream, in completion order, through optional Emitters
+// (JSONL, CSV) and an OnResult hook, serialized by the runner so sinks need
+// no locking; a Progress writer gets a live line per completion.
+package runner
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slr/internal/scenario"
+)
+
+// Job is one flattened grid cell trial: fully seeded parameters plus the
+// coordinates it came from.
+type Job struct {
+	Index     int     // position in the flattened job list
+	PauseFrac float64 // pause as a fraction of run duration (grid sweeps)
+	Trial     int     // trial number within the grid point
+	Params    scenario.Params
+}
+
+// TrialJobs flattens `trials` runs of p into jobs seeded p.Seed, p.Seed+1,
+// ..., the same per-trial seeding as the serial scenario.RunTrials.
+func TrialJobs(p scenario.Params, trials int) []Job {
+	jobs := make([]Job, trials)
+	for i := range jobs {
+		tp := p
+		tp.Seed = p.Seed + int64(i)
+		jobs[i] = Job{Index: i, Trial: i, Params: tp}
+	}
+	return jobs
+}
+
+// GridJobs flattens a full (protocol x pause x trial) grid, protocol-major,
+// reusing the same seeds across protocols so each trial compares protocols
+// on identical topology and traffic, as the paper does. params builds the
+// scenario for one grid point from its coordinates and trial seed.
+func GridJobs(protos []scenario.ProtocolName, pauses []float64, trials int, seed int64,
+	params func(proto scenario.ProtocolName, pauseFrac float64, seed int64) scenario.Params) []Job {
+	jobs := make([]Job, 0, len(protos)*len(pauses)*trials)
+	for _, proto := range protos {
+		for _, pf := range pauses {
+			for t := 0; t < trials; t++ {
+				jobs = append(jobs, Job{
+					Index:     len(jobs),
+					PauseFrac: pf,
+					Trial:     t,
+					Params:    params(proto, pf, seed+int64(t)),
+				})
+			}
+		}
+	}
+	return jobs
+}
+
+// Options configures a Run.
+type Options struct {
+	// Workers is the worker-goroutine count; 0 means GOMAXPROCS.
+	Workers int
+	// Progress receives one line per completed trial; nil is silent.
+	Progress io.Writer
+	// Emitters receive every completed trial in completion order. Calls
+	// are serialized by the runner; emitters need no internal locking.
+	Emitters []Emitter
+	// OnResult, if set, observes every completed trial in completion
+	// order, serialized like Emitters.
+	OnResult func(Job, scenario.Result)
+}
+
+// span is one worker's contiguous range [lo, hi) of unclaimed job indices.
+type span struct {
+	mu     sync.Mutex
+	lo, hi int
+}
+
+// pop claims the front job of the span.
+func (s *span) pop() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lo >= s.hi {
+		return 0, false
+	}
+	i := s.lo
+	s.lo++
+	return i, true
+}
+
+// remaining reports the unclaimed job count.
+func (s *span) remaining() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hi - s.lo
+}
+
+// stealHalf takes the back half (rounded up) of the span's remaining range.
+func (s *span) stealHalf() (lo, hi int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rem := s.hi - s.lo
+	if rem == 0 {
+		return 0, 0, false
+	}
+	take := (rem + 1) / 2
+	hi = s.hi
+	lo = s.hi - take
+	s.hi = lo
+	return lo, hi, true
+}
+
+// steal moves half of the largest remaining span into spans[self] and
+// returns the first stolen index. A batch a thief has taken from its victim
+// but not yet published into its own span is invisible to this scan, so an
+// empty-everywhere scan is not proof the sweep is done; unclaimed (the
+// count of jobs no worker has claimed yet) is. steal returns false only
+// once unclaimed hits zero, briefly yielding and rescanning while a
+// transfer is in flight.
+func steal(spans []span, self int, unclaimed *atomic.Int64) (int, bool) {
+	for {
+		victim, best := -1, 0
+		for i := range spans {
+			if i == self {
+				continue
+			}
+			if rem := spans[i].remaining(); rem > best {
+				best, victim = rem, i
+			}
+		}
+		if victim < 0 {
+			if unclaimed.Load() == 0 {
+				return 0, false
+			}
+			runtime.Gosched() // a steal is mid-transfer; let it publish
+			continue
+		}
+		lo, hi, ok := spans[victim].stealHalf()
+		if !ok {
+			continue // lost a race for the victim's jobs; rescan
+		}
+		s := &spans[self]
+		s.mu.Lock()
+		s.lo, s.hi = lo+1, hi
+		s.mu.Unlock()
+		return lo, true
+	}
+}
+
+// Run executes every job and returns results in job order. Worker count,
+// stealing, and completion order never affect the results, only the
+// wall-clock time and the order sinks observe trials. The returned error
+// is the first Emitter error, if any; results are complete either way.
+func Run(jobs []Job, opts Options) ([]scenario.Result, error) {
+	n := len(jobs)
+	results := make([]scenario.Result, n)
+	if n == 0 {
+		return results, nil
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	spans := make([]span, workers)
+	for w := range spans {
+		spans[w].lo = w * n / workers
+		spans[w].hi = (w + 1) * n / workers
+	}
+
+	var (
+		done      atomic.Int64
+		unclaimed atomic.Int64
+		sinkMu    sync.Mutex
+		sinkErr   error
+		start     = time.Now()
+	)
+	unclaimed.Store(int64(n))
+	sink := func(i int) {
+		d := done.Add(1)
+		if opts.Progress == nil && opts.OnResult == nil && len(opts.Emitters) == 0 {
+			return
+		}
+		sinkMu.Lock()
+		defer sinkMu.Unlock()
+		for _, e := range opts.Emitters {
+			if err := e.Emit(jobs[i], results[i]); err != nil && sinkErr == nil {
+				sinkErr = err
+			}
+		}
+		if opts.OnResult != nil {
+			opts.OnResult(jobs[i], results[i])
+		}
+		if opts.Progress != nil {
+			r := results[i]
+			fmt.Fprintf(opts.Progress, "[%*d/%d] %-4s pause=%v seed=%d deliv=%.3f (%v elapsed)\n",
+				len(fmt.Sprint(n)), d, n, r.Protocol, r.Pause, r.Seed, r.DeliveryRatio,
+				time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			for {
+				i, ok := spans[self].pop()
+				if !ok {
+					if i, ok = steal(spans, self, &unclaimed); !ok {
+						return
+					}
+				}
+				unclaimed.Add(-1)
+				results[i] = scenario.Run(jobs[i].Params)
+				sink(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for _, e := range opts.Emitters {
+		if err := e.Flush(); err != nil && sinkErr == nil {
+			sinkErr = err
+		}
+	}
+	return results, sinkErr
+}
+
+// Trials runs `trials` independent runs of p (seeds p.Seed, p.Seed+1, ...)
+// with work stealing and returns them in seed order: the parallel
+// equivalent of scenario.RunTrials.
+func Trials(p scenario.Params, trials int, opts Options) (scenario.TrialSet, error) {
+	results, err := Run(TrialJobs(p, trials), opts)
+	return scenario.TrialSet{Protocol: p.Protocol, Pause: p.Pause, Results: results}, err
+}

@@ -1,0 +1,219 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"slr/internal/geo"
+	"slr/internal/scenario"
+	"slr/internal/traffic"
+)
+
+// tinyParams is a fast full-stack scenario (12 nodes, 15 s) for runner
+// tests.
+func tinyParams(proto scenario.ProtocolName, seed int64) scenario.Params {
+	p := scenario.DefaultParams(proto, 0, seed)
+	p.Nodes = 12
+	p.Terrain = geo.Terrain{Width: 700, Height: 300}
+	p.Duration = 15 * time.Second
+	p.Traffic = traffic.Params{Flows: 3, PacketSize: 512, Rate: 4, MeanLife: 10 * time.Second}
+	return p
+}
+
+func TestTrialJobsSeeding(t *testing.T) {
+	jobs := TrialJobs(tinyParams(scenario.SRP, 100), 4)
+	if len(jobs) != 4 {
+		t.Fatalf("got %d jobs", len(jobs))
+	}
+	for i, j := range jobs {
+		if j.Index != i || j.Trial != i || j.Params.Seed != 100+int64(i) {
+			t.Fatalf("job %d = {Index:%d Trial:%d Seed:%d}", i, j.Index, j.Trial, j.Params.Seed)
+		}
+	}
+}
+
+func TestGridJobsLayout(t *testing.T) {
+	protos := []scenario.ProtocolName{scenario.SRP, scenario.AODV}
+	pauses := []float64{0, 0.5, 1}
+	jobs := GridJobs(protos, pauses, 2, 7, func(proto scenario.ProtocolName, pf float64, seed int64) scenario.Params {
+		p := tinyParams(proto, seed)
+		p.Pause = time.Duration(pf * float64(p.Duration))
+		return p
+	})
+	if len(jobs) != 2*3*2 {
+		t.Fatalf("got %d jobs, want 12", len(jobs))
+	}
+	// Protocol-major, then pause, then trial; seeds restart per point.
+	if jobs[0].Params.Protocol != scenario.SRP || jobs[11].Params.Protocol != scenario.AODV {
+		t.Fatal("grid not protocol-major")
+	}
+	for i, j := range jobs {
+		if j.Index != i {
+			t.Fatalf("job %d has Index %d", i, j.Index)
+		}
+		if j.Params.Seed != 7+int64(j.Trial) {
+			t.Fatalf("job %d seed = %d, want %d", i, j.Params.Seed, 7+int64(j.Trial))
+		}
+	}
+}
+
+// TestRunnerMatchesSerial is the determinism regression test of the
+// work-stealing scheduler: for the same seeds, results must be identical
+// to the serial scenario.RunTrials path, whatever the worker count. OLSR
+// is included because it is the protocol most sensitive to incidental
+// ordering (MPR tie-breaks), so it would surface any nondeterminism the
+// scheduler introduced.
+func TestRunnerMatchesSerial(t *testing.T) {
+	for _, proto := range []scenario.ProtocolName{scenario.SRP, scenario.OLSR} {
+		p := tinyParams(proto, 40)
+		const trials = 5
+		serial := scenario.RunTrials(p, trials)
+		for _, workers := range []int{1, 2, 7} {
+			ts, err := Trials(p, trials, Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", proto, workers, err)
+			}
+			if !reflect.DeepEqual(serial.Results, ts.Results) {
+				t.Fatalf("%s workers=%d: results diverge from serial path\nserial: %+v\nrunner: %+v",
+					proto, workers, serial.Results, ts.Results)
+			}
+		}
+	}
+}
+
+func TestRunResultsInJobOrder(t *testing.T) {
+	jobs := TrialJobs(tinyParams(scenario.SRP, 300), 6)
+	results, err := Run(jobs, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Seed != 300+int64(i) {
+			t.Fatalf("results[%d].Seed = %d, want %d", i, r.Seed, 300+int64(i))
+		}
+		if r.DataSent == 0 {
+			t.Fatalf("results[%d] looks unrun: %+v", i, r)
+		}
+	}
+}
+
+func TestRunEmptyJobList(t *testing.T) {
+	results, err := Run(nil, Options{})
+	if err != nil || len(results) != 0 {
+		t.Fatalf("Run(nil) = %v, %v", results, err)
+	}
+}
+
+func TestSinksObserveEveryTrial(t *testing.T) {
+	var jsonl, csvBuf, progress bytes.Buffer
+	seen := 0
+	jobs := TrialJobs(tinyParams(scenario.SRP, 50), 3)
+	_, err := Run(jobs, Options{
+		Workers:  2,
+		Progress: &progress,
+		Emitters: []Emitter{NewJSONL(&jsonl), NewCSV(&csvBuf)},
+		OnResult: func(Job, scenario.Result) { seen++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(jobs) {
+		t.Fatalf("OnResult saw %d trials, want %d", seen, len(jobs))
+	}
+	if got := strings.Count(progress.String(), "\n"); got != len(jobs) {
+		t.Fatalf("progress lines = %d, want %d:\n%s", got, len(jobs), progress.String())
+	}
+
+	// JSONL: one parseable record per line, all seeds present.
+	lines := strings.Split(strings.TrimSpace(jsonl.String()), "\n")
+	if len(lines) != len(jobs) {
+		t.Fatalf("jsonl lines = %d, want %d", len(lines), len(jobs))
+	}
+	seeds := map[int64]bool{}
+	for _, line := range lines {
+		var rec Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad jsonl line %q: %v", line, err)
+		}
+		if rec.Protocol != "SRP" || rec.DataSent == 0 {
+			t.Fatalf("implausible record %+v", rec)
+		}
+		seeds[rec.Seed] = true
+	}
+	for i := 0; i < len(jobs); i++ {
+		if !seeds[50+int64(i)] {
+			t.Fatalf("jsonl missing seed %d: %v", 50+i, seeds)
+		}
+	}
+
+	// CSV: header plus one row per trial, same column count throughout.
+	rows, err := csv.NewReader(&csvBuf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(jobs)+1 {
+		t.Fatalf("csv rows = %d, want %d", len(rows), len(jobs)+1)
+	}
+	if rows[0][0] != "protocol" || len(rows[0]) != len(csvHeader) {
+		t.Fatalf("csv header = %v", rows[0])
+	}
+}
+
+// TestStealing drives the span/steal machinery directly through a skewed
+// partition and checks every job is claimed exactly once.
+func TestStealing(t *testing.T) {
+	const n = 1000
+	spans := make([]span, 4)
+	// All jobs start on worker 0; the rest must steal everything.
+	spans[0] = span{lo: 0, hi: n}
+	var unclaimed atomic.Int64
+	unclaimed.Store(n)
+	var claimed [n]atomic.Int64
+	workers := make(chan struct{}, len(spans))
+	for w := range spans {
+		go func(self int) {
+			defer func() { workers <- struct{}{} }()
+			for {
+				i, ok := spans[self].pop()
+				if !ok {
+					if i, ok = steal(spans, self, &unclaimed); !ok {
+						return
+					}
+				}
+				unclaimed.Add(-1)
+				claimed[i].Add(1)
+			}
+		}(w)
+	}
+	for range spans {
+		<-workers
+	}
+	for i := range claimed {
+		if c := claimed[i].Load(); c != 1 {
+			t.Fatalf("job %d claimed %d times", i, c)
+		}
+	}
+}
+
+func TestStealHalf(t *testing.T) {
+	s := span{lo: 10, hi: 20}
+	lo, hi, ok := s.stealHalf()
+	if !ok || lo != 15 || hi != 20 || s.hi != 15 {
+		t.Fatalf("stealHalf = (%d,%d,%v), span now [%d,%d)", lo, hi, ok, s.lo, s.hi)
+	}
+	// A single remaining job is stealable too.
+	s = span{lo: 5, hi: 6}
+	lo, hi, ok = s.stealHalf()
+	if !ok || lo != 5 || hi != 6 || s.lo != s.hi {
+		t.Fatalf("stealHalf single = (%d,%d,%v), span now [%d,%d)", lo, hi, ok, s.lo, s.hi)
+	}
+	if _, _, ok = s.stealHalf(); ok {
+		t.Fatal("stole from empty span")
+	}
+}

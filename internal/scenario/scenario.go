@@ -8,8 +8,6 @@ package scenario
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 	"time"
 
 	"slr/internal/geo"
@@ -292,32 +290,20 @@ func (ts *TrialSet) Series(metric func(Result) float64) *metrics.Series {
 }
 
 // RunTrials runs `trials` independent runs of p (seeds p.Seed, p.Seed+1,
-// ...) across all CPUs and returns them in seed order. The same seed
-// produces the same topology and traffic for every protocol, matching the
-// paper's fixed per-trial mobility and traffic scripts.
+// ...) serially and returns them in seed order. The same seed produces the
+// same topology and traffic for every protocol, matching the paper's fixed
+// per-trial mobility and traffic scripts.
+//
+// RunTrials is the serial reference path: the work-stealing scheduler in
+// internal/runner must produce byte-identical results for the same seeds,
+// and its regression tests compare against this loop. Use runner.Trials to
+// saturate all cores.
 func RunTrials(p Params, trials int) TrialSet {
 	results := make([]Result, trials)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > trials {
-		workers = trials
+	for i := range results {
+		tp := p
+		tp.Seed = p.Seed + int64(i)
+		results[i] = Run(tp)
 	}
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				tp := p
-				tp.Seed = p.Seed + int64(i)
-				results[i] = Run(tp)
-			}
-		}()
-	}
-	for i := 0; i < trials; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
 	return TrialSet{Protocol: p.Protocol, Pause: p.Pause, Results: results}
 }

@@ -97,7 +97,7 @@ func TestAODVSeqnoGrows(t *testing.T) {
 	}
 }
 
-func TestRunTrialsParallelAndOrdered(t *testing.T) {
+func TestRunTrialsOrdered(t *testing.T) {
 	p := smallParams(SRP, 900*time.Second, 100)
 	p.Nodes = 15
 	p.Duration = 20 * time.Second

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math/rand"
+	"sort"
 	"testing"
 	"time"
 )
@@ -54,17 +56,20 @@ func TestCancel(t *testing.T) {
 	s := New(1)
 	ran := false
 	ev := s.At(time.Second, func() { ran = true })
+	if !ev.Pending() {
+		t.Fatal("Pending() = false for a scheduled event")
+	}
 	s.Cancel(ev)
 	s.Run()
 	if ran {
 		t.Fatal("canceled event ran")
 	}
-	if !ev.Canceled() {
-		t.Fatal("Canceled() = false after Cancel")
+	if ev.Pending() {
+		t.Fatal("Pending() = true after Cancel")
 	}
-	// Canceling twice or canceling nil must be safe.
+	// Canceling twice or canceling the zero Timer must be safe.
 	s.Cancel(ev)
-	s.Cancel(nil)
+	s.Cancel(Timer{})
 }
 
 func TestCancelFromWithinEvent(t *testing.T) {
@@ -76,6 +81,127 @@ func TestCancelFromWithinEvent(t *testing.T) {
 	if ran {
 		t.Fatal("event canceled mid-run still ran")
 	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	// A Timer whose event already fired must be inert: canceling it later
+	// must not touch whatever event reuses the pooled node.
+	s := New(1)
+	fires := 0
+	stale := s.At(time.Second, func() { fires++ })
+	s.Run()
+	if fires != 1 {
+		t.Fatalf("fired %d times, want 1", fires)
+	}
+	if stale.Pending() {
+		t.Fatal("fired event still pending")
+	}
+	// The freelist hands the same node back for the next event.
+	fresh := s.At(2*time.Second, func() { fires++ })
+	if fresh.ev != stale.ev {
+		t.Fatalf("expected pooled reuse of the fired node")
+	}
+	s.Cancel(stale) // stale generation: must be a no-op
+	if !fresh.Pending() {
+		t.Fatal("stale Cancel killed the event reusing the node")
+	}
+	s.Run()
+	if fires != 2 {
+		t.Fatalf("fired %d times, want 2 (stale cancel resurrected or killed)", fires)
+	}
+}
+
+func TestPooledReuseDoesNotResurrectCanceled(t *testing.T) {
+	// Cancel an event, let a new event claim the pooled node, and check
+	// the old handle observes nothing and the new event still fires.
+	s := New(1)
+	var log []string
+	old := s.At(time.Second, func() { log = append(log, "old") })
+	s.Cancel(old)
+	reused := s.At(time.Second, func() { log = append(log, "new") })
+	if reused.ev != old.ev {
+		t.Fatalf("expected the canceled node to be reused")
+	}
+	if old.Pending() {
+		t.Fatal("canceled handle reports pending after node reuse")
+	}
+	s.Cancel(old) // again: must not cancel the new occupant
+	s.Run()
+	if len(log) != 1 || log[0] != "new" {
+		t.Fatalf("log = %v, want [new]", log)
+	}
+}
+
+func TestRescheduleMovesPendingEvent(t *testing.T) {
+	s := New(1)
+	var fired []Time
+	ev := s.At(time.Second, func() { fired = append(fired, s.Now()) })
+	ev2 := s.Reschedule(ev, 3*time.Second, func() { fired = append(fired, s.Now()) })
+	if ev2.ev != ev.ev || ev2.gen != ev.gen {
+		t.Fatal("reschedule of a pending event did not reuse its node")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1 after in-place reschedule", s.Pending())
+	}
+	s.Run()
+	if len(fired) != 1 || fired[0] != 3*time.Second {
+		t.Fatalf("fired = %v, want [3s]", fired)
+	}
+}
+
+func TestRescheduleEarlier(t *testing.T) {
+	s := New(1)
+	var at Time
+	ev := s.At(5*time.Second, func() { at = s.Now() })
+	s.Reschedule(ev, time.Second, func() { at = s.Now() })
+	s.Run()
+	if at != time.Second {
+		t.Fatalf("fired at %v, want 1s", at)
+	}
+}
+
+func TestRescheduleSpentTimerSchedulesFresh(t *testing.T) {
+	s := New(1)
+	count := 0
+	ev := s.At(time.Second, func() { count++ })
+	s.Run()
+	ev = s.Reschedule(ev, 2*time.Second, func() { count += 10 })
+	if !ev.Pending() {
+		t.Fatal("reschedule of spent timer did not schedule")
+	}
+	s.Run()
+	if count != 11 {
+		t.Fatalf("count = %d, want 11", count)
+	}
+}
+
+func TestRescheduleFromWithinOwnCallback(t *testing.T) {
+	// Rescheduling your own timer while it fires must schedule a fresh
+	// event, not act on the node's next occupant.
+	s := New(1)
+	var times []Time
+	var tm Timer
+	tm = s.At(time.Second, func() {
+		tm = s.RescheduleAfter(tm, time.Second, func() { times = append(times, s.Now()) })
+	})
+	s.Run()
+	if len(times) != 1 || times[0] != 2*time.Second {
+		t.Fatalf("times = %v, want [2s]", times)
+	}
+}
+
+func TestRescheduleIntoPastPanics(t *testing.T) {
+	s := New(1)
+	ev := s.At(10*time.Second, func() {})
+	s.At(5*time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic rescheduling into the past")
+			}
+		}()
+		s.Reschedule(ev, time.Second, func() {})
+	})
+	s.RunUntil(6 * time.Second)
 }
 
 func TestRunUntilStopsClock(t *testing.T) {
@@ -176,5 +302,78 @@ func TestPending(t *testing.T) {
 	s.Step()
 	if s.Pending() != 1 {
 		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+}
+
+// TestHeapStress drives the 4-ary heap through a large randomized mix of
+// schedules, cancels, and reschedules and checks the firing order is
+// globally sorted by (time, schedule order).
+func TestHeapStress(t *testing.T) {
+	s := New(1)
+	rng := rand.New(rand.NewSource(99))
+	type rec struct {
+		at  Time
+		seq int
+	}
+	var fired []rec
+	var timers []Timer
+	next := 0
+	for i := 0; i < 5000; i++ {
+		switch rng.Intn(10) {
+		case 0, 1: // cancel a random timer (possibly stale)
+			if len(timers) > 0 {
+				s.Cancel(timers[rng.Intn(len(timers))])
+			}
+		case 2: // reschedule a random timer (possibly stale)
+			if len(timers) > 0 {
+				at := Time(rng.Int63n(int64(time.Hour)))
+				n := next
+				next++
+				timers[rng.Intn(len(timers))] = s.Reschedule(
+					timers[rng.Intn(len(timers))], at,
+					func() { fired = append(fired, rec{s.Now(), n}) })
+			}
+		default:
+			at := Time(rng.Int63n(int64(time.Hour)))
+			n := next
+			next++
+			timers = append(timers, s.At(at, func() { fired = append(fired, rec{s.Now(), n}) }))
+		}
+	}
+	s.Run()
+	if s.Pending() != 0 {
+		t.Fatalf("queue not drained: %d pending", s.Pending())
+	}
+	if !sort.SliceIsSorted(fired, func(i, j int) bool {
+		if fired[i].at != fired[j].at {
+			return fired[i].at < fired[j].at
+		}
+		return i < j
+	}) {
+		t.Fatal("events fired out of time order")
+	}
+}
+
+// TestSteadyStateZeroAlloc checks the pooled kernel's core promise: a
+// schedule/fire cycle in the steady state does not allocate.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	s := New(1)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < 10000 {
+			s.After(time.Microsecond, tick)
+		}
+	}
+	s.After(0, tick)
+	s.Step() // warm the pool
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 50; i++ {
+			s.Step()
+		}
+	})
+	if avg > 1 {
+		t.Fatalf("steady-state schedule/fire allocates %.1f times per 50 events", avg)
 	}
 }
