@@ -19,9 +19,14 @@ race:
 	$(GO) test -race ./...
 
 # Bench smoke: one iteration of every bench, so regressions in the bench
-# harness itself surface quickly. Full runs: `go test -bench=. -benchmem .`
+# harness itself surface quickly, plus a machine-readable record of the
+# run appended to the BENCH_<n>.json perf trajectory (see cmd/benchjson).
+# Full runs: `go test -bench=. -benchmem .`
 bench:
-	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./...
+	@$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./... > bench.out 2>&1; \
+	st=$$?; cat bench.out; \
+	if [ $$st -ne 0 ]; then rm -f bench.out; exit $$st; fi; \
+	$(GO) run ./cmd/benchjson -in bench.out && rm -f bench.out
 
 fmt:
 	@out=$$(gofmt -l .); \

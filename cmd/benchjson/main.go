@@ -1,0 +1,172 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable benchmark record, written to the next free
+// BENCH_<n>.json in the output directory. Committing these files turns
+// `make bench` runs into a perf trajectory: BENCH_1.json is the state of
+// the repo when the file was committed, BENCH_2.json the next measured
+// state, and so on — diffable, plottable, and immune to the formatting of
+// the bench text.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=. -benchmem ./... > bench.out
+//	benchjson -in bench.out
+//	benchjson -in bench.out -out my-results.json   # explicit path
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics carries every other "<value> <unit>" pair on the line —
+	// the custom b.ReportMetric values (deliv-ratio, net-load, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the file-level record.
+type Report struct {
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches "BenchmarkName-8  <iters>  <pairs...>", stripping the
+// -GOMAXPROCS suffix so records compare across machines. Go omits that
+// suffix when GOMAXPROCS=1, so a benchmark whose own name ends in
+// "-<digits>" would be truncated inconsistently — name sub-benchmarks
+// "N=500", not "-500".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// Parse extracts benchmark results from go test output.
+func Parse(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: m[1], Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[fields[i+1]] = v
+			}
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+// NextPath returns dir/BENCH_<n>.json for the smallest n (starting at 1)
+// past every existing BENCH_<k>.json, so each run extends the trajectory.
+func NextPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	seq := regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+	max := 0
+	for _, e := range entries {
+		if m := seq.FindStringSubmatch(e.Name()); m != nil {
+			if n, err := strconv.Atoi(m[1]); err == nil && n > max {
+				max = n
+			}
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", max+1)), nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	var (
+		in  = fs.String("in", "", "bench output file to parse (default stdin)")
+		out = fs.String("out", "", "output path (default: next BENCH_<n>.json in -dir)")
+		dir = fs.String("dir", ".", "directory for auto-numbered output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	benches, err := Parse(src)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+
+	path := *out
+	if path == "" {
+		if path, err = NextPath(*dir); err != nil {
+			return err
+		}
+	}
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: benches,
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(benches), path)
+	return nil
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: slr
+cpu: Intel(R) Xeon(R)
+BenchmarkTable1/SRP-8         	       1	 816529 ns/op	     0.93 deliv-ratio	     0.52 net-load	  123 B/op	       4 allocs/op
+BenchmarkMediant-8            	     100	      11.5 ns/op	       0 B/op	       0 allocs/op
+some unrelated line
+PASS
+ok  	slr	1.2s
+`
+
+func TestParse(t *testing.T) {
+	benches, err := Parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(benches))
+	}
+	b := benches[0]
+	if b.Name != "BenchmarkTable1/SRP" || b.Iterations != 1 || b.NsPerOp != 816529 {
+		t.Fatalf("first bench = %+v", b)
+	}
+	if b.AllocsPerOp != 4 || b.BytesPerOp != 123 {
+		t.Fatalf("allocs/bytes = %v/%v", b.AllocsPerOp, b.BytesPerOp)
+	}
+	if b.Metrics["deliv-ratio"] != 0.93 || b.Metrics["net-load"] != 0.52 {
+		t.Fatalf("metrics = %v", b.Metrics)
+	}
+	if benches[1].NsPerOp != 11.5 || benches[1].Metrics != nil {
+		t.Fatalf("second bench = %+v", benches[1])
+	}
+}
+
+func TestNextPathSequence(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NextPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p) != "BENCH_1.json" {
+		t.Fatalf("first path = %s", p)
+	}
+	for _, name := range []string{"BENCH_1.json", "BENCH_3.json", "BENCH_07.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err = NextPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p) != "BENCH_8.json" {
+		t.Fatalf("next path = %s, want BENCH_8.json", p)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.out")
+	if err := os.WriteFile(in, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", in, "-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, "BENCH_1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 || rep.GOOS == "" || rep.GoVersion == "" {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "empty.out")
+	if err := os.WriteFile(in, []byte("PASS\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", in, "-dir", dir}); err == nil {
+		t.Fatal("empty bench input accepted")
+	}
+}

@@ -7,10 +7,17 @@
 // the paper's exact 100-node / 30-flow / 900 s / 10-trial configuration
 // (hours of CPU).
 //
+// With -spec, the command instead runs the trials of one declarative
+// scenario spec (a JSON file or a built-in name like "paper-default") and
+// prints the per-trial results and their summary; -jsonl/-csv stream the
+// trials the same way they do for a sweep.
+//
 // Example:
 //
 //	experiments -scale mid -exp all
 //	experiments -scale full -exp fig5 -trials 10
+//	experiments -spec examples/scenarios/manhattan-500.json
+//	experiments -spec paper-default -trials 3
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"slr/internal/experiments"
 	"slr/internal/runner"
 	"slr/internal/scenario"
+	"slr/internal/spec"
 )
 
 func main() {
@@ -37,6 +45,7 @@ func run(args []string) error {
 	var (
 		scaleName = fs.String("scale", "mid", "experiment scale: full, mid, small")
 		exp       = fs.String("exp", "all", "experiment: all, table1, fig3, fig4, fig5, fig6, fig7")
+		specArg   = fs.String("spec", "", "run one scenario spec (path or built-in name) instead of the paper grid")
 		trials    = fs.Int("trials", 0, "override trials per grid point (0 = scale default)")
 		seed      = fs.Int64("seed", 1, "base random seed")
 		quiet     = fs.Bool("quiet", false, "suppress per-run progress output")
@@ -48,6 +57,12 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	seedSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
 
 	scale, err := experiments.ScaleByName(*scaleName)
 	if err != nil {
@@ -55,6 +70,25 @@ func run(args []string) error {
 	}
 	if *trials > 0 {
 		scale.Trials = *trials
+	}
+
+	if *specArg != "" {
+		// Resolve the spec before touching any output file: a bad spec
+		// must not truncate existing -jsonl/-csv results.
+		s, err := spec.Resolve(*specArg)
+		if err != nil {
+			return err
+		}
+		p, err := s.Params()
+		if err != nil {
+			return err
+		}
+		emitters, closeEmitters, err := openEmitters(*jsonlOut, *csvOut)
+		if err != nil {
+			return err
+		}
+		defer closeEmitters()
+		return runSpec(s, p, *trials, *seed, seedSet, *workers, *quiet, emitters)
 	}
 
 	protos := scenario.AllProtocols
@@ -76,26 +110,14 @@ func run(args []string) error {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
 
-	opts := experiments.SweepOptions{Workers: *workers}
+	emitters, closeEmitters, err := openEmitters(*jsonlOut, *csvOut)
+	if err != nil {
+		return err
+	}
+	defer closeEmitters()
+	opts := experiments.SweepOptions{Workers: *workers, Emitters: emitters}
 	if !*quiet {
 		opts.Progress = os.Stderr
-	}
-	for _, stream := range []struct {
-		path string
-		mk   func(w *os.File) runner.Emitter
-	}{
-		{*jsonlOut, func(w *os.File) runner.Emitter { return runner.NewJSONL(w) }},
-		{*csvOut, func(w *os.File) runner.Emitter { return runner.NewCSV(w) }},
-	} {
-		if stream.path == "" {
-			continue
-		}
-		f, err := os.Create(stream.path)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		opts.Emitters = append(opts.Emitters, stream.mk(f))
 	}
 
 	fmt.Fprintf(os.Stderr, "sweeping %s scale: %d nodes, %d flows, %v, %d trials x %d pauses x %d protocols\n",
@@ -129,4 +151,73 @@ func run(args []string) error {
 		return fmt.Errorf("per-trial streaming failed (tables above are complete): %w", sweepErr)
 	}
 	return nil
+}
+
+// openEmitters creates the requested per-trial stream files. Callers
+// invoke it only after every flag and spec has validated, so a typo
+// elsewhere never truncates an existing results file.
+func openEmitters(jsonlPath, csvPath string) ([]runner.Emitter, func(), error) {
+	var emitters []runner.Emitter
+	var files []*os.File
+	closeAll := func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}
+	for _, stream := range []struct {
+		path string
+		mk   func(w *os.File) runner.Emitter
+	}{
+		{jsonlPath, func(w *os.File) runner.Emitter { return runner.NewJSONL(w) }},
+		{csvPath, func(w *os.File) runner.Emitter { return runner.NewCSV(w) }},
+	} {
+		if stream.path == "" {
+			continue
+		}
+		f, err := os.Create(stream.path)
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		files = append(files, f)
+		emitters = append(emitters, stream.mk(f))
+	}
+	return emitters, closeAll, nil
+}
+
+// runSpec runs the trials of one resolved scenario spec on the
+// work-stealing runner and prints the trial summary.
+func runSpec(s *spec.ScenarioSpec, p scenario.Params, trials int, seed int64, seedSet bool, workers int, quiet bool, emitters []runner.Emitter) error {
+	if seedSet {
+		p.Seed = seed
+	}
+	if trials <= 0 {
+		trials = s.TrialCount()
+	}
+	name := s.Name
+	if name == "" {
+		name = "scenario"
+	}
+	fmt.Fprintf(os.Stderr, "spec %s: %s, %d nodes, %.0fx%.0f m, %v, mobility=%s traffic=%s propagation=%s, %d trials\n",
+		name, p.Protocol, p.Nodes, p.Terrain.Width, p.Terrain.Height, p.Duration,
+		s.Mobility.Model, orDefault(s.Traffic.Model, "cbr"), orDefault(s.Radio.Propagation, "unit-disk"), trials)
+	opts := runner.Options{Workers: workers, Emitters: emitters}
+	if !quiet {
+		opts.Progress = os.Stderr
+	}
+	start := time.Now()
+	ts, err := runner.Trials(p, trials, opts)
+	fmt.Fprintf(os.Stderr, "finished in %v\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Print(experiments.TrialReport(name, ts))
+	if err != nil {
+		return fmt.Errorf("per-trial streaming failed (summary above is complete): %w", err)
+	}
+	return nil
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
 }

@@ -24,3 +24,15 @@ func TestRunBadFlag(t *testing.T) {
 		t.Fatal("bad flag accepted")
 	}
 }
+
+func TestRunSpecMode(t *testing.T) {
+	if err := run([]string{"-spec", "../../examples/scenarios/tiny-smoke.json", "-quiet"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSpecModeUnknown(t *testing.T) {
+	if err := run([]string{"-spec", "no-such-spec"}); err == nil {
+		t.Fatal("unknown spec accepted")
+	}
+}

@@ -1,21 +1,30 @@
 // Command slrsim runs a single wireless ad hoc routing simulation and
 // prints its metrics.
 //
+// -spec loads a declarative scenario file (or a built-in name like
+// "paper-default") as the baseline; any topology or workload flag given
+// explicitly on the command line overrides the spec's value.
+//
 // Example:
 //
 //	slrsim -protocol SRP -nodes 100 -pause 0 -flows 30 -duration 900s -seed 1
+//	slrsim -spec examples/scenarios/manhattan-500.json -trials 1
+//	slrsim -spec paper-default -protocol AODV
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 	"time"
 
 	"slr/internal/geo"
+	"slr/internal/mobility"
 	"slr/internal/runner"
 	"slr/internal/scenario"
+	"slr/internal/spec"
 	"slr/internal/traffic"
 )
 
@@ -43,10 +52,13 @@ func run(args []string) error {
 		pktSize   = fs.Int("size", 512, "CBR payload bytes")
 		check     = fs.Bool("check", false, "verify loop-freedom invariant during the run")
 		trials    = fs.Int("trials", 1, "independent trials (seeds seed..seed+trials-1)")
+		specArg   = fs.String("spec", "", "scenario spec (path or built-in name) as the baseline; explicit flags override it")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	proto := scenario.ProtocolName(strings.ToUpper(*protoName))
 	found := false
@@ -59,17 +71,81 @@ func run(args []string) error {
 		return fmt.Errorf("unknown protocol %q (want one of %v)", *protoName, scenario.AllProtocols)
 	}
 
-	p := scenario.DefaultParams(proto, *pause, *seed)
-	p.Nodes = *nodes
-	p.Terrain = geo.Terrain{Width: *width, Height: *height}
-	p.Range = *rng
-	p.MaxSpeed = *maxSpeed
-	p.Duration = *duration
-	p.Traffic = traffic.Params{
-		Flows: *flows, PacketSize: *pktSize, Rate: *rate,
-		MeanLife: 60 * time.Second,
+	var p scenario.Params
+	if *specArg != "" {
+		s, err := spec.Resolve(*specArg)
+		if err != nil {
+			return err
+		}
+		if p, err = s.Params(); err != nil {
+			return err
+		}
+		if !set["trials"] {
+			*trials = s.TrialCount()
+		}
+		// Explicit flags override the spec; a changed speed or pause
+		// also drops the spec's mobility section back to the waypoint
+		// defaults those flags describe.
+		if set["protocol"] {
+			p.Protocol = proto
+		}
+		if set["nodes"] {
+			p.Nodes = *nodes
+		}
+		if set["width"] {
+			p.Terrain.Width = *width
+		}
+		if set["height"] {
+			p.Terrain.Height = *height
+		}
+		if set["range"] {
+			p.Range = *rng
+		}
+		if set["duration"] {
+			p.Duration = *duration
+		}
+		if set["seed"] {
+			p.Seed = *seed
+		}
+		if set["flows"] {
+			p.Traffic.Flows = *flows
+		}
+		if set["rate"] {
+			p.Traffic.Rate = *rate
+		}
+		if set["size"] {
+			p.Traffic.PacketSize = *pktSize
+		}
+		if set["pause"] || set["speed"] {
+			// Overriding motion flags drops the spec's mobility model
+			// back to the waypoint those flags describe, keeping the
+			// spec's value for whichever of the pair was not given and
+			// never letting the floor exceed the new speed ceiling.
+			if set["speed"] {
+				p.MaxSpeed = *maxSpeed
+			}
+			if set["pause"] {
+				p.Pause = *pause
+			}
+			p.MinSpeed = math.Min(p.MinSpeed, p.MaxSpeed)
+			p.Mobility = mobility.Spec{}
+		}
+		if set["check"] {
+			p.CheckInvariants = *check
+		}
+	} else {
+		p = scenario.DefaultParams(proto, *pause, *seed)
+		p.Nodes = *nodes
+		p.Terrain = geo.Terrain{Width: *width, Height: *height}
+		p.Range = *rng
+		p.MaxSpeed = *maxSpeed
+		p.Duration = *duration
+		p.Traffic = traffic.Params{
+			Flows: *flows, PacketSize: *pktSize, Rate: *rate,
+			MeanLife: 60 * time.Second,
+		}
+		p.CheckInvariants = *check
 	}
-	p.CheckInvariants = *check
 
 	ts, err := runner.Trials(p, *trials, runner.Options{})
 	if err != nil {
@@ -86,7 +162,7 @@ func run(args []string) error {
 		if r.MaxDenom > 0 {
 			fmt.Printf("  max denominator %d\n", r.MaxDenom)
 		}
-		if *check {
+		if p.CheckInvariants {
 			fmt.Printf("  loop checks     %d (%d violations)\n", r.LoopChecks, len(r.LoopErrors))
 			for _, e := range r.LoopErrors {
 				fmt.Printf("    VIOLATION %s\n", e)

@@ -47,3 +47,26 @@ func TestRunBadFlag(t *testing.T) {
 		t.Fatal("bad flag accepted")
 	}
 }
+
+func TestRunSpecFile(t *testing.T) {
+	if err := run([]string{"-spec", "../../examples/scenarios/tiny-smoke.json"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSpecWithFlagOverrides(t *testing.T) {
+	// Shrink the built-in paper spec down to test size via explicit flags.
+	err := run([]string{
+		"-spec", "paper-default", "-nodes", "12", "-width", "600", "-height", "300",
+		"-duration", "10s", "-flows", "3", "-trials", "1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSpecUnknown(t *testing.T) {
+	if err := run([]string{"-spec", "no-such-spec"}); err == nil {
+		t.Fatal("unknown spec accepted")
+	}
+}

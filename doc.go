@@ -12,9 +12,19 @@
 //
 // The evaluation substrate is built for scale: internal/sim is a
 // zero-steady-state-allocation event kernel (indexed 4-ary heap over
-// pooled events with generation-checked timers), and internal/runner
-// flattens the whole (protocol x pause x trial) grid into one job queue
-// consumed by a work-stealing worker pool, streaming per-trial JSONL/CSV
-// results as they complete. Identical seeds give identical results
-// whatever the worker count.
+// pooled events with generation-checked timers), internal/radio finds
+// audible sets through an incremental spatial grid index (O(neighbors)
+// per transmission, byte-identical to the linear reference scan), and
+// internal/runner flattens the whole (protocol x pause x trial) grid into
+// one job queue consumed by a work-stealing worker pool, streaming
+// per-trial JSONL/CSV results as they complete. Identical seeds give
+// identical results whatever the worker count.
+//
+// Workloads are declarative: internal/spec loads versioned JSON scenario
+// files (see examples/scenarios/) that select a routing protocol plus
+// registered mobility models (waypoint, static, gauss-markov, manhattan),
+// traffic models (cbr, poisson, onoff), and radio propagation models
+// (unit-disk, shadowing, rayleigh) by name, with per-model parameter
+// maps. The paper's evaluation setup is the built-in "paper-default"
+// spec; both cmd/slrsim and cmd/experiments take -spec.
 package slr

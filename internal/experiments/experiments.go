@@ -352,6 +352,25 @@ func (g *Grid) Report() string {
 	return b.String()
 }
 
+// TrialReport renders the summary for one scenario's trial set: the
+// headline metrics as mean±CI over the trials. It is the single-spec
+// counterpart of Table1, used by the -spec mode of cmd/experiments.
+func TrialReport(name string, ts scenario.TrialSet) string {
+	var b strings.Builder
+	deliv := ts.Series(func(r scenario.Result) float64 { return r.DeliveryRatio })
+	load := ts.Series(func(r scenario.Result) float64 { return r.NetworkLoad })
+	lat := ts.Series(func(r scenario.Result) float64 { return r.Latency })
+	drops := ts.Series(func(r scenario.Result) float64 { return r.MACDrops })
+	hops := ts.Series(func(r scenario.Result) float64 { return r.MeanHops })
+	fmt.Fprintf(&b, "%s: %s, %d trials\n", name, ts.Protocol, len(ts.Results))
+	fmt.Fprintf(&b, "  delivery ratio  %.3f±%.3f\n", deliv.Mean(), deliv.CI())
+	fmt.Fprintf(&b, "  network load    %.3f±%.3f\n", load.Mean(), load.CI())
+	fmt.Fprintf(&b, "  latency (s)     %.3f±%.3f\n", lat.Mean(), lat.CI())
+	fmt.Fprintf(&b, "  MAC drops/node  %.1f±%.1f\n", drops.Mean(), drops.CI())
+	fmt.Fprintf(&b, "  mean hops       %.2f±%.2f\n", hops.Mean(), hops.CI())
+	return b.String()
+}
+
 // SortedPauses returns the pause fractions in order (exported for tools).
 func SortedPauses() []float64 {
 	out := append([]float64{}, PauseFractions...)

@@ -7,6 +7,7 @@
 package mobility
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"time"
@@ -58,8 +59,11 @@ var _ Model = (*Waypoint)(nil)
 // node pauses at start (as if it just arrived) so different pause times
 // differentiate immediately.
 func NewWaypoint(terrain geo.Terrain, rng *rand.Rand, minSpeed, maxSpeed float64, pause sim.Time) *Waypoint {
+	// maxSpeed is the hard contract the radio grid trusts; an inverted
+	// range clamps the floor down, never the ceiling up.
+	minSpeed = math.Min(minSpeed, maxSpeed)
 	start := randPoint(terrain, rng)
-	return &Waypoint{
+	w := &Waypoint{
 		terrain:  terrain,
 		rng:      rng,
 		minSpeed: minSpeed,
@@ -71,6 +75,13 @@ func NewWaypoint(terrain geo.Terrain, rng *rand.Rand, minSpeed, maxSpeed float64
 		arrive:   0,
 		resumeT:  pause,
 	}
+	if maxSpeed <= 0 {
+		// A zero speed bound means the node never moves; parking it
+		// outright keeps the MaxSpeed drift contract exact instead of
+		// letting the anti-stall speed floor break it.
+		w.resumeT = math.MaxInt64
+	}
+	return w
 }
 
 func randPoint(t geo.Terrain, rng *rand.Rand) geo.Point {
@@ -94,9 +105,11 @@ func (w *Waypoint) nextLeg() {
 	w.from = w.to
 	w.to = randPoint(w.terrain, w.rng)
 	w.depart = w.resumeT
+	// The anti-stall floor must never exceed the model's hard MaxSpeed
+	// bound — the radio grid's drift math depends on it.
 	speed := w.minSpeed + w.rng.Float64()*(w.maxSpeed-w.minSpeed)
-	if speed < 0.1 {
-		speed = 0.1
+	if floor := math.Min(0.1, w.maxSpeed); speed < floor {
+		speed = floor
 	}
 	dist := w.from.Dist(w.to)
 	travel := sim.Time(float64(time.Second) * dist / speed)

@@ -1,0 +1,52 @@
+package radio
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"slr/internal/geo"
+	"slr/internal/mobility"
+	"slr/internal/sim"
+)
+
+// benchChannel measures Transmit cost (audible-set lookup plus reception
+// bookkeeping) for n mobile stations under the given index kind, on the
+// 3000x3000 m terrain of the 500-node example scenarios. The ratio of the
+// Linear and Grid variants at the same N is the channel-lookup speedup the
+// acceptance criterion demands (>= 3x at N >= 500).
+func benchChannel(b *testing.B, n int, kind IndexKind) {
+	s := sim.New(1)
+	p := DefaultParams()
+	p.MaxSpeed = 20
+	p.Index = kind
+	terrain := geo.Terrain{Width: 3000, Height: 3000}
+	ch := NewChannel(s, p)
+	for i := 0; i < n; i++ {
+		rng := rand.New(rand.NewSource(int64(i + 1)))
+		ch.Register(NodeID(i), mobility.NewWaypoint(terrain, rng, 1, p.MaxSpeed, 0), nil)
+	}
+	f := &Frame{To: Broadcast, Kind: Data, Size: 64}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.From = NodeID(i % n)
+		ch.Transmit(f)
+		// Advance past the frame so receptions drain and stations move:
+		// the index keeps re-bucketing, as in a real run.
+		s.RunUntil(s.Now() + 2*time.Millisecond)
+	}
+}
+
+func BenchmarkChannelTransmit(b *testing.B) {
+	for _, n := range []int{100, 500, 1000} {
+		for _, kind := range []struct {
+			name string
+			k    IndexKind
+		}{{"linear", IndexLinear}, {"grid", IndexGrid}} {
+			b.Run(fmt.Sprintf("%s/N=%d", kind.name, n), func(b *testing.B) {
+				benchChannel(b, n, kind.k)
+			})
+		}
+	}
+}

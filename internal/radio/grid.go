@@ -1,0 +1,196 @@
+package radio
+
+import (
+	"math"
+	"math/bits"
+	"time"
+
+	"slr/internal/geo"
+	"slr/internal/sim"
+)
+
+// grid is an incremental spatial index over stations: a sparse hash of
+// square cells, cell side = the propagation model's maximum range, holding
+// each station under a cached position.
+//
+// Exactness without re-indexing every move: a cached position is allowed
+// to drift up to `slack` meters from the station's true position. Querying
+// the cells within MaxRange+slack of a transmitter therefore yields a
+// superset of every station truly within MaxRange, and the caller applies
+// the exact per-link distance test to that superset — so the audible set
+// is identical to the O(N) linear scan, station for station.
+//
+// The drift bound is maintained lazily, with no simulator events: stations
+// sit in a ring ordered by cache age, and every query first refreshes the
+// stale head of the ring (staleness bound = slack / MaxSpeed, the time a
+// fastest-possible node needs to travel slack meters). Between queries
+// nothing moves in the index at all; a burst of transmissions after a
+// quiet spell refreshes the backlog once, amortized O(1) per query.
+//
+// Candidates are returned in registration order so reception events are
+// scheduled in exactly the order the linear scan would produce —
+// byte-identical simulation results, enforced by TestGridMatchesLinear.
+// Ordering costs no sort: candidates are marked in a bitset over
+// registration indices and read back in ascending-bit order.
+type grid struct {
+	cell    float64  // cell side, = Propagation.MaxRange()
+	inv     float64  // 1 / cell
+	reach   float64  // query radius: MaxRange + slack
+	refresh sim.Time // max cache age; 0 = stations never move
+	cells   map[int64][]*station
+	ring    []*station // stations ordered by cache age, oldest at head
+	head    int
+	marks   []uint64 // candidate bitset over registration indices
+	cands   []int32  // scratch for query results (registration indices)
+}
+
+// gridSlackFraction is the allowed cache drift as a fraction of the cell
+// side. Smaller means a tighter candidate search radius but more frequent
+// cache refreshes; at 1/4 a 20 m/s node under a 275 m range refreshes
+// every ~3.4 s of simulated time, a trivial cost next to per-transmit
+// work, while the query disk shrinks from 1.5x to 1.25x the range.
+const gridSlackFraction = 0.25
+
+// newGrid sizes a grid for the given propagation reach and speed bound.
+// maxSpeed 0 means stations are known never to move: no slack, no
+// refreshing.
+func newGrid(maxRange, maxSpeed float64) *grid {
+	g := &grid{
+		cell:  maxRange,
+		inv:   1 / maxRange,
+		reach: maxRange,
+		cells: make(map[int64][]*station),
+	}
+	if maxSpeed > 0 {
+		slack := maxRange * gridSlackFraction
+		g.reach = maxRange + slack
+		g.refresh = sim.Time(slack / maxSpeed * float64(time.Second))
+	}
+	return g
+}
+
+// cellKey packs the cell coordinates of p into one map key.
+func (g *grid) cellKey(p geo.Point) int64 {
+	cx := int32(math.Floor(p.X * g.inv))
+	cy := int32(math.Floor(p.Y * g.inv))
+	return int64(cx)<<32 | int64(uint32(cy))
+}
+
+// insert adds a newly registered station at its current position. The new
+// station carries the freshest possible cache stamp, so it enters the age
+// ring immediately before the head (the oldest slot): refreshStale's
+// stop-at-first-fresh scan stays sound even for stations registered after
+// queries have already rotated the ring. Registration is rare, so the
+// O(N) shift does not matter.
+func (g *grid) insert(st *station, pos geo.Point, now sim.Time) {
+	st.cachedPos, st.posTime = pos, now
+	st.cellKey = g.cellKey(pos)
+	bucket := g.cells[st.cellKey]
+	st.slot = len(bucket)
+	g.cells[st.cellKey] = append(bucket, st)
+	g.ring = append(g.ring, nil)
+	copy(g.ring[g.head+1:], g.ring[g.head:])
+	g.ring[g.head] = st
+	g.head++
+	if g.head == len(g.ring) {
+		g.head = 0
+	}
+	if need := (len(g.ring) + 63) / 64; need > len(g.marks) {
+		g.marks = append(g.marks, make([]uint64, need-len(g.marks))...)
+	}
+}
+
+// move re-caches st's position, re-bucketing it if it crossed a cell edge.
+func (g *grid) move(st *station, pos geo.Point, now sim.Time) {
+	st.cachedPos, st.posTime = pos, now
+	key := g.cellKey(pos)
+	if key == st.cellKey {
+		return
+	}
+	// Swap-remove from the old bucket.
+	old := g.cells[st.cellKey]
+	last := old[len(old)-1]
+	old[st.slot] = last
+	last.slot = st.slot
+	old[len(old)-1] = nil
+	g.cells[st.cellKey] = old[:len(old)-1]
+
+	st.cellKey = key
+	bucket := g.cells[key]
+	st.slot = len(bucket)
+	g.cells[key] = append(bucket, st)
+}
+
+// refreshStale advances cached positions until every cache is younger than
+// the refresh bound, restoring the drift invariant for queries at `now`.
+// The ring stays ordered by cache age because refreshed stations (stamped
+// `now`, the newest possible age) are exactly the ones the head passes.
+func (g *grid) refreshStale(now sim.Time) {
+	if g.refresh == 0 || len(g.ring) == 0 {
+		return
+	}
+	thr := now - g.refresh
+	for i := 0; i < len(g.ring); i++ {
+		st := g.ring[g.head]
+		if st.posTime >= thr {
+			return
+		}
+		g.move(st, st.mob.Position(now), now)
+		g.head++
+		if g.head == len(g.ring) {
+			g.head = 0
+		}
+	}
+}
+
+// query returns the registration indices of every station whose true
+// position could be within MaxRange of pos, sorted ascending — i.e. in
+// registration order, the order the linear scan visits stations. Cells
+// overlapping the bounding box of the search disk but not the disk itself
+// are skipped outright (the corner cells, ~1/4 of the box). The caller
+// must apply the exact distance test; the slice is scratch, valid until
+// the next query.
+func (g *grid) query(pos geo.Point) []int32 {
+	g.cands = g.cands[:0]
+	cx0 := int32(math.Floor((pos.X - g.reach) * g.inv))
+	cx1 := int32(math.Floor((pos.X + g.reach) * g.inv))
+	cy0 := int32(math.Floor((pos.Y - g.reach) * g.inv))
+	cy1 := int32(math.Floor((pos.Y + g.reach) * g.inv))
+	r2 := g.reach * g.reach
+	for cy := cy0; cy <= cy1; cy++ {
+		// Distance from pos to the cell row's nearest y edge.
+		dy := 0.0
+		if lo := float64(cy) * g.cell; pos.Y < lo {
+			dy = lo - pos.Y
+		} else if hi := float64(cy+1) * g.cell; pos.Y > hi {
+			dy = pos.Y - hi
+		}
+		for cx := cx0; cx <= cx1; cx++ {
+			dx := 0.0
+			if lo := float64(cx) * g.cell; pos.X < lo {
+				dx = lo - pos.X
+			} else if hi := float64(cx+1) * g.cell; pos.X > hi {
+				dx = pos.X - hi
+			}
+			if dx*dx+dy*dy > r2 {
+				continue // cell entirely outside the search disk
+			}
+			key := int64(cx)<<32 | int64(uint32(cy))
+			for _, st := range g.cells[key] {
+				g.marks[st.idx>>6] |= 1 << (uint(st.idx) & 63)
+			}
+		}
+	}
+	for w, x := range g.marks {
+		if x == 0 {
+			continue
+		}
+		g.marks[w] = 0
+		base := int32(w << 6)
+		for x != 0 {
+			g.cands = append(g.cands, base+int32(bits.TrailingZeros64(x)))
+			x &= x - 1
+		}
+	}
+	return g.cands
+}

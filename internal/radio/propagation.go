@@ -1,0 +1,208 @@
+package radio
+
+import (
+	"fmt"
+	"math"
+
+	"slr/internal/registry"
+)
+
+// Propagation decides how far each link reaches. The channel keeps the
+// paper's binary audibility model — a frame either arrives at a receiver
+// or it does not — but the radius at which it arrives may vary per link:
+// unit-disk uses one global range, while fading models give every node
+// pair its own deterministic effective range.
+//
+// Implementations must be pure: LinkRange(a, b) is symmetric, independent
+// of call order, and fixed for the whole run, so the linear scan and the
+// spatial grid index see identical audibility no matter which stations
+// they test or in what order. Per-link randomness therefore comes from
+// hashing (seed, link), never from a shared rng stream.
+type Propagation interface {
+	// MaxRange bounds LinkRange over all links. The spatial grid sizes
+	// its cells and its candidate search radius from this.
+	MaxRange() float64
+	// LinkRange returns the audible distance in meters for the link
+	// between a and b.
+	LinkRange(a, b NodeID) float64
+}
+
+// PropSpec selects a registered propagation model by name. The zero value
+// selects unit-disk, the paper's GloMoSim radio.
+type PropSpec struct {
+	// Model names a registered factory: "unit-disk", "shadowing",
+	// "rayleigh". Empty means "unit-disk".
+	Model string `json:"model,omitempty"`
+	// Params carries model-specific knobs (e.g. shadowing's "sigma_db");
+	// missing keys take documented defaults.
+	Params map[string]float64 `json:"params,omitempty"`
+}
+
+// param returns the named model parameter or its default.
+func (s PropSpec) param(name string, def float64) float64 {
+	return registry.Param(s.Params, name, def)
+}
+
+// PropFactory builds a propagation model from the channel parameters
+// (base range, per-run seed) and the spec's knobs.
+type PropFactory func(p Params, spec PropSpec) (Propagation, error)
+
+var propFactories = registry.New[PropFactory]("radio propagation")
+
+// RegisterPropagation adds a propagation factory under name. Registering a
+// duplicate name panics: it is a wiring bug.
+func RegisterPropagation(name string, f PropFactory) { propFactories.Register(name, f) }
+
+// PropagationModels returns the registered propagation names, sorted.
+func PropagationModels() []string { return propFactories.Names() }
+
+// NewPropagation builds the propagation selected by p.Propagation; an
+// empty model name selects unit-disk.
+func NewPropagation(p Params) (Propagation, error) {
+	name := p.Propagation.Model
+	if name == "" {
+		name = "unit-disk"
+	}
+	f, ok := propFactories.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("radio: unknown propagation %q (registered: %v)", name, PropagationModels())
+	}
+	return f(p, p.Propagation)
+}
+
+// unitDisk is the paper's propagation: one global radius for every link.
+type unitDisk struct {
+	r float64
+}
+
+func (u unitDisk) MaxRange() float64             { return u.r }
+func (u unitDisk) LinkRange(_, _ NodeID) float64 { return u.r }
+
+// linkHash mixes (seed, link) into 64 pseudo-random bits with a
+// splitmix64-style finalizer. The link is unordered so gains are
+// symmetric.
+func linkHash(seed int64, a, b NodeID, stream uint64) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	x := uint64(seed) ^ 0x9e3779b97f4a7c15
+	x ^= uint64(uint32(a))<<32 | uint64(uint32(b))
+	x ^= stream * 0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// linkUniform returns a uniform draw in (0, 1] for the link.
+func linkUniform(seed int64, a, b NodeID, stream uint64) float64 {
+	// 53 high bits -> [0,1); the +1 shifts to (0,1] so ln() is safe.
+	return (float64(linkHash(seed, a, b, stream)>>11) + 1) / (1 << 53)
+}
+
+// linkNormal returns a standard normal draw for the link via Box-Muller.
+func linkNormal(seed int64, a, b NodeID) float64 {
+	u1 := linkUniform(seed, a, b, 1)
+	u2 := linkUniform(seed, a, b, 2)
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// shadowing is log-normal shadowing: every link's pathloss carries a fixed
+// Gaussian offset X ~ N(0, sigma_db) in dB, so its effective radius is
+// Range * 10^(X / (10*n)) with n the pathloss exponent. Obstructed links
+// fall short of the nominal range, lucky ones reach past it — the
+// classic reason unit-disk topologies are too optimistic. X is clamped to
+// +/-3 sigma so MaxRange (and the spatial grid's search radius) stays
+// finite.
+//
+// PropSpec.Params knobs: "sigma_db" (default 4), "pathloss_exp"
+// (default 3).
+type shadowing struct {
+	r     float64
+	seed  int64
+	sigma float64
+	n     float64
+	max   float64
+}
+
+func newShadowing(p Params, spec PropSpec) (Propagation, error) {
+	sigma := spec.param("sigma_db", 4)
+	n := spec.param("pathloss_exp", 3)
+	if sigma < 0 || n <= 0 {
+		return nil, fmt.Errorf("radio: shadowing sigma_db %v must be >= 0 and pathloss_exp %v > 0", sigma, n)
+	}
+	return shadowing{
+		r:     p.Range,
+		seed:  p.Seed,
+		sigma: sigma,
+		n:     n,
+		max:   p.Range * math.Pow(10, 3*sigma/(10*n)),
+	}, nil
+}
+
+func (s shadowing) MaxRange() float64 { return s.max }
+
+func (s shadowing) LinkRange(a, b NodeID) float64 {
+	x := s.sigma * linkNormal(s.seed, a, b)
+	if x > 3*s.sigma {
+		x = 3 * s.sigma
+	} else if x < -3*s.sigma {
+		x = -3 * s.sigma
+	}
+	return s.r * math.Pow(10, x/(10*s.n))
+}
+
+// rayleigh is a per-link Rayleigh-fading disk: the link's power gain g is
+// exponentially distributed (the envelope is Rayleigh), fixed for the run,
+// and the effective radius is Range * g^(1/n). It models dense multipath
+// with no line of sight: most links roughly keep their nominal reach, a
+// long tail of deeply faded links lose most of it. g is clamped to
+// [0.05, 4] to bound both MaxRange and the deepest fade.
+//
+// PropSpec.Params knobs: "pathloss_exp" (default 3).
+type rayleigh struct {
+	r    float64
+	seed int64
+	n    float64
+	max  float64
+}
+
+const (
+	rayleighMinGain = 0.05
+	rayleighMaxGain = 4.0
+)
+
+func newRayleigh(p Params, spec PropSpec) (Propagation, error) {
+	n := spec.param("pathloss_exp", 3)
+	if n <= 0 {
+		return nil, fmt.Errorf("radio: rayleigh pathloss_exp %v must be positive", n)
+	}
+	return rayleigh{
+		r:    p.Range,
+		seed: p.Seed,
+		n:    n,
+		max:  p.Range * math.Pow(rayleighMaxGain, 1/n),
+	}, nil
+}
+
+func (r rayleigh) MaxRange() float64 { return r.max }
+
+func (r rayleigh) LinkRange(a, b NodeID) float64 {
+	g := -math.Log(linkUniform(r.seed, a, b, 3)) // Exp(1) power gain
+	if g < rayleighMinGain {
+		g = rayleighMinGain
+	} else if g > rayleighMaxGain {
+		g = rayleighMaxGain
+	}
+	return r.r * math.Pow(g, 1/r.n)
+}
+
+func init() {
+	RegisterPropagation("unit-disk", func(p Params, _ PropSpec) (Propagation, error) {
+		return unitDisk{r: p.Range}, nil
+	})
+	RegisterPropagation("shadowing", newShadowing)
+	RegisterPropagation("rayleigh", newRayleigh)
+}

@@ -1,11 +1,18 @@
-// Package radio models the shared wireless channel: unit-disk propagation,
-// half-duplex stations, and collision-on-overlap reception.
+// Package radio models the shared wireless channel: pluggable binary
+// propagation (unit-disk by default, per-link fading models via the
+// propagation registry), half-duplex stations, and collision-on-overlap
+// reception.
 //
 // The model corresponds to the physical layer the paper's GloMoSim setup
 // provides to its 802.11 MAC: a 2 Mbps channel where a frame is received by
-// every station within transmission range of the sender unless another
-// audible transmission overlaps it in time at that receiver (including the
+// every station within link range of the sender unless another audible
+// transmission overlaps it in time at that receiver (including the
 // hidden-terminal case) or the receiver itself is transmitting.
+//
+// Audible-set lookup is O(neighbors) through an incremental spatial grid
+// index (see grid) when Params supplies a speed bound; the O(N) linear
+// scan remains as the reference path and the two are byte-identical for
+// the same seed.
 package radio
 
 import (
@@ -58,6 +65,23 @@ type Receiver interface {
 	OnFrame(f *Frame)
 }
 
+// IndexKind selects how the channel finds a transmission's audible set.
+type IndexKind uint8
+
+const (
+	// IndexAuto uses the spatial grid when MaxSpeed is a known positive
+	// bound (the grid needs it to cap position drift) and the linear
+	// scan otherwise.
+	IndexAuto IndexKind = iota
+	// IndexLinear scans every registered station per transmission, the
+	// original O(N) reference path.
+	IndexLinear
+	// IndexGrid uses the spatial grid unconditionally, trusting MaxSpeed
+	// as a hard bound (0 = stations never move). Results are
+	// byte-identical to IndexLinear for any spec-conformant mobility.
+	IndexGrid
+)
+
 // Params configures the channel.
 type Params struct {
 	// Range is the transmission (and interference) radius in meters.
@@ -73,6 +97,19 @@ type Params struct {
 	// the GloMoSim/ns-2 radio models). Zero disables capture: any
 	// overlap corrupts.
 	CaptureRatio float64
+	// Propagation selects a registered propagation model; the zero
+	// value is unit-disk at Range, the paper's radio.
+	Propagation PropSpec
+	// Seed feeds deterministic per-link fading draws (shadowing,
+	// rayleigh); unit-disk ignores it.
+	Seed int64
+	// MaxSpeed is an upper bound on any station's speed in m/s. It lets
+	// the spatial grid bound how far cached positions drift between
+	// refreshes; mobility models built from a mobility.Spec guarantee
+	// it. Zero means no bound is known.
+	MaxSpeed float64
+	// Index selects the audible-set lookup structure; see IndexKind.
+	Index IndexKind
 }
 
 // DefaultParams matches the paper's setup: 2 Mbps channel and a ~275 m
@@ -104,12 +141,20 @@ type rx struct {
 // station is per-node channel state.
 type station struct {
 	id       NodeID
+	idx      int // registration order, the deterministic iteration key
 	mob      mobility.Model
 	recv     Receiver
 	active   []*rx    // receptions currently on the air at this station
 	txUntil  sim.Time // end of this station's own transmission
 	busyTill sim.Time // latest end of anything audible here
 	navUntil sim.Time // virtual carrier sense (802.11 NAV)
+
+	// Spatial grid bookkeeping (see grid): the cached position, its age,
+	// and where the station sits in the cell hash.
+	cachedPos geo.Point
+	posTime   sim.Time
+	cellKey   int64
+	slot      int
 }
 
 // Channel is the shared medium. It is not safe for concurrent use; a
@@ -117,22 +162,38 @@ type station struct {
 type Channel struct {
 	sim      *sim.Simulator
 	p        Params
+	prop     Propagation
 	stations map[NodeID]*station
-	order    []NodeID // registration order, for deterministic iteration
-	freeRx   []*rx    // reception freelist (see rx)
+	order    []NodeID   // registration order, for deterministic iteration
+	byIdx    []*station // stations in registration order
+	grid     *grid      // nil = linear scan
+	hits     []hit      // scratch for audible-set results
+	freeRx   []*rx      // reception freelist (see rx)
 
 	// Stats counters.
 	frames     uint64
 	collisions uint64
 }
 
-// NewChannel returns an empty channel bound to the simulator.
+// NewChannel returns an empty channel bound to the simulator. An
+// unregistered Params.Propagation model panics: spec loading validates
+// model names, so reaching here with one is a wiring bug.
 func NewChannel(s *sim.Simulator, p Params) *Channel {
-	return &Channel{
+	prop, err := NewPropagation(p)
+	if err != nil {
+		panic(err)
+	}
+	c := &Channel{
 		sim:      s,
 		p:        p,
+		prop:     prop,
 		stations: make(map[NodeID]*station),
 	}
+	useGrid := p.Index == IndexGrid || (p.Index == IndexAuto && p.MaxSpeed > 0)
+	if useGrid && prop.MaxRange() > 0 {
+		c.grid = newGrid(prop.MaxRange(), p.MaxSpeed)
+	}
+	return c
 }
 
 // Register attaches a station with its mobility model and frame receiver.
@@ -141,8 +202,13 @@ func (c *Channel) Register(id NodeID, m mobility.Model, r Receiver) {
 	if _, dup := c.stations[id]; dup {
 		panic(fmt.Sprintf("radio: station %d registered twice", id))
 	}
-	c.stations[id] = &station{id: id, mob: m, recv: r}
+	st := &station{id: id, idx: len(c.order), mob: m, recv: r}
+	c.stations[id] = st
 	c.order = append(c.order, id)
+	c.byIdx = append(c.byIdx, st)
+	if c.grid != nil {
+		c.grid.insert(st, m.Position(c.sim.Now()), c.sim.Now())
+	}
 }
 
 // AirTime returns how long a frame of size bytes occupies the medium.
@@ -195,23 +261,62 @@ func (c *Channel) Position(id NodeID) geo.Point {
 	return c.stations[id].mob.Position(c.sim.Now())
 }
 
-// Neighbors returns the stations currently within range of id, in
+// Neighbors returns the stations currently within link range of id, in
 // registration order. It exists for scenario setup and tests; protocols
 // must discover neighbors over the air.
 func (c *Channel) Neighbors(id NodeID) []NodeID {
 	self := c.stations[id]
 	pos := self.mob.Position(c.sim.Now())
-	r2 := c.p.Range * c.p.Range
 	var out []NodeID
-	for _, oid := range c.order {
-		if oid == id {
-			continue
-		}
-		if pos.Dist2(c.stations[oid].mob.Position(c.sim.Now())) <= r2 {
-			out = append(out, oid)
-		}
+	for _, h := range c.audible(self, pos) {
+		out = append(out, h.st.id)
 	}
 	return out
+}
+
+// hit is one audible-set entry: a receiving station and the exact squared
+// sender-receiver distance.
+type hit struct {
+	st *station
+	d2 float64
+}
+
+// audible returns the stations that can hear a transmission from sender at
+// pos right now, in registration order, with exact squared distances. The
+// grid path and the linear path apply the identical per-link test to exact
+// positions, so they return the identical slice — the grid only narrows
+// how many stations are tested. The slice is scratch, valid until the next
+// call.
+func (c *Channel) audible(sender *station, pos geo.Point) []hit {
+	now := c.sim.Now()
+	c.hits = c.hits[:0]
+	if c.grid != nil {
+		c.grid.refreshStale(now)
+		for _, idx := range c.grid.query(pos) {
+			st := c.byIdx[idx]
+			if st == sender {
+				continue
+			}
+			d2 := pos.Dist2(st.mob.Position(now))
+			if lr := c.prop.LinkRange(sender.id, st.id); d2 > lr*lr {
+				continue
+			}
+			c.hits = append(c.hits, hit{st: st, d2: d2})
+		}
+		return c.hits
+	}
+	for _, oid := range c.order {
+		if oid == sender.id {
+			continue
+		}
+		st := c.stations[oid]
+		d2 := pos.Dist2(st.mob.Position(now))
+		if lr := c.prop.LinkRange(sender.id, st.id); d2 > lr*lr {
+			continue
+		}
+		c.hits = append(c.hits, hit{st: st, d2: d2})
+	}
+	return c.hits
 }
 
 // Frames returns the total number of transmissions started.
@@ -246,17 +351,8 @@ func (c *Channel) Transmit(f *Frame) {
 	}
 
 	pos := sender.mob.Position(now)
-	r2 := c.p.Range * c.p.Range
-	for _, oid := range c.order {
-		if oid == f.From {
-			continue
-		}
-		st := c.stations[oid]
-		d2 := pos.Dist2(st.mob.Position(now))
-		if d2 > r2 {
-			continue
-		}
-		c.beginReception(st, f, end, d2)
+	for _, h := range c.audible(sender, pos) {
+		c.beginReception(h.st, f, end, h.d2)
 	}
 }
 

@@ -1,0 +1,45 @@
+package registry
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRegistryBasics(t *testing.T) {
+	r := New[int]("test model")
+	r.Register("b", 2)
+	r.Register("a", 1)
+	if got := r.Names(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("Names() = %v", got)
+	}
+	if v, ok := r.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	if _, ok := r.Get("c"); ok {
+		t.Fatal("Get(c) found an unregistered entry")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := New[int]("test model")
+	r.Register("a", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	r.Register("a", 2)
+}
+
+func TestParam(t *testing.T) {
+	m := map[string]float64{"alpha": 0.5}
+	if got := Param(m, "alpha", 0.75); got != 0.5 {
+		t.Fatalf("Param(alpha) = %v", got)
+	}
+	if got := Param(m, "beta", 0.75); got != 0.75 {
+		t.Fatalf("Param(beta) = %v", got)
+	}
+	if got := Param(nil, "beta", 3); got != 3 {
+		t.Fatalf("Param(nil map) = %v", got)
+	}
+}

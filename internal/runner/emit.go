@@ -5,7 +5,9 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"io"
+	"sort"
 	"strconv"
+	"strings"
 
 	"slr/internal/scenario"
 )
@@ -34,6 +36,30 @@ type Record struct {
 	ControlTx     uint64  `json:"control_tx"`
 	Collisions    uint64  `json:"collisions"`
 	MaxDenom      uint32  `json:"max_denom,omitempty"`
+	// DropReasons is the routing-layer drop breakdown, sorted by reason
+	// so the serialized form is byte-stable across processes (Go
+	// randomizes map iteration; a map field here would emit rows that
+	// differ run to run and defeat output diffing).
+	DropReasons []ReasonCount `json:"drop_reasons,omitempty"`
+}
+
+// ReasonCount is one drop-reason tally in a Record.
+type ReasonCount struct {
+	Reason string `json:"reason"`
+	Count  uint64 `json:"count"`
+}
+
+// sortedDropReasons flattens a drop-reason map into reason-sorted pairs.
+func sortedDropReasons(m map[string]uint64) []ReasonCount {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]ReasonCount, 0, len(m))
+	for reason, count := range m {
+		out = append(out, ReasonCount{Reason: reason, Count: count})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Reason < out[j].Reason })
+	return out
 }
 
 // NewRecord flattens one trial.
@@ -54,6 +80,7 @@ func NewRecord(j Job, r scenario.Result) Record {
 		ControlTx:     r.ControlTx,
 		Collisions:    r.Collisions,
 		MaxDenom:      r.MaxDenom,
+		DropReasons:   sortedDropReasons(r.DropReasons),
 	}
 }
 
@@ -82,7 +109,7 @@ var csvHeader = []string{
 	"protocol", "pause_seconds", "trial", "seed",
 	"delivery_ratio", "network_load", "latency_sec", "mac_drops_per_node",
 	"avg_seqno", "mean_hops", "data_sent", "data_recv", "control_tx",
-	"collisions", "max_denom",
+	"collisions", "max_denom", "drop_reasons",
 }
 
 // CSVEmitter streams one CSV row per completed trial, with a header row
@@ -108,12 +135,24 @@ func (e *CSVEmitter) Emit(j Job, r scenario.Result) error {
 	rec := NewRecord(j, r)
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	// Drop reasons render as "reason=count;..." in reason order, one
+	// stable cell regardless of map iteration order.
+	var reasons strings.Builder
+	for i, rc := range rec.DropReasons {
+		if i > 0 {
+			reasons.WriteByte(';')
+		}
+		reasons.WriteString(rc.Reason)
+		reasons.WriteByte('=')
+		reasons.WriteString(strconv.FormatUint(rc.Count, 10))
+	}
 	return e.w.Write([]string{
 		rec.Protocol, f(rec.PauseSeconds), strconv.Itoa(rec.Trial),
 		strconv.FormatInt(rec.Seed, 10),
 		f(rec.DeliveryRatio), f(rec.NetworkLoad), f(rec.LatencySec), f(rec.MACDrops),
 		f(rec.AvgSeqno), f(rec.MeanHops), u(rec.DataSent), u(rec.DataRecv),
 		u(rec.ControlTx), u(rec.Collisions), strconv.FormatUint(uint64(rec.MaxDenom), 10),
+		reasons.String(),
 	})
 }
 

@@ -1,0 +1,77 @@
+package runner
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"slr/internal/scenario"
+)
+
+// dropResult builds a result with a many-keyed drop-reason map, the field
+// whose map iteration order used to leak into serialized output.
+func dropResult() scenario.Result {
+	return scenario.Result{
+		Protocol: scenario.SRP,
+		Seed:     3,
+		DropReasons: map[string]uint64{
+			"no-route": 4, "ttl": 1, "mac-retry": 9, "queue-full": 2,
+			"loop": 7, "stale": 5, "cache-miss": 3, "filter": 8,
+		},
+	}
+}
+
+// TestEmitDropReasonsByteStable verifies repeated serialization of the
+// same result is byte-identical: drop reasons are sorted, not emitted in
+// map order.
+func TestEmitDropReasonsByteStable(t *testing.T) {
+	render := func() (string, string) {
+		var js, cs bytes.Buffer
+		je, ce := NewJSONL(&js), NewCSV(&cs)
+		r := dropResult()
+		if err := je.Emit(Job{}, r); err != nil {
+			t.Fatal(err)
+		}
+		if err := ce.Emit(Job{}, r); err != nil {
+			t.Fatal(err)
+		}
+		if err := je.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := ce.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return js.String(), cs.String()
+	}
+	j0, c0 := render()
+	for i := 0; i < 20; i++ {
+		if j, c := render(); j != j0 || c != c0 {
+			t.Fatalf("iteration %d: serialization not byte-stable:\n%q\n%q", i, j, c)
+		}
+	}
+	wantOrder := "cache-miss=3;filter=8;loop=7;mac-retry=9;no-route=4;queue-full=2;stale=5;ttl=1"
+	if !strings.Contains(c0, wantOrder) {
+		t.Fatalf("csv drop reasons not reason-sorted:\n%s", c0)
+	}
+	for _, want := range []string{`"reason":"cache-miss","count":3`, `"drop_reasons":[`} {
+		if !strings.Contains(j0, want) {
+			t.Fatalf("jsonl missing %q:\n%s", want, j0)
+		}
+	}
+}
+
+// TestEmitNoDropReasonsOmitted verifies an empty map stays out of the
+// JSON line entirely.
+func TestEmitNoDropReasonsOmitted(t *testing.T) {
+	var js bytes.Buffer
+	je := NewJSONL(&js)
+	if err := je.Emit(Job{}, scenario.Result{Protocol: scenario.SRP}); err != nil {
+		t.Fatal(err)
+	}
+	if err := je.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(js.String(), "drop_reasons") {
+		t.Fatalf("empty drop reasons serialized: %s", js.String())
+	}
+}

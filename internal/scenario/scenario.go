@@ -1,8 +1,11 @@
-// Package scenario wires a complete simulation run: N nodes with random
-// waypoint mobility on a terrain, a routing protocol per node, the CBR
-// workload, metrics collection, and optional continuous loop-freedom
-// checking. It is the reproduction of the paper's GloMoSim experiment
-// driver (§V).
+// Package scenario wires a complete simulation run: N nodes moving on a
+// terrain, a routing protocol per node, a traffic workload, metrics
+// collection, and optional continuous loop-freedom checking. It is the
+// reproduction of the paper's GloMoSim experiment driver (§V), defaulting
+// to that evaluation's exact setup (random waypoint, CBR, unit-disk
+// radio); Params.Mobility, Params.Traffic.Model, and Params.Propagation
+// select any other registered model, and internal/spec loads a complete
+// Params from a declarative JSON scenario file.
 package scenario
 
 import (
@@ -59,6 +62,19 @@ type Params struct {
 	CheckEvery      sim.Time
 	// SRPConfig overrides SRP's configuration (ablation benches).
 	SRPConfig *srp.Config
+	// Mobility optionally selects a registered mobility model. The zero
+	// value keeps the paper's random waypoint built from MinSpeed,
+	// MaxSpeed, and Pause; a non-empty Model overrides all three from
+	// its own fields.
+	Mobility mobility.Spec
+	// Propagation optionally selects a registered radio propagation
+	// model; the zero value is unit-disk at Range, the paper's radio.
+	Propagation radio.PropSpec
+	// RadioIndex selects the channel's audible-set index. The default
+	// (auto) uses the spatial grid whenever the mobility speed bound is
+	// known; tests force the linear reference scan to prove the two are
+	// byte-identical.
+	RadioIndex radio.IndexKind
 }
 
 // DefaultParams returns the paper's simulation setup: 100 nodes on
@@ -133,8 +149,22 @@ type successorLister interface {
 // Run executes one simulation and returns its measurements.
 func Run(p Params) Result {
 	s := sim.New(p.Seed)
+	mobSpec := p.Mobility
+	if mobSpec.Model == "" {
+		// The paper's random waypoint, from the legacy scalar fields.
+		mobSpec = mobility.Spec{
+			Model:    "waypoint",
+			MinSpeed: p.MinSpeed,
+			MaxSpeed: p.MaxSpeed,
+			Pause:    p.Pause,
+		}
+	}
 	rp := radio.DefaultParams()
 	rp.Range = p.Range
+	rp.Propagation = p.Propagation
+	rp.Seed = p.Seed
+	rp.MaxSpeed = mobSpec.MaxSpeed
+	rp.Index = p.RadioIndex
 	ch := radio.NewChannel(s, rp)
 	mx := metrics.NewCollector()
 
@@ -149,7 +179,12 @@ func Run(p Params) Result {
 		protos[i] = buildProtocol(p)
 		n := netstack.NewNode(s, ch, netstack.NodeID(i), protos[i], mx)
 		mobRng := rand.New(rand.NewSource(p.Seed<<16 + int64(i)))
-		m := mobility.NewWaypoint(p.Terrain, mobRng, p.MinSpeed, p.MaxSpeed, p.Pause)
+		m, err := mobility.Build(p.Terrain, mobRng, mobSpec)
+		if err != nil {
+			// Spec loading validates model names and parameters, so an
+			// error here is a wiring bug.
+			panic(err)
+		}
 		ch.Register(netstack.NodeID(i), m, n.Mac())
 		nodes[i] = n
 		senders[i] = n

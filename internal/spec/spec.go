@@ -1,0 +1,303 @@
+// Package spec loads declarative scenario specifications: versioned JSON
+// documents that describe a complete simulation run — node count, terrain,
+// radio propagation, mobility model, traffic workload — resolved through
+// the model registries in internal/mobility, internal/traffic, and
+// internal/radio. A spec file is the single source of truth for a
+// workload: the same file drives cmd/slrsim, cmd/experiments, and any
+// future sweep tooling, and committing one pins an experiment exactly.
+//
+// The format is deliberately flat and explicit (all durations in seconds,
+// all distances in meters):
+//
+//	{
+//	  "version": 1,
+//	  "name": "paper-default",
+//	  "protocol": "SRP",
+//	  "nodes": 100,
+//	  "terrain": {"width_m": 2200, "height_m": 600},
+//	  "duration_seconds": 900,
+//	  "seed": 1,
+//	  "trials": 10,
+//	  "radio": {"range_m": 275, "propagation": "unit-disk"},
+//	  "mobility": {"model": "waypoint", "min_speed_mps": 0,
+//	               "max_speed_mps": 20, "pause_seconds": 0},
+//	  "traffic": {"model": "cbr", "flows": 30, "packet_size_bytes": 512,
+//	              "rate_pps": 4, "mean_life_seconds": 60}
+//	}
+//
+// Model-specific knobs ride in each section's "params" map (e.g.
+// {"model": "manhattan", "params": {"block_m": 150}}). Unknown fields are
+// rejected so typos fail loudly, and Validate resolves every model name
+// against its registry before a simulator is built.
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"slices"
+	"strings"
+	"time"
+
+	"slr/internal/geo"
+	"slr/internal/mobility"
+	"slr/internal/radio"
+	"slr/internal/scenario"
+	"slr/internal/sim"
+	"slr/internal/traffic"
+)
+
+// Version is the spec format version this package reads and writes.
+const Version = 1
+
+// Terrain is the rectangular field, in meters.
+type Terrain struct {
+	WidthM  float64 `json:"width_m"`
+	HeightM float64 `json:"height_m"`
+}
+
+// Radio is the channel section.
+type Radio struct {
+	RangeM float64 `json:"range_m"`
+	// Propagation names a registered propagation model; empty means
+	// "unit-disk".
+	Propagation string             `json:"propagation,omitempty"`
+	Params      map[string]float64 `json:"params,omitempty"`
+}
+
+// Mobility is the mobility section.
+type Mobility struct {
+	// Model names a registered mobility model: "static", "waypoint",
+	// "gauss-markov", "manhattan".
+	Model        string             `json:"model"`
+	MinSpeedMps  float64            `json:"min_speed_mps"`
+	MaxSpeedMps  float64            `json:"max_speed_mps"`
+	PauseSeconds float64            `json:"pause_seconds"`
+	Params       map[string]float64 `json:"params,omitempty"`
+}
+
+// Traffic is the workload section.
+type Traffic struct {
+	// Model names a registered traffic model; empty means "cbr".
+	Model           string             `json:"model,omitempty"`
+	Flows           int                `json:"flows"`
+	PacketSizeBytes int                `json:"packet_size_bytes"`
+	RatePps         float64            `json:"rate_pps"`
+	MeanLifeSeconds float64            `json:"mean_life_seconds"`
+	Params          map[string]float64 `json:"params,omitempty"`
+}
+
+// ScenarioSpec is a complete declarative scenario.
+type ScenarioSpec struct {
+	Version         int      `json:"version"`
+	Name            string   `json:"name,omitempty"`
+	Protocol        string   `json:"protocol"`
+	Nodes           int      `json:"nodes"`
+	Terrain         Terrain  `json:"terrain"`
+	DurationSeconds float64  `json:"duration_seconds"`
+	Seed            int64    `json:"seed,omitempty"`   // default 1
+	Trials          int      `json:"trials,omitempty"` // default 1
+	Radio           Radio    `json:"radio"`
+	Mobility        Mobility `json:"mobility"`
+	Traffic         Traffic  `json:"traffic"`
+	CheckInvariants bool     `json:"check_invariants,omitempty"`
+}
+
+// PaperDefault returns the named built-in spec reproducing the paper's
+// evaluation setup (§V): 100 nodes, 2200x600 m, 0-20 m/s random waypoint,
+// 30 CBR flows of 512-byte packets at 4 pps, 900 s, unit-disk radio.
+func PaperDefault() *ScenarioSpec {
+	return &ScenarioSpec{
+		Version:         Version,
+		Name:            "paper-default",
+		Protocol:        "SRP",
+		Nodes:           100,
+		Terrain:         Terrain{WidthM: 2200, HeightM: 600},
+		DurationSeconds: 900,
+		Seed:            1,
+		Trials:          10,
+		Radio:           Radio{RangeM: 275},
+		Mobility:        Mobility{Model: "waypoint", MaxSpeedMps: 20},
+		Traffic:         Traffic{Model: "cbr", Flows: 30, PacketSizeBytes: 512, RatePps: 4, MeanLifeSeconds: 60},
+	}
+}
+
+// named lists the built-in specs reachable by name through Resolve.
+var named = map[string]func() *ScenarioSpec{
+	"paper-default": PaperDefault,
+}
+
+// NamedSpecs returns the built-in spec names, sorted.
+func NamedSpecs() []string {
+	names := make([]string, 0, len(named))
+	for n := range named {
+		names = append(names, n)
+	}
+	slices.Sort(names)
+	return names
+}
+
+// Parse decodes and validates one spec document. Unknown fields are
+// errors: a typoed knob must not silently fall back to a default.
+func Parse(data []byte) (*ScenarioSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s ScenarioSpec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and validates a spec file.
+func Load(path string) (*ScenarioSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Resolve loads the spec at a path, or a built-in by name when no file
+// exists there: "-spec paper-default" works without a file on disk.
+func Resolve(arg string) (*ScenarioSpec, error) {
+	if mk, ok := named[arg]; ok {
+		if _, err := os.Stat(arg); err != nil {
+			return mk(), nil
+		}
+	}
+	s, err := Load(arg)
+	if err != nil && !strings.ContainsAny(arg, "/.") {
+		return nil, fmt.Errorf("%w (built-in specs: %v)", err, NamedSpecs())
+	}
+	return s, err
+}
+
+// Validate checks structural invariants and resolves every model name
+// against its registry, so a bad spec fails before any simulator exists.
+func (s *ScenarioSpec) Validate() error {
+	if s.Version != Version {
+		return fmt.Errorf("spec: version %d unsupported (want %d)", s.Version, Version)
+	}
+	if s.Nodes < 2 {
+		return fmt.Errorf("spec: nodes %d must be >= 2", s.Nodes)
+	}
+	if s.Terrain.WidthM <= 0 || s.Terrain.HeightM <= 0 {
+		return fmt.Errorf("spec: terrain %vx%v must be positive", s.Terrain.WidthM, s.Terrain.HeightM)
+	}
+	if s.DurationSeconds <= 0 {
+		return fmt.Errorf("spec: duration_seconds %v must be positive", s.DurationSeconds)
+	}
+	if s.Trials < 0 {
+		return fmt.Errorf("spec: trials %d must be >= 0", s.Trials)
+	}
+	if s.Radio.RangeM <= 0 {
+		return fmt.Errorf("spec: radio range_m %v must be positive", s.Radio.RangeM)
+	}
+	proto := scenario.ProtocolName(strings.ToUpper(s.Protocol))
+	if !slices.Contains(scenario.AllProtocols, proto) {
+		return fmt.Errorf("spec: unknown protocol %q (want one of %v)", s.Protocol, scenario.AllProtocols)
+	}
+	if !slices.Contains(mobility.Models(), s.Mobility.Model) {
+		return fmt.Errorf("spec: unknown mobility model %q (registered: %v)", s.Mobility.Model, mobility.Models())
+	}
+	if s.Mobility.MaxSpeedMps < s.Mobility.MinSpeedMps || s.Mobility.MinSpeedMps < 0 {
+		return fmt.Errorf("spec: mobility speeds [%v, %v] invalid", s.Mobility.MinSpeedMps, s.Mobility.MaxSpeedMps)
+	}
+	if tm := s.Traffic.Model; tm != "" && !slices.Contains(traffic.Models(), tm) {
+		return fmt.Errorf("spec: unknown traffic model %q (registered: %v)", tm, traffic.Models())
+	}
+	if s.Traffic.Flows <= 0 || s.Traffic.RatePps <= 0 || s.Traffic.PacketSizeBytes <= 0 ||
+		s.Traffic.MeanLifeSeconds <= 0 {
+		return fmt.Errorf("spec: traffic flows=%d rate_pps=%v packet_size_bytes=%d mean_life_seconds=%v must all be positive",
+			s.Traffic.Flows, s.Traffic.RatePps, s.Traffic.PacketSizeBytes, s.Traffic.MeanLifeSeconds)
+	}
+	if pm := s.Radio.Propagation; pm != "" && !slices.Contains(radio.PropagationModels(), pm) {
+		return fmt.Errorf("spec: unknown propagation %q (registered: %v)", pm, radio.PropagationModels())
+	}
+	// Dry-build the models so parameter errors (bad block_m, negative
+	// sigma) surface at load time with the spec's vocabulary.
+	p := s.params()
+	if _, err := mobility.Build(p.Terrain, nullRng(), p.Mobility); err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+	if _, err := traffic.NewPacer(p.Traffic); err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+	rp := radio.DefaultParams()
+	rp.Range = p.Range
+	rp.Propagation = p.Propagation
+	if _, err := radio.NewPropagation(rp); err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+	return nil
+}
+
+// Params resolves the spec into runnable scenario parameters.
+func (s *ScenarioSpec) Params() (scenario.Params, error) {
+	if err := s.Validate(); err != nil {
+		return scenario.Params{}, err
+	}
+	return s.params(), nil
+}
+
+// params is the unvalidated conversion shared by Params and Validate.
+func (s *ScenarioSpec) params() scenario.Params {
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	secs := func(v float64) sim.Time { return sim.Time(v * float64(time.Second)) }
+	return scenario.Params{
+		Protocol: scenario.ProtocolName(strings.ToUpper(s.Protocol)),
+		Nodes:    s.Nodes,
+		Terrain:  geo.Terrain{Width: s.Terrain.WidthM, Height: s.Terrain.HeightM},
+		Range:    s.Radio.RangeM,
+		MinSpeed: s.Mobility.MinSpeedMps,
+		MaxSpeed: s.Mobility.MaxSpeedMps,
+		Pause:    secs(s.Mobility.PauseSeconds),
+		Duration: secs(s.DurationSeconds),
+		Seed:     seed,
+		Traffic: traffic.Params{
+			Flows:       s.Traffic.Flows,
+			PacketSize:  s.Traffic.PacketSizeBytes,
+			Rate:        s.Traffic.RatePps,
+			MeanLife:    secs(s.Traffic.MeanLifeSeconds),
+			Model:       s.Traffic.Model,
+			ModelParams: s.Traffic.Params,
+		},
+		Mobility: mobility.Spec{
+			Model:    s.Mobility.Model,
+			MinSpeed: s.Mobility.MinSpeedMps,
+			MaxSpeed: s.Mobility.MaxSpeedMps,
+			Pause:    secs(s.Mobility.PauseSeconds),
+			Params:   s.Mobility.Params,
+		},
+		Propagation: radio.PropSpec{
+			Model:  s.Radio.Propagation,
+			Params: s.Radio.Params,
+		},
+		CheckInvariants: s.CheckInvariants,
+	}
+}
+
+// TrialCount returns the spec's trial count with its default applied.
+func (s *ScenarioSpec) TrialCount() int {
+	if s.Trials <= 0 {
+		return 1
+	}
+	return s.Trials
+}
+
+// nullRng is a throwaway deterministic rng for dry-building models during
+// validation.
+func nullRng() *rand.Rand { return rand.New(rand.NewSource(1)) }

@@ -1,0 +1,175 @@
+package spec
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"slr/internal/scenario"
+)
+
+// TestPaperDefaultMatchesDefaultParams verifies the named built-in spec
+// resolves to exactly the parameters scenario.DefaultParams hard-codes:
+// the declarative path and the legacy path describe the same experiment.
+func TestPaperDefaultMatchesDefaultParams(t *testing.T) {
+	got, err := PaperDefault().Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := scenario.DefaultParams(scenario.SRP, 0, 1)
+	// The spec path also fills the explicit model fields; blank them to
+	// compare the shared scalar core first.
+	gotCore := got
+	gotCore.Mobility = want.Mobility
+	gotCore.CheckEvery = want.CheckEvery
+	if gotCore.Traffic.Model == "cbr" {
+		gotCore.Traffic.Model = "" // the legacy spelling of the default
+	}
+	if !reflect.DeepEqual(gotCore, want) {
+		t.Fatalf("paper-default params diverge:\nspec:    %+v\ndefault: %+v", gotCore, want)
+	}
+	if got.Mobility.Model != "waypoint" || got.Mobility.MaxSpeed != 20 {
+		t.Fatalf("paper-default mobility spec = %+v", got.Mobility)
+	}
+}
+
+// TestPaperDefaultRunsIdenticallyToDefaultParams runs both paths on a
+// scaled-down copy and demands byte-identical results.
+func TestPaperDefaultRunsIdenticallyToDefaultParams(t *testing.T) {
+	shrink := func(p scenario.Params) scenario.Params {
+		p.Nodes = 20
+		p.Duration = 30 * time.Second
+		p.Traffic.Flows = 6
+		return p
+	}
+	fromSpec, err := PaperDefault().Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := scenario.Run(shrink(fromSpec))
+	b := scenario.Run(shrink(scenario.DefaultParams(scenario.SRP, 0, 1)))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("spec-built and legacy-built runs diverge:\nspec:   %+v\nlegacy: %+v", a, b)
+	}
+}
+
+// TestParseRoundTrip verifies a marshaled spec parses back identically.
+func TestParseRoundTrip(t *testing.T) {
+	orig := PaperDefault()
+	blob, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Fatalf("round trip diverged:\nin:  %+v\nout: %+v", orig, back)
+	}
+}
+
+// TestParseRejects enumerates the load-time failure modes: unknown
+// fields, wrong version, unregistered models, broken model params, and
+// structural nonsense.
+func TestParseRejects(t *testing.T) {
+	mutate := func(f func(*ScenarioSpec)) []byte {
+		s := PaperDefault()
+		f(s)
+		blob, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	cases := []struct {
+		name string
+		blob []byte
+		want string
+	}{
+		{"unknown field", []byte(`{"version":1,"protcol":"SRP"}`), "protcol"},
+		{"bad version", mutate(func(s *ScenarioSpec) { s.Version = 99 }), "version"},
+		{"bad protocol", mutate(func(s *ScenarioSpec) { s.Protocol = "OSPF" }), "protocol"},
+		{"bad mobility", mutate(func(s *ScenarioSpec) { s.Mobility.Model = "teleport" }), "mobility"},
+		{"bad traffic", mutate(func(s *ScenarioSpec) { s.Traffic.Model = "torrent" }), "traffic"},
+		{"bad propagation", mutate(func(s *ScenarioSpec) { s.Radio.Propagation = "warp" }), "propagation"},
+		{"bad speeds", mutate(func(s *ScenarioSpec) { s.Mobility.MinSpeedMps = 30 }), "speeds"},
+		{"one node", mutate(func(s *ScenarioSpec) { s.Nodes = 1 }), "nodes"},
+		{"no duration", mutate(func(s *ScenarioSpec) { s.DurationSeconds = 0 }), "duration"},
+		{"no flow lifetime", mutate(func(s *ScenarioSpec) { s.Traffic.MeanLifeSeconds = 0 }), "mean_life_seconds"},
+		{"bad model param", mutate(func(s *ScenarioSpec) {
+			s.Mobility.Model = "manhattan"
+			s.Mobility.Params = map[string]float64{"block_m": 1e9}
+		}), "block_m"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.blob)
+			if err == nil {
+				t.Fatalf("Parse accepted %s", tc.blob)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestResolveBuiltin verifies bare names fall back to the built-ins with a
+// helpful error for unknown ones.
+func TestResolveBuiltin(t *testing.T) {
+	s, err := Resolve("paper-default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "paper-default" || s.Nodes != 100 {
+		t.Fatalf("Resolve(paper-default) = %+v", s)
+	}
+	if _, err := Resolve("no-such-spec"); err == nil || !strings.Contains(err.Error(), "paper-default") {
+		t.Fatalf("Resolve(no-such-spec) error %v does not list built-ins", err)
+	}
+}
+
+// TestExampleSpecsLoad verifies every committed example spec file parses,
+// validates, and resolves to runnable params — the repo never ships a
+// stale example.
+func TestExampleSpecsLoad(t *testing.T) {
+	paths, err := filepath.Glob("../../examples/scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 3 {
+		t.Fatalf("want >= 3 example specs, found %v", paths)
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			s, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Params(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestTinySpecRuns loads the CI smoke spec and runs it to completion:
+// the exact path the spec-smoke CI job exercises.
+func TestTinySpecRuns(t *testing.T) {
+	s, err := Load("../../examples/scenarios/tiny-smoke.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := scenario.Run(p)
+	if r.DataSent == 0 {
+		t.Fatal("tiny smoke spec generated no traffic")
+	}
+}

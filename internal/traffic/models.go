@@ -1,0 +1,124 @@
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"slr/internal/registry"
+	"slr/internal/sim"
+)
+
+// Pacer yields successive inter-packet gaps for one flow. A fresh Pacer is
+// built per flow, so stateful models (on/off bursts) carry per-flow state.
+// All randomness must come from the rng passed to Next so a scenario seed
+// fully determines the packet schedule.
+type Pacer interface {
+	Next(rng *rand.Rand) sim.Time
+}
+
+// PacerFactory builds a Pacer for one flow from the workload parameters.
+type PacerFactory func(p Params) (Pacer, error)
+
+var pacerFactories = registry.New[PacerFactory]("traffic model")
+
+// RegisterModel adds a traffic model under name. Registering a duplicate
+// name panics: it is a wiring bug.
+func RegisterModel(name string, f PacerFactory) { pacerFactories.Register(name, f) }
+
+// Models returns the registered traffic model names, sorted.
+func Models() []string { return pacerFactories.Names() }
+
+// NewPacer builds a pacer for one flow of p. An empty model name selects
+// "cbr", the paper's workload.
+func NewPacer(p Params) (Pacer, error) {
+	name := p.Model
+	if name == "" {
+		name = "cbr"
+	}
+	f, ok := pacerFactories.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("traffic: unknown model %q (registered: %v)", name, Models())
+	}
+	return f(p)
+}
+
+// param returns the named model parameter or its default.
+func (p Params) param(name string, def float64) float64 {
+	return registry.Param(p.ModelParams, name, def)
+}
+
+// cbrPacer emits packets at a constant interval: the paper's CBR flows.
+// It draws nothing from the rng, so runs that predate the model registry
+// replay byte-identically.
+type cbrPacer struct {
+	interval sim.Time
+}
+
+func (c cbrPacer) Next(*rand.Rand) sim.Time { return c.interval }
+
+// poissonPacer emits packets as a Poisson process with the configured mean
+// rate: exponential inter-arrival gaps, the classic open-loop telephony
+// workload.
+type poissonPacer struct {
+	mean float64 // mean gap in seconds
+}
+
+func (p poissonPacer) Next(rng *rand.Rand) sim.Time {
+	return sim.Time(rng.ExpFloat64() * p.mean * float64(time.Second))
+}
+
+// onoffPacer is a bursty on/off source: CBR at the configured rate during
+// exponentially distributed ON periods (mean "on_mean_seconds", default 1),
+// silent during exponentially distributed OFF periods (mean
+// "off_mean_seconds", default 1). The long-run average rate is therefore
+// Rate * on/(on+off), with packets arriving in bursts that stress MAC
+// queues far harder than CBR at the same average.
+type onoffPacer struct {
+	interval sim.Time
+	onMean   float64 // seconds
+	offMean  float64 // seconds
+	onLeft   sim.Time
+}
+
+func (o *onoffPacer) Next(rng *rand.Rand) sim.Time {
+	if o.onLeft <= 0 {
+		o.onLeft = sim.Time(rng.ExpFloat64() * o.onMean * float64(time.Second))
+	}
+	gap := o.interval
+	o.onLeft -= o.interval
+	if o.onLeft <= 0 {
+		gap += sim.Time(rng.ExpFloat64() * o.offMean * float64(time.Second))
+	}
+	return gap
+}
+
+func init() {
+	RegisterModel("cbr", func(p Params) (Pacer, error) {
+		if p.Rate <= 0 {
+			return nil, fmt.Errorf("traffic: cbr rate %v must be positive", p.Rate)
+		}
+		return cbrPacer{interval: sim.Time(float64(time.Second) / p.Rate)}, nil
+	})
+	RegisterModel("poisson", func(p Params) (Pacer, error) {
+		if p.Rate <= 0 {
+			return nil, fmt.Errorf("traffic: poisson rate %v must be positive", p.Rate)
+		}
+		return poissonPacer{mean: 1 / p.Rate}, nil
+	})
+	RegisterModel("onoff", func(p Params) (Pacer, error) {
+		if p.Rate <= 0 {
+			return nil, fmt.Errorf("traffic: onoff rate %v must be positive", p.Rate)
+		}
+		on := p.param("on_mean_seconds", 1)
+		off := p.param("off_mean_seconds", 1)
+		if on <= 0 || off <= 0 {
+			return nil, fmt.Errorf("traffic: onoff periods on=%v off=%v must be positive", on, off)
+		}
+		return &onoffPacer{
+			interval: sim.Time(float64(time.Second) / p.Rate),
+			onMean:   on,
+			offMean:  off,
+		}, nil
+	})
+}

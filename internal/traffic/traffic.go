@@ -6,6 +6,7 @@
 package traffic
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -19,6 +20,12 @@ type Params struct {
 	PacketSize int      // bytes (512)
 	Rate       float64  // packets per second per flow (4)
 	MeanLife   sim.Time // mean exponential flow lifetime (60 s)
+	// Model selects a registered packet-pacing model: "cbr" (the default
+	// when empty), "poisson", or "onoff". See RegisterModel.
+	Model string
+	// ModelParams carries model-specific knobs (e.g. onoff's
+	// "on_mean_seconds"); missing keys take documented defaults.
+	ModelParams map[string]float64
 }
 
 // DefaultParams returns the paper's workload parameters.
@@ -45,7 +52,18 @@ type Generator struct {
 }
 
 // NewGenerator returns a generator over nodes; traffic stops at end.
+// An unregistered Params.Model panics: spec loading validates model names,
+// so reaching here with one is a wiring bug.
 func NewGenerator(s *sim.Simulator, rng *rand.Rand, nodes []Sender, p Params, end sim.Time) *Generator {
+	// Surface a bad model or rate at construction, not first packet.
+	if _, err := NewPacer(p); err != nil {
+		panic(err)
+	}
+	// A non-positive lifetime would make every flow end the instant it
+	// starts and startFlow recurse without bound.
+	if p.MeanLife <= 0 {
+		panic(fmt.Sprintf("traffic: mean flow lifetime %v must be positive", p.MeanLife))
+	}
 	return &Generator{sim: s, rng: rng, nodes: nodes, p: p, end: end}
 }
 
@@ -77,7 +95,10 @@ func (g *Generator) startFlow() {
 		stop = g.end
 	}
 	g.flows++
-	interval := sim.Time(float64(time.Second) / g.p.Rate)
+	pacer, err := NewPacer(g.p)
+	if err != nil {
+		panic(err) // NewGenerator validated the model; unreachable
+	}
 	var tick func()
 	tick = func() {
 		if g.sim.Now() >= stop {
@@ -95,7 +116,7 @@ func (g *Generator) startFlow() {
 			TTL:     netstack.DefaultTTL,
 			Created: g.sim.Now(),
 		})
-		g.sim.After(interval, tick)
+		g.sim.After(pacer.Next(g.rng), tick)
 	}
 	tick()
 }
