@@ -18,7 +18,6 @@ import (
 	"slr/internal/experiments"
 	"slr/internal/frac"
 	"slr/internal/label"
-	"slr/internal/routing/srp"
 	"slr/internal/scenario"
 	"slr/internal/sim"
 )
@@ -119,16 +118,13 @@ func BenchmarkFig7SeqNo(b *testing.B) {
 	}
 }
 
-// srpVariant runs SRP with a tweaked config, reporting the headline
+// srpVariant runs SRP with protocol-parameter overrides (the same
+// "protocol_params" map a scenario spec carries), reporting the headline
 // metrics, for the ablation benches.
-func srpVariant(b *testing.B, mutate func(*srp.Config)) {
+func srpVariant(b *testing.B, params map[string]float64) {
 	b.Helper()
 	p := benchParams(scenario.SRP, 1)
-	cfg := srp.DefaultConfig()
-	if mutate != nil {
-		mutate(&cfg)
-	}
-	p.SRPConfig = &cfg
+	p.ProtoParams = params
 	runPoint(b, p, map[string]func(scenario.Result) float64{
 		"deliv-ratio": func(r scenario.Result) float64 { return r.DeliveryRatio },
 		"net-load":    func(r scenario.Result) float64 { return r.NetworkLoad },
@@ -141,35 +137,41 @@ func srpVariant(b *testing.B, mutate func(*srp.Config)) {
 // other Ablation* benches.
 func BenchmarkAblationBaseline(b *testing.B) { srpVariant(b, nil) }
 
+// BenchmarkAblationHello enables the protocol-complete periodic Hello
+// advertisements the paper's simulations run without.
+func BenchmarkAblationHello(b *testing.B) {
+	srpVariant(b, map[string]float64{"hello_interval_seconds": 2})
+}
+
 // BenchmarkAblationNextElementOnly removes the dense split: labels may only
 // take the advertisement's next-element, which breaks the request bound on
 // out-of-order paths and forces sequence-number resets — SRP degraded
 // toward an integer-ordering protocol.
 func BenchmarkAblationNextElementOnly(b *testing.B) {
-	srpVariant(b, func(c *srp.Config) { c.NextElementOnly = true })
+	srpVariant(b, map[string]float64{"next_element_only": 1})
 }
 
 // BenchmarkAblationFarey swaps the mediant for the Stern-Brocot simplest
 // fraction (§VI future work): same behaviour, far smaller denominators.
 func BenchmarkAblationFarey(b *testing.B) {
-	srpVariant(b, func(c *srp.Config) { c.Farey = true })
+	srpVariant(b, map[string]float64{"farey": 1})
 }
 
 // BenchmarkAblationNoLie disables the §V understated-RREQ heuristic.
 func BenchmarkAblationNoLie(b *testing.B) {
-	srpVariant(b, func(c *srp.Config) { c.UseLie = false })
+	srpVariant(b, map[string]float64{"use_lie": 0})
 }
 
 // BenchmarkAblationNoCache disables the packet cache: MAC-dropped data is
 // lost instead of resent on a repaired route.
 func BenchmarkAblationNoCache(b *testing.B) {
-	srpVariant(b, func(c *srp.Config) { c.UsePacketCache = false })
+	srpVariant(b, map[string]float64{"use_packet_cache": 0})
 }
 
 // BenchmarkAblationNoRing disables expanding-ring search: every discovery
 // floods the whole network immediately.
 func BenchmarkAblationNoRing(b *testing.B) {
-	srpVariant(b, func(c *srp.Config) { c.TTLs = []int{35} })
+	srpVariant(b, map[string]float64{"ttl_0": 35, "ttl_1": 35, "ttl_2": 35})
 }
 
 // --- Micro-benchmarks of the label machinery --------------------------

@@ -10,7 +10,9 @@
 // With -spec, the command instead runs the trials of one declarative
 // scenario spec (a JSON file or a built-in name like "paper-default") and
 // prints the per-trial results and their summary; -jsonl/-csv stream the
-// trials the same way they do for a sweep.
+// trials the same way they do for a sweep, and -pparam name=value
+// (repeatable) overrides protocol constants on top of the spec's
+// protocol_params.
 //
 // Example:
 //
@@ -28,6 +30,7 @@ import (
 	"time"
 
 	"slr/internal/experiments"
+	"slr/internal/routing"
 	"slr/internal/runner"
 	"slr/internal/scenario"
 	"slr/internal/spec"
@@ -54,8 +57,13 @@ func run(args []string) error {
 		jsonlOut  = fs.String("jsonl", "", "stream per-trial results as JSON lines to this file")
 		csvOut    = fs.String("csv", "", "stream per-trial results as CSV to this file")
 	)
+	protoParams := routing.ParamsFlag{}
+	fs.Var(protoParams, "pparam", "with -spec: protocol parameter override `name=value` (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if len(protoParams) > 0 && *specArg == "" {
+		return fmt.Errorf("-pparam requires -spec (the paper grid runs every protocol at its published constants)")
 	}
 	seedSet := false
 	fs.Visit(func(f *flag.Flag) {
@@ -82,6 +90,12 @@ func run(args []string) error {
 		p, err := s.Params()
 		if err != nil {
 			return err
+		}
+		if len(protoParams) > 0 {
+			p.ProtoParams = routing.MergeParams(p.ProtoParams, protoParams)
+			if err := routing.Validate(routing.Spec{Name: string(p.Protocol), Params: p.ProtoParams}); err != nil {
+				return err
+			}
 		}
 		emitters, closeEmitters, err := openEmitters(*jsonlOut, *csvOut)
 		if err != nil {

@@ -5,11 +5,15 @@
 // "paper-default") as the baseline; any topology or workload flag given
 // explicitly on the command line overrides the spec's value.
 //
+// -pparam name=value (repeatable) overrides one protocol constant using
+// the same vocabulary as the spec's "protocol_params" section.
+//
 // Example:
 //
 //	slrsim -protocol SRP -nodes 100 -pause 0 -flows 30 -duration 900s -seed 1
 //	slrsim -spec examples/scenarios/manhattan-500.json -trials 1
 //	slrsim -spec paper-default -protocol AODV
+//	slrsim -protocol AODV -pparam rreq_retries=4 -pparam ttl_0=35
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 
 	"slr/internal/geo"
 	"slr/internal/mobility"
+	"slr/internal/routing"
 	"slr/internal/runner"
 	"slr/internal/scenario"
 	"slr/internal/spec"
@@ -54,6 +59,8 @@ func run(args []string) error {
 		trials    = fs.Int("trials", 1, "independent trials (seeds seed..seed+trials-1)")
 		specArg   = fs.String("spec", "", "scenario spec (path or built-in name) as the baseline; explicit flags override it")
 	)
+	protoParams := routing.ParamsFlag{}
+	fs.Var(protoParams, "pparam", "protocol parameter override `name=value` (repeatable); keys follow the spec's protocol_params vocabulary")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,14 +68,8 @@ func run(args []string) error {
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	proto := scenario.ProtocolName(strings.ToUpper(*protoName))
-	found := false
-	for _, p := range scenario.AllProtocols {
-		if p == proto {
-			found = true
-		}
-	}
-	if !found {
-		return fmt.Errorf("unknown protocol %q (want one of %v)", *protoName, scenario.AllProtocols)
+	if err := routing.Validate(routing.Spec{Name: string(proto)}); err != nil {
+		return err
 	}
 
 	var p scenario.Params
@@ -86,8 +87,11 @@ func run(args []string) error {
 		// Explicit flags override the spec; a changed speed or pause
 		// also drops the spec's mobility section back to the waypoint
 		// defaults those flags describe.
-		if set["protocol"] {
+		if set["protocol"] && p.Protocol != proto {
+			// The spec's protocol_params described the spec's protocol;
+			// they do not carry over to a different one.
 			p.Protocol = proto
+			p.ProtoParams = nil
 		}
 		if set["nodes"] {
 			p.Nodes = *nodes
@@ -145,6 +149,12 @@ func run(args []string) error {
 			MeanLife: 60 * time.Second,
 		}
 		p.CheckInvariants = *check
+	}
+
+	// -pparam overrides merge over the spec's protocol_params.
+	p.ProtoParams = routing.MergeParams(p.ProtoParams, protoParams)
+	if err := routing.Validate(routing.Spec{Name: string(p.Protocol), Params: p.ProtoParams}); err != nil {
+		return err
 	}
 
 	ts, err := runner.Trials(p, *trials, runner.Options{})

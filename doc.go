@@ -21,10 +21,25 @@
 // identical results whatever the worker count.
 //
 // Workloads are declarative: internal/spec loads versioned JSON scenario
-// files (see examples/scenarios/) that select a routing protocol plus
-// registered mobility models (waypoint, static, gauss-markov, manhattan),
-// traffic models (cbr, poisson, onoff), and radio propagation models
-// (unit-disk, shadowing, rayleigh) by name, with per-model parameter
-// maps. The paper's evaluation setup is the built-in "paper-default"
-// spec; both cmd/slrsim and cmd/experiments take -spec.
+// files (see examples/scenarios/) that select every model by name from a
+// registry — routing protocols (SRP, LDR, AODV, DSR, OLSR via
+// internal/routing), mobility models (waypoint, static, gauss-markov,
+// manhattan), traffic models (cbr, poisson, onoff), and radio propagation
+// models (unit-disk, shadowing, rayleigh) — each with a validated
+// parameter map. The routing registry's "protocol_params" section tunes
+// protocol constants (hello/TC intervals, RREQ retry and TTL schedules,
+// route lifetimes, SRP's label heuristics) per spec file, so
+// protocol-parameter sweeps are ordinary scenario files; see
+// examples/scenarios/aodv-aggressive.json. The paper's evaluation setup
+// is the built-in "paper-default" spec; both cmd/slrsim and
+// cmd/experiments take -spec, and -pparam overrides single constants.
+//
+// The routing control plane shares one toolkit: internal/routing/rcommon
+// owns the drop-reason vocabulary, discovery queues with retry and
+// hold-down bookkeeping, RREQ/RERR rate limiters, the periodic beaconer,
+// the hello/link-liveness neighbor table, and duplicate-flood
+// suppression. internal/routing/rtest's conformance suite runs every
+// registered protocol through a shared contract: quiet before Start,
+// idempotent Start, deterministic replay at any worker count, and drops
+// only from the canonical vocabulary.
 package slr

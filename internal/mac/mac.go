@@ -62,6 +62,15 @@ type UpperLayer interface {
 	SendOK(to radio.NodeID, payload any)
 }
 
+// BroadcastDone is optionally implemented by an UpperLayer that pools its
+// broadcast payloads: it fires once the frame's air time has elapsed, at
+// which point every audible station has completed (or corrupted) its
+// reception, so the sender may reclaim the payload container. Deliveries
+// of the frame fire before this notification within the same instant.
+type BroadcastDone interface {
+	BroadcastDone(payload any)
+}
+
 // Stats are per-node MAC counters.
 type Stats struct {
 	TxUnicast   uint64 // DATA transmissions (including retries)
@@ -296,6 +305,9 @@ func (m *MAC) sendData(j *job) {
 		m.sim.After(air, func() {
 			if m.cur == j {
 				m.next()
+			}
+			if bd, ok := m.up.(BroadcastDone); ok {
+				bd.BroadcastDone(j.payload)
 			}
 		})
 		return

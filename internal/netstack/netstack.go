@@ -43,16 +43,12 @@ type DataPacket struct {
 	Salvaged int
 }
 
-// Drop reasons used across protocols.
-const (
-	DropNoRoute   = "no-route"
-	DropTTL       = "ttl-expired"
-	DropLinkLost  = "link-lost"
-	DropQueueFull = "rreq-queue-full"
-	DropTimeout   = "discovery-timeout"
-)
-
 // Protocol is a routing protocol instance bound to one node.
+//
+// DropData reasons must come from the canonical vocabulary owned by
+// slr/internal/routing/rcommon (the netstack cannot import it — rcommon
+// builds on the Node API — so the conformance suite enforces the
+// vocabulary instead of the type system).
 type Protocol interface {
 	// Attach binds the protocol to its node. Called once, before Start.
 	Attach(n *Node)
@@ -77,7 +73,10 @@ type Protocol interface {
 }
 
 // controlEnvelope wraps a control message on the air so the stack can
-// distinguish it from data and account for its size.
+// distinguish it from data and account for its size. Envelopes are pooled
+// per node (see newEnvelope): one is recycled when its unicast completes
+// (SendOK/SendFailed) or its broadcast leaves the air (BroadcastDone), so
+// steady-state hello/update traffic stops allocating a box per send.
 type controlEnvelope struct {
 	size int
 	msg  any
@@ -90,9 +89,14 @@ type Node struct {
 	mac   *mac.MAC
 	proto Protocol
 	mx    *metrics.Collector
-	// uidSeq hands out unique data packet ids node-locally by combining
-	// with the node id; the scenario seeds it.
+	// delivered dedups data packet UIDs that reached this destination
+	// (e.g. a retransmitted copy that raced an ACK). UIDs themselves are
+	// allocated by the originating side — the traffic generator for
+	// workload packets, test harnesses for injected ones — never by the
+	// Node.
 	delivered map[uint64]struct{}
+	// envFree pools controlEnvelope boxes for reuse across control sends.
+	envFree []*controlEnvelope
 }
 
 // NewNode wires a node together. The caller must register node.MAC() (via
@@ -158,19 +162,39 @@ func (n *Node) ForwardData(to NodeID, pkt *DataPacket) {
 // dataHeaderSize approximates the IP-style network header on data packets.
 const dataHeaderSize = 20
 
+// newEnvelope takes a pooled envelope or allocates one.
+func (n *Node) newEnvelope(size int, msg any) *controlEnvelope {
+	if k := len(n.envFree); k > 0 {
+		e := n.envFree[k-1]
+		n.envFree[k-1] = nil
+		n.envFree = n.envFree[:k-1]
+		e.size, e.msg = size, msg
+		return e
+	}
+	return &controlEnvelope{size: size, msg: msg}
+}
+
+// freeEnvelope recycles an envelope whose send completed. The wrapped
+// message is not pooled: receivers may hold it past delivery (e.g. a
+// forwarded RREP), only the box is dead.
+func (n *Node) freeEnvelope(e *controlEnvelope) {
+	e.msg = nil
+	n.envFree = append(n.envFree, e)
+}
+
 // BroadcastControl transmits a control message to all neighbors. Control
 // packets jump the data queue, as in the ns-2/GloMoSim priority interface
 // queue used by the paper's evaluation.
 func (n *Node) BroadcastControl(size int, msg any) {
 	n.mx.Control(size)
-	n.mac.BroadcastPriority(size, &controlEnvelope{size: size, msg: msg})
+	n.mac.BroadcastPriority(size, n.newEnvelope(size, msg))
 }
 
 // UnicastControl transmits a control message to one neighbor with ARQ and
 // priority over data.
 func (n *Node) UnicastControl(to NodeID, size int, msg any) {
 	n.mx.Control(size)
-	n.mac.SendPriority(to, size, &controlEnvelope{size: size, msg: msg})
+	n.mac.SendPriority(to, size, n.newEnvelope(size, msg))
 }
 
 // DeliverLocal records the arrival of pkt at its destination. Duplicate
@@ -211,6 +235,7 @@ func (u *macUpper) SendFailed(to radio.NodeID, payload any) {
 		n.proto.DataFailed(to, p)
 	case *controlEnvelope:
 		n.proto.ControlFailed(to, p.msg)
+		n.freeEnvelope(p)
 	}
 }
 
@@ -220,8 +245,17 @@ func (u *macUpper) SendOK(to radio.NodeID, payload any) {
 	case *DataPacket:
 		n.proto.DataAcked(to, p)
 	case *controlEnvelope:
-		// Control deliveries need no confirmation.
-		_ = p
+		// Control deliveries need no confirmation; the box is done.
+		n.freeEnvelope(p)
+	}
+}
+
+// BroadcastDone implements mac.BroadcastDone: a broadcast control frame
+// has left the air and every reception of it has completed, so its
+// envelope can be recycled.
+func (u *macUpper) BroadcastDone(payload any) {
+	if e, ok := payload.(*controlEnvelope); ok {
+		(*Node)(u).freeEnvelope(e)
 	}
 }
 

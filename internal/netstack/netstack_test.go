@@ -37,7 +37,7 @@ func (p *hopProto) RecvData(from NodeID, pkt *DataPacket) {
 	}
 	pkt.TTL--
 	if pkt.TTL <= 0 {
-		p.n.DropData(pkt, DropTTL)
+		p.n.DropData(pkt, "ttl-expired")
 		return
 	}
 	p.route(pkt)
@@ -46,7 +46,7 @@ func (p *hopProto) RecvData(from NodeID, pkt *DataPacket) {
 func (p *hopProto) route(pkt *DataPacket) {
 	next, ok := p.nextHop[pkt.Dst]
 	if !ok {
-		p.n.DropData(pkt, DropNoRoute)
+		p.n.DropData(pkt, "no-route")
 		return
 	}
 	p.n.ForwardData(next, pkt)
@@ -122,7 +122,7 @@ func TestNoRouteDrop(t *testing.T) {
 	pkt := &DataPacket{UID: 2, Src: 0, Dst: 1, Size: 100, TTL: 4, Created: w.sim.Now()}
 	w.nodes[0].SendData(pkt)
 	w.sim.Run()
-	if w.mx.DataDrops[DropNoRoute] != 1 {
+	if w.mx.DataDrops["no-route"] != 1 {
 		t.Fatalf("drops = %v", w.mx.DataDrops)
 	}
 }
@@ -135,7 +135,7 @@ func TestTTLExpiry(t *testing.T) {
 	pkt := &DataPacket{UID: 3, Src: 0, Dst: 5, Size: 100, TTL: 6, Created: w.sim.Now()}
 	w.nodes[0].SendData(pkt)
 	w.sim.Run()
-	if w.mx.DataDrops[DropTTL] != 1 {
+	if w.mx.DataDrops["ttl-expired"] != 1 {
 		t.Fatalf("drops = %v, want one ttl-expired", w.mx.DataDrops)
 	}
 }

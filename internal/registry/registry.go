@@ -57,3 +57,30 @@ func Param(params map[string]float64, name string, def float64) float64 {
 	}
 	return def
 }
+
+// ApplyParams walks params in sorted key order, invoking the matching
+// applier for each entry. A key with no applier is an error naming the
+// known keys — a typoed knob must fail loudly, never silently fall back
+// to a default. It is the shared override mechanism for model families
+// whose parameter set is fixed and validated (routing protocol configs),
+// as opposed to Param's open accessor for optional knobs.
+func ApplyParams(kind string, params map[string]float64, apply map[string]func(float64)) error {
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		f, ok := apply[k]
+		if !ok {
+			known := make([]string, 0, len(apply))
+			for n := range apply {
+				known = append(known, n)
+			}
+			sort.Strings(known)
+			return fmt.Errorf("%s: unknown parameter %q (known: %v)", kind, k, known)
+		}
+		f(params[k])
+	}
+	return nil
+}

@@ -12,9 +12,12 @@
 package aodv
 
 import (
+	"fmt"
 	"time"
 
 	"slr/internal/netstack"
+	"slr/internal/registry"
+	"slr/internal/routing/rcommon"
 	"slr/internal/sim"
 )
 
@@ -51,6 +54,50 @@ func DefaultConfig() Config {
 		RreqRateLimit:      10,
 		DiscoveryHoldDown:  3 * time.Second,
 	}
+}
+
+// ConfigFromParams returns DefaultConfig with the spec-level overrides in
+// params applied; durations arrive in seconds, booleans as 0/1. Unknown
+// keys and out-of-range values are errors.
+func ConfigFromParams(params map[string]float64) (Config, error) {
+	cfg := DefaultConfig()
+	if err := registry.ApplyParams("aodv", params, map[string]func(float64){
+		"active_route_timeout_seconds": func(v float64) { cfg.ActiveRouteTimeout = rcommon.Seconds(v) },
+		"node_traversal_seconds":       func(v float64) { cfg.NodeTraversal = rcommon.Seconds(v) },
+		"rreq_retries":                 func(v float64) { cfg.RreqRetries = int(v) },
+		"ttl_0":                        func(v float64) { cfg.TTLs[0] = int(v) },
+		"ttl_1":                        func(v float64) { cfg.TTLs[1] = int(v) },
+		"ttl_2":                        func(v float64) { cfg.TTLs[2] = int(v) },
+		"queue_cap":                    func(v float64) { cfg.QueueCap = int(v) },
+		"local_repair":                 func(v float64) { cfg.LocalRepair = v != 0 },
+		"max_salvage":                  func(v float64) { cfg.MaxSalvage = int(v) },
+		"rreq_rate_limit":              func(v float64) { cfg.RreqRateLimit = int(v) },
+		"discovery_holddown_seconds":   func(v float64) { cfg.DiscoveryHoldDown = rcommon.Seconds(v) },
+	}); err != nil {
+		return Config{}, err
+	}
+	if err := cfg.validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// validate rejects configurations no deployment could run.
+func (c Config) validate() error {
+	if c.ActiveRouteTimeout <= 0 || c.NodeTraversal <= 0 {
+		return fmt.Errorf("aodv: timeouts must be positive (active_route_timeout %v, node_traversal %v)",
+			c.ActiveRouteTimeout, c.NodeTraversal)
+	}
+	if c.RreqRetries < 0 || c.QueueCap < 1 || c.MaxSalvage < 0 || c.DiscoveryHoldDown < 0 {
+		return fmt.Errorf("aodv: rreq_retries %d, queue_cap %d, max_salvage %d, discovery_holddown %v out of range",
+			c.RreqRetries, c.QueueCap, c.MaxSalvage, c.DiscoveryHoldDown)
+	}
+	for _, t := range c.TTLs {
+		if t < 1 {
+			return fmt.Errorf("aodv: ttl schedule entry %d must be >= 1", t)
+		}
+	}
+	return nil
 }
 
 // rreq is the AODV route request.
@@ -106,19 +153,6 @@ type routeEntry struct {
 	precursors map[netstack.NodeID]struct{}
 }
 
-type rreqKey struct {
-	src netstack.NodeID
-	id  uint32
-}
-
-type pending struct {
-	dst     netstack.NodeID
-	attempt int
-	timer   sim.Timer
-	queue   []*netstack.DataPacket
-	repair  bool // local repair at an intermediate node
-}
-
 // Protocol is one node's AODV instance.
 type Protocol struct {
 	netstack.BaseProtocol
@@ -126,17 +160,18 @@ type Protocol struct {
 	node *netstack.Node
 	self netstack.NodeID
 
-	seq     uint32 // own sequence number, starts at 0 (Fig. 7 baseline)
-	rreqID  uint32
-	table   map[netstack.NodeID]*routeEntry
-	seen    map[rreqKey]sim.Time
-	pending map[netstack.NodeID]*pending
-	// recentRreqs rate-limits RREQ originations.
-	recentRreqs []sim.Time
-	// holdDown blocks re-discovery of recently failed destinations.
-	holdDown map[netstack.NodeID]sim.Time
-	// recentRerrs rate-limits RERR broadcasts (RERR_RATELIMIT).
-	recentRerrs []sim.Time
+	seq    uint32 // own sequence number, starts at 0 (Fig. 7 baseline)
+	rreqID uint32
+	table  map[netstack.NodeID]*routeEntry
+	// seen suppresses duplicate RREQ floods (PATH_DISCOVERY_TIME).
+	seen *rcommon.DupCache
+	// disc owns the pending discoveries, their packet queues, and the
+	// post-failure hold-down.
+	disc *rcommon.DiscoveryTable
+	// rreqLimit and rerrLimit enforce RREQ_RATELIMIT / RERR_RATELIMIT.
+	rreqLimit rcommon.RateLimiter
+	rerrLimit rcommon.RateLimiter
+	sweeper   rcommon.Beaconer
 }
 
 var _ netstack.Protocol = (*Protocol)(nil)
@@ -144,11 +179,12 @@ var _ netstack.Protocol = (*Protocol)(nil)
 // New returns an AODV instance.
 func New(cfg Config) *Protocol {
 	return &Protocol{
-		cfg:      cfg,
-		table:    make(map[netstack.NodeID]*routeEntry),
-		seen:     make(map[rreqKey]sim.Time),
-		pending:  make(map[netstack.NodeID]*pending),
-		holdDown: make(map[netstack.NodeID]sim.Time),
+		cfg:       cfg,
+		table:     make(map[netstack.NodeID]*routeEntry),
+		seen:      rcommon.NewDupCache(30 * time.Second),
+		disc:      rcommon.NewDiscoveryTable(cfg.QueueCap, cfg.RreqRetries, cfg.DiscoveryHoldDown),
+		rreqLimit: rcommon.RateLimiter{Cap: cfg.RreqRateLimit},
+		rerrLimit: rcommon.RateLimiter{Cap: 10},
 	}
 }
 
@@ -156,21 +192,14 @@ func New(cfg Config) *Protocol {
 func (p *Protocol) Attach(n *netstack.Node) {
 	p.node = n
 	p.self = n.ID()
+	p.disc.Attach(n)
 }
 
-// Start implements netstack.Protocol.
+// Start implements netstack.Protocol. Starting twice is a no-op.
 func (p *Protocol) Start() {
-	var sweep func()
-	sweep = func() {
-		now := p.node.Now()
-		for k, t := range p.seen {
-			if t <= now {
-				delete(p.seen, k)
-			}
-		}
-		p.node.After(10*time.Second, sweep)
-	}
-	p.node.After(10*time.Second, sweep)
+	p.sweeper.StartEvery(p.node, 10*time.Second, func() {
+		p.seen.Sweep(p.node.Now())
+	})
 }
 
 // SeqnoDelta reports this node's own sequence number, which starts at zero
@@ -225,7 +254,7 @@ func (p *Protocol) RecvData(from netstack.NodeID, pkt *netstack.DataPacket) {
 	pkt.Hops++
 	pkt.TTL--
 	if pkt.TTL <= 0 {
-		p.node.DropData(pkt, netstack.DropTTL)
+		p.node.DropData(pkt, rcommon.DropTTL)
 		return
 	}
 	e, ok := p.liveRoute(pkt.Dst)
@@ -236,7 +265,7 @@ func (p *Protocol) RecvData(from netstack.NodeID, pkt *netstack.DataPacket) {
 		}
 		out := &rerr{Dests: []rerrDest{{Dst: pkt.Dst, Seq: seq}}}
 		p.node.UnicastControl(from, out.size(), out)
-		p.node.DropData(pkt, netstack.DropNoRoute)
+		p.node.DropData(pkt, rcommon.DropNoRoute)
 		return
 	}
 	p.useRoute(e)
@@ -253,101 +282,52 @@ func (p *Protocol) useRoute(e *routeEntry) {
 
 // enqueue queues pkt behind a (possibly new) discovery.
 func (p *Protocol) enqueue(pkt *netstack.DataPacket, repair bool) {
-	pd, ok := p.pending[pkt.Dst]
-	if ok {
-		if len(pd.queue) >= p.cfg.QueueCap {
-			p.node.DropData(pkt, netstack.DropQueueFull)
-			return
-		}
-		pd.queue = append(pd.queue, pkt)
-		return
-	}
-	if until, held := p.holdDown[pkt.Dst]; held && p.node.Now() < until {
-		p.node.DropData(pkt, netstack.DropNoRoute)
-		return
-	}
-	pd = &pending{dst: pkt.Dst, queue: []*netstack.DataPacket{pkt}, repair: repair}
-	p.pending[pkt.Dst] = pd
-	p.solicit(pd)
+	p.disc.Enqueue(pkt, repair, p.solicit)
 }
 
-// rreqAllowed enforces RREQ_RATELIMIT; over-cap discoveries are deferred.
-func (p *Protocol) rreqAllowed() bool {
-	if p.cfg.RreqRateLimit <= 0 {
-		return true
-	}
-	now := p.node.Now()
-	kept := p.recentRreqs[:0]
-	for _, t := range p.recentRreqs {
-		if now-t < time.Second {
-			kept = append(kept, t)
-		}
-	}
-	p.recentRreqs = kept
-	if len(kept) >= p.cfg.RreqRateLimit {
-		return false
-	}
-	p.recentRreqs = append(p.recentRreqs, now)
-	return true
-}
-
-// solicit broadcasts a RREQ per the expanding-ring schedule.
-func (p *Protocol) solicit(pd *pending) {
-	if !p.rreqAllowed() {
-		pd.timer = p.node.After(200*time.Millisecond, func() {
-			if p.pending[pd.dst] == pd {
-				p.solicit(pd)
-			}
-		})
+// solicit broadcasts a RREQ per the expanding-ring schedule; over-cap
+// discoveries are deferred, not abandoned (RREQ_RATELIMIT).
+func (p *Protocol) solicit(pd *rcommon.Discovery) {
+	if !p.rreqLimit.Allow(p.node.Now()) {
+		p.disc.Defer(pd, 200*time.Millisecond, p.solicit)
 		return
 	}
 	// "Immediately before a node originates a route discovery, it MUST
 	// increment its own sequence number."
 	p.seq++
 	p.rreqID++
-	p.seen[rreqKey{src: p.self, id: p.rreqID}] = p.node.Now() + 30*time.Second
+	p.seen.Mark(p.self, p.rreqID, p.node.Now())
 
 	r := &rreq{
 		Src:    p.self,
 		SrcSeq: p.seq,
 		RreqID: p.rreqID,
-		Dst:    pd.dst,
-		TTL:    p.cfg.TTLs[min(pd.attempt, len(p.cfg.TTLs)-1)],
+		Dst:    pd.Dst,
+		TTL:    p.cfg.TTLs[min(pd.Attempt, len(p.cfg.TTLs)-1)],
 	}
-	if e, ok := p.table[pd.dst]; ok && e.validSeq {
+	if e, ok := p.table[pd.Dst]; ok && e.validSeq {
 		r.DstSeq = e.seq
 	} else {
 		r.UnknownSeq = true
 	}
 	p.node.BroadcastControl(rreqSize, r)
 	// Binary exponential backoff across retries, per the draft.
-	wait := 2 * sim.Time(r.TTL) * p.cfg.NodeTraversal << uint(pd.attempt)
-	pd.timer = p.node.After(wait, func() { p.retry(pd) })
+	wait := 2 * sim.Time(r.TTL) * p.cfg.NodeTraversal << uint(pd.Attempt)
+	pd.Timer = p.node.After(wait, func() { p.disc.Retry(pd, p.solicit, p.repairFailed) })
 }
 
-func (p *Protocol) retry(pd *pending) {
-	if p.pending[pd.dst] != pd {
+// repairFailed runs when an abandoned discovery was a local repair:
+// invalidate the route and report upstream.
+func (p *Protocol) repairFailed(pd *rcommon.Discovery) {
+	if !pd.Repair {
 		return
 	}
-	pd.attempt++
-	if pd.attempt > p.cfg.RreqRetries {
-		delete(p.pending, pd.dst)
-		p.holdDown[pd.dst] = p.node.Now() + p.cfg.DiscoveryHoldDown
-		for _, pkt := range pd.queue {
-			p.node.DropData(pkt, netstack.DropTimeout)
-		}
-		if pd.repair {
-			// Local repair failed: invalidate and report upstream.
-			e := p.entry(pd.dst)
-			if e.valid {
-				e.valid = false
-				e.seq++
-			}
-			p.propagateRERR(map[netstack.NodeID]*routeEntry{pd.dst: e})
-		}
-		return
+	e := p.entry(pd.Dst)
+	if e.valid {
+		e.valid = false
+		e.seq++
 	}
-	p.solicit(pd)
+	p.propagateRERR(map[netstack.NodeID]*routeEntry{pd.Dst: e})
 }
 
 // --- Control plane ----------------------------------------------------
@@ -371,11 +351,9 @@ func (p *Protocol) handleRREQ(from netstack.NodeID, r *rreq) {
 	// Build/refresh the reverse route to the originator.
 	p.update(r.Src, r.SrcSeq, true, r.HopCount+1, from)
 
-	key := rreqKey{src: r.Src, id: r.RreqID}
-	if _, dup := p.seen[key]; dup {
+	if !p.seen.Witness(r.Src, r.RreqID, p.node.Now()) {
 		return
 	}
-	p.seen[key] = p.node.Now() + 30*time.Second
 
 	if r.Dst == p.self {
 		// "If its own sequence number equals the RREQ's destination
@@ -436,16 +414,14 @@ func (p *Protocol) handleRREP(from netstack.NodeID, rep *rrep) {
 
 // complete flushes the discovery queue for dst.
 func (p *Protocol) complete(dst netstack.NodeID) {
-	pd, ok := p.pending[dst]
+	pd, ok := p.disc.Complete(dst)
 	if !ok {
 		return
 	}
-	p.node.Cancel(pd.timer)
-	delete(p.pending, dst)
 	e, live := p.liveRoute(dst)
-	for _, pkt := range pd.queue {
+	for _, pkt := range pd.Queue {
 		if !live {
-			p.node.DropData(pkt, netstack.DropNoRoute)
+			p.node.DropData(pkt, rcommon.DropNoRoute)
 			continue
 		}
 		p.useRoute(e)
@@ -504,7 +480,7 @@ func (p *Protocol) DataFailed(to netstack.NodeID, pkt *netstack.DataPacket) {
 		pkt.Salvaged++
 		p.enqueue(pkt, true)
 	} else {
-		p.node.DropData(pkt, netstack.DropLinkLost)
+		p.node.DropData(pkt, rcommon.DropLinkLost)
 	}
 	p.propagateRERR(broken)
 }
@@ -528,24 +504,8 @@ func (p *Protocol) breakLink(to netstack.NodeID) map[netstack.NodeID]*routeEntry
 	return broken
 }
 
-// rerrAllowed enforces RERR_RATELIMIT (10 per second, RFC 3561 §10).
-func (p *Protocol) rerrAllowed() bool {
-	now := p.node.Now()
-	kept := p.recentRerrs[:0]
-	for _, t := range p.recentRerrs {
-		if now-t < time.Second {
-			kept = append(kept, t)
-		}
-	}
-	p.recentRerrs = kept
-	if len(kept) >= 10 {
-		return false
-	}
-	p.recentRerrs = append(p.recentRerrs, now)
-	return true
-}
-
-// propagateRERR notifies precursors of newly invalid destinations.
+// propagateRERR notifies precursors of newly invalid destinations, capped
+// at RERR_RATELIMIT (10 per second, RFC 3561 §10).
 func (p *Protocol) propagateRERR(broken map[netstack.NodeID]*routeEntry) {
 	var dests []rerrDest
 	for dst, e := range broken {
@@ -555,15 +515,15 @@ func (p *Protocol) propagateRERR(broken map[netstack.NodeID]*routeEntry) {
 		dests = append(dests, rerrDest{Dst: dst, Seq: e.seq})
 		e.precursors = make(map[netstack.NodeID]struct{})
 	}
-	if len(dests) == 0 || !p.rerrAllowed() {
+	if len(dests) == 0 || !p.rerrLimit.Allow(p.node.Now()) {
 		return
 	}
 	out := &rerr{Dests: dests}
 	p.node.BroadcastControl(out.size(), out)
 }
 
-// seqGT compares sequence numbers with wraparound (RFC 3561 §6.1).
-func seqGT(a, b uint32) bool { return int32(a-b) > 0 }
+// seqGT and seqGE compare sequence numbers with wraparound (RFC 3561
+// §6.1), via the shared helpers.
+func seqGT(a, b uint32) bool { return rcommon.SeqGT(a, b) }
 
-// seqGE is seqGT or equal.
-func seqGE(a, b uint32) bool { return a == b || seqGT(a, b) }
+func seqGE(a, b uint32) bool { return rcommon.SeqGE(a, b) }

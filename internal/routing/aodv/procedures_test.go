@@ -6,6 +6,7 @@ import (
 
 	"slr/internal/geo"
 	"slr/internal/netstack"
+	"slr/internal/routing/rcommon"
 	"slr/internal/routing/rtest"
 )
 
@@ -20,7 +21,7 @@ type spy struct {
 func (s *spy) Attach(n *netstack.Node) { s.node = n }
 func (s *spy) Start()                  {}
 func (s *spy) OriginateData(pkt *netstack.DataPacket) {
-	s.node.DropData(pkt, netstack.DropNoRoute)
+	s.node.DropData(pkt, rcommon.DropNoRoute)
 }
 func (s *spy) RecvData(netstack.NodeID, *netstack.DataPacket) {}
 func (s *spy) RecvControl(from netstack.NodeID, msg any) {

@@ -13,9 +13,12 @@
 package dsr
 
 import (
+	"fmt"
 	"time"
 
 	"slr/internal/netstack"
+	"slr/internal/registry"
+	"slr/internal/routing/rcommon"
 	"slr/internal/sim"
 )
 
@@ -58,6 +61,49 @@ func DefaultConfig() Config {
 	}
 }
 
+// ConfigFromParams returns DefaultConfig with the spec-level overrides in
+// params applied; durations arrive in seconds, booleans as 0/1. Unknown
+// keys and out-of-range values are errors.
+func ConfigFromParams(params map[string]float64) (Config, error) {
+	cfg := DefaultConfig()
+	if err := registry.ApplyParams("dsr", params, map[string]func(float64){
+		"cache_lifetime_seconds":     func(v float64) { cfg.CacheLifetime = rcommon.Seconds(v) },
+		"routes_per_dest":            func(v float64) { cfg.RoutesPerDest = int(v) },
+		"rreq_retries":               func(v float64) { cfg.RreqRetries = int(v) },
+		"first_ttl":                  func(v float64) { cfg.FirstTTL = int(v) },
+		"net_ttl":                    func(v float64) { cfg.NetTTL = int(v) },
+		"node_traversal_seconds":     func(v float64) { cfg.NodeTraversal = rcommon.Seconds(v) },
+		"queue_cap":                  func(v float64) { cfg.QueueCap = int(v) },
+		"max_salvage":                func(v float64) { cfg.MaxSalvage = int(v) },
+		"reply_from_cache":           func(v float64) { cfg.ReplyFromCache = v != 0 },
+		"rreq_rate_limit":            func(v float64) { cfg.RreqRateLimit = int(v) },
+		"discovery_holddown_seconds": func(v float64) { cfg.DiscoveryHoldDown = rcommon.Seconds(v) },
+	}); err != nil {
+		return Config{}, err
+	}
+	if err := cfg.validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// validate rejects configurations no deployment could run.
+func (c Config) validate() error {
+	if c.CacheLifetime <= 0 || c.NodeTraversal <= 0 {
+		return fmt.Errorf("dsr: cache_lifetime %v and node_traversal %v must be positive",
+			c.CacheLifetime, c.NodeTraversal)
+	}
+	if c.RoutesPerDest < 1 || c.FirstTTL < 1 || c.NetTTL < 1 {
+		return fmt.Errorf("dsr: routes_per_dest %d, first_ttl %d, net_ttl %d must be >= 1",
+			c.RoutesPerDest, c.FirstTTL, c.NetTTL)
+	}
+	if c.RreqRetries < 0 || c.QueueCap < 1 || c.MaxSalvage < 0 || c.DiscoveryHoldDown < 0 {
+		return fmt.Errorf("dsr: rreq_retries %d, queue_cap %d, max_salvage %d, discovery_holddown %v out of range",
+			c.RreqRetries, c.QueueCap, c.MaxSalvage, c.DiscoveryHoldDown)
+	}
+	return nil
+}
+
 // rreq accumulates the traversed path in Path (intermediate nodes only,
 // excluding Src and Dst).
 type rreq struct {
@@ -97,18 +143,6 @@ type cachedRoute struct {
 	expiry sim.Time
 }
 
-type rreqKey struct {
-	src netstack.NodeID
-	id  uint32
-}
-
-type pending struct {
-	dst     netstack.NodeID
-	attempt int
-	timer   sim.Timer
-	queue   []*netstack.DataPacket
-}
-
 // Protocol is one node's DSR instance.
 type Protocol struct {
 	netstack.BaseProtocol
@@ -116,14 +150,16 @@ type Protocol struct {
 	node *netstack.Node
 	self netstack.NodeID
 
-	rreqID  uint32
-	cache   map[netstack.NodeID][]*cachedRoute
-	seen    map[rreqKey]sim.Time
-	pending map[netstack.NodeID]*pending
-	// recentRreqs rate-limits RREQ originations.
-	recentRreqs []sim.Time
-	// holdDown blocks re-discovery of recently failed destinations.
-	holdDown map[netstack.NodeID]sim.Time
+	rreqID uint32
+	cache  map[netstack.NodeID][]*cachedRoute
+	// seen suppresses duplicate RREQ floods.
+	seen *rcommon.DupCache
+	// disc owns the pending discoveries, their packet queues, and the
+	// post-failure hold-down.
+	disc *rcommon.DiscoveryTable
+	// rreqLimit enforces the per-second RREQ origination cap.
+	rreqLimit rcommon.RateLimiter
+	sweeper   rcommon.Beaconer
 }
 
 var _ netstack.Protocol = (*Protocol)(nil)
@@ -131,11 +167,11 @@ var _ netstack.Protocol = (*Protocol)(nil)
 // New returns a DSR instance.
 func New(cfg Config) *Protocol {
 	return &Protocol{
-		cfg:      cfg,
-		cache:    make(map[netstack.NodeID][]*cachedRoute),
-		seen:     make(map[rreqKey]sim.Time),
-		pending:  make(map[netstack.NodeID]*pending),
-		holdDown: make(map[netstack.NodeID]sim.Time),
+		cfg:       cfg,
+		cache:     make(map[netstack.NodeID][]*cachedRoute),
+		seen:      rcommon.NewDupCache(30 * time.Second),
+		disc:      rcommon.NewDiscoveryTable(cfg.QueueCap, cfg.RreqRetries, cfg.DiscoveryHoldDown),
+		rreqLimit: rcommon.RateLimiter{Cap: cfg.RreqRateLimit},
 	}
 }
 
@@ -143,21 +179,14 @@ func New(cfg Config) *Protocol {
 func (p *Protocol) Attach(n *netstack.Node) {
 	p.node = n
 	p.self = n.ID()
+	p.disc.Attach(n)
 }
 
-// Start implements netstack.Protocol.
+// Start implements netstack.Protocol. Starting twice is a no-op.
 func (p *Protocol) Start() {
-	var sweep func()
-	sweep = func() {
-		now := p.node.Now()
-		for k, t := range p.seen {
-			if t <= now {
-				delete(p.seen, k)
-			}
-		}
-		p.node.After(10*time.Second, sweep)
-	}
-	p.node.After(10*time.Second, sweep)
+	p.sweeper.StartEvery(p.node, 10*time.Second, func() {
+		p.seen.Sweep(p.node.Now())
+	})
 }
 
 // SuccessorsOf exposes the first hop of the best cached route, for the
@@ -298,13 +327,13 @@ func (p *Protocol) RecvData(from netstack.NodeID, pkt *netstack.DataPacket) {
 	}
 	pkt.TTL--
 	if pkt.TTL <= 0 {
-		p.node.DropData(pkt, netstack.DropTTL)
+		p.node.DropData(pkt, rcommon.DropTTL)
 		return
 	}
 	// Advance the source route.
 	idx := pkt.RouteIdx + 1
 	if idx >= len(pkt.Route) || pkt.Route[idx] != p.self || idx+1 >= len(pkt.Route) {
-		p.node.DropData(pkt, netstack.DropNoRoute)
+		p.node.DropData(pkt, rcommon.DropNoRoute)
 		return
 	}
 	pkt.RouteIdx = idx
@@ -319,7 +348,7 @@ func (p *Protocol) DataFailed(to netstack.NodeID, pkt *netstack.DataPacket) {
 	p.removeLink(p.self, to)
 	p.sendRERR(pkt, to)
 	if pkt.Salvaged >= p.cfg.MaxSalvage {
-		p.node.DropData(pkt, netstack.DropLinkLost)
+		p.node.DropData(pkt, rcommon.DropLinkLost)
 		return
 	}
 	pkt.Salvaged++
@@ -331,7 +360,7 @@ func (p *Protocol) DataFailed(to netstack.NodeID, pkt *netstack.DataPacket) {
 		p.enqueue(pkt)
 		return
 	}
-	p.node.DropData(pkt, netstack.DropLinkLost)
+	p.node.DropData(pkt, rcommon.DropLinkLost)
 }
 
 // sendRERR reports the broken link to pkt's source along the reversed
@@ -355,82 +384,29 @@ func (p *Protocol) ControlFailed(to netstack.NodeID, msg any) {
 }
 
 func (p *Protocol) enqueue(pkt *netstack.DataPacket) {
-	pd, ok := p.pending[pkt.Dst]
-	if ok {
-		if len(pd.queue) >= p.cfg.QueueCap {
-			p.node.DropData(pkt, netstack.DropQueueFull)
-			return
-		}
-		pd.queue = append(pd.queue, pkt)
-		return
-	}
-	if until, held := p.holdDown[pkt.Dst]; held && p.node.Now() < until {
-		p.node.DropData(pkt, netstack.DropNoRoute)
-		return
-	}
-	pd = &pending{dst: pkt.Dst, queue: []*netstack.DataPacket{pkt}}
-	p.pending[pkt.Dst] = pd
-	p.solicit(pd)
+	p.disc.Enqueue(pkt, false, p.solicit)
 }
 
 // --- Control plane ----------------------------------------------------
 
-// rreqAllowed enforces the per-second RREQ origination cap.
-func (p *Protocol) rreqAllowed() bool {
-	if p.cfg.RreqRateLimit <= 0 {
-		return true
-	}
-	now := p.node.Now()
-	kept := p.recentRreqs[:0]
-	for _, t := range p.recentRreqs {
-		if now-t < time.Second {
-			kept = append(kept, t)
-		}
-	}
-	p.recentRreqs = kept
-	if len(kept) >= p.cfg.RreqRateLimit {
-		return false
-	}
-	p.recentRreqs = append(p.recentRreqs, now)
-	return true
-}
-
-func (p *Protocol) solicit(pd *pending) {
-	if !p.rreqAllowed() {
-		pd.timer = p.node.After(200*time.Millisecond, func() {
-			if p.pending[pd.dst] == pd {
-				p.solicit(pd)
-			}
-		})
+// solicit broadcasts a RREQ: a non-propagating first attempt, then
+// network-wide floods. Over-cap solicitations are deferred, not abandoned.
+func (p *Protocol) solicit(pd *rcommon.Discovery) {
+	if !p.rreqLimit.Allow(p.node.Now()) {
+		p.disc.Defer(pd, 200*time.Millisecond, p.solicit)
 		return
 	}
 	p.rreqID++
-	p.seen[rreqKey{src: p.self, id: p.rreqID}] = p.node.Now() + 30*time.Second
+	p.seen.Mark(p.self, p.rreqID, p.node.Now())
 	ttl := p.cfg.FirstTTL
-	if pd.attempt > 0 {
+	if pd.Attempt > 0 {
 		ttl = p.cfg.NetTTL
 	}
-	r := &rreq{Src: p.self, ID: p.rreqID, Dst: pd.dst, TTL: ttl}
+	r := &rreq{Src: p.self, ID: p.rreqID, Dst: pd.Dst, TTL: ttl}
 	p.node.BroadcastControl(rreqBase, r)
 	// Binary exponential backoff across retries.
-	wait := 2 * sim.Time(ttl) * p.cfg.NodeTraversal << uint(pd.attempt)
-	pd.timer = p.node.After(wait, func() { p.retry(pd) })
-}
-
-func (p *Protocol) retry(pd *pending) {
-	if p.pending[pd.dst] != pd {
-		return
-	}
-	pd.attempt++
-	if pd.attempt > p.cfg.RreqRetries {
-		delete(p.pending, pd.dst)
-		p.holdDown[pd.dst] = p.node.Now() + p.cfg.DiscoveryHoldDown
-		for _, pkt := range pd.queue {
-			p.node.DropData(pkt, netstack.DropTimeout)
-		}
-		return
-	}
-	p.solicit(pd)
+	wait := 2 * sim.Time(ttl) * p.cfg.NodeTraversal << uint(pd.Attempt)
+	pd.Timer = p.node.After(wait, func() { p.disc.Retry(pd, p.solicit, nil) })
 }
 
 // RecvControl implements netstack.Protocol.
@@ -449,11 +425,9 @@ func (p *Protocol) handleRREQ(from netstack.NodeID, r *rreq) {
 	if r.Src == p.self {
 		return
 	}
-	key := rreqKey{src: r.Src, id: r.ID}
-	if _, dup := p.seen[key]; dup {
+	if !p.seen.Witness(r.Src, r.ID, p.node.Now()) {
 		return
 	}
-	p.seen[key] = p.node.Now() + 30*time.Second
 	for _, n := range r.Path {
 		if n == p.self {
 			return // already on the record
@@ -563,17 +537,15 @@ func (p *Protocol) handleRREP(from netstack.NodeID, rep *rrep) {
 }
 
 func (p *Protocol) complete(dst netstack.NodeID) {
-	pd, ok := p.pending[dst]
+	pd, ok := p.disc.Complete(dst)
 	if !ok {
 		return
 	}
-	p.node.Cancel(pd.timer)
-	delete(p.pending, dst)
-	for _, pkt := range pd.queue {
+	for _, pkt := range pd.Queue {
 		if path, live := p.lookup(dst); live {
 			p.sendAlong(pkt, path)
 		} else {
-			p.node.DropData(pkt, netstack.DropNoRoute)
+			p.node.DropData(pkt, rcommon.DropNoRoute)
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"slr/internal/geo"
 	"slr/internal/mobility"
 	"slr/internal/netstack"
+	"slr/internal/routing/rcommon"
 	"slr/internal/routing/rtest"
 	"slr/internal/sim"
 )
@@ -148,7 +149,7 @@ func TestDiscoveryTimeout(t *testing.T) {
 	w := rtest.New(1, 120, factory, rtest.Chain(3, 100), nil)
 	w.Send(0, 9)
 	w.Sim.RunUntil(time.Minute)
-	if w.MX.DataDrops[netstack.DropTimeout] != 1 {
+	if w.MX.DataDrops[rcommon.DropTimeout] != 1 {
 		t.Fatalf("drops = %v", w.MX.DataDrops)
 	}
 }

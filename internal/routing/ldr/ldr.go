@@ -16,9 +16,12 @@
 package ldr
 
 import (
+	"fmt"
 	"time"
 
 	"slr/internal/netstack"
+	"slr/internal/registry"
+	"slr/internal/routing/rcommon"
 	"slr/internal/sim"
 )
 
@@ -57,6 +60,52 @@ func DefaultConfig() Config {
 		RreqRateLimit:      10,
 		DiscoveryHoldDown:  3 * time.Second,
 	}
+}
+
+// ConfigFromParams returns DefaultConfig with the spec-level overrides in
+// params applied; durations arrive in seconds, booleans as 0/1. Unknown
+// keys and out-of-range values are errors.
+func ConfigFromParams(params map[string]float64) (Config, error) {
+	cfg := DefaultConfig()
+	if err := registry.ApplyParams("ldr", params, map[string]func(float64){
+		"active_route_timeout_seconds": func(v float64) { cfg.ActiveRouteTimeout = rcommon.Seconds(v) },
+		"node_traversal_seconds":       func(v float64) { cfg.NodeTraversal = rcommon.Seconds(v) },
+		"rreq_retries":                 func(v float64) { cfg.RreqRetries = int(v) },
+		"ttl_0":                        func(v float64) { cfg.TTLs[0] = int(v) },
+		"ttl_1":                        func(v float64) { cfg.TTLs[1] = int(v) },
+		"ttl_2":                        func(v float64) { cfg.TTLs[2] = int(v) },
+		"queue_cap":                    func(v float64) { cfg.QueueCap = int(v) },
+		"max_salvage":                  func(v float64) { cfg.MaxSalvage = int(v) },
+		"min_reply_hops":               func(v float64) { cfg.MinReplyHops = int(v) },
+		"use_packet_cache":             func(v float64) { cfg.UsePacketCache = v != 0 },
+		"rreq_rate_limit":              func(v float64) { cfg.RreqRateLimit = int(v) },
+		"discovery_holddown_seconds":   func(v float64) { cfg.DiscoveryHoldDown = rcommon.Seconds(v) },
+	}); err != nil {
+		return Config{}, err
+	}
+	if err := cfg.validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// validate rejects configurations no deployment could run.
+func (c Config) validate() error {
+	if c.ActiveRouteTimeout <= 0 || c.NodeTraversal <= 0 {
+		return fmt.Errorf("ldr: timeouts must be positive (active_route_timeout %v, node_traversal %v)",
+			c.ActiveRouteTimeout, c.NodeTraversal)
+	}
+	if c.RreqRetries < 0 || c.QueueCap < 1 || c.MaxSalvage < 0 ||
+		c.MinReplyHops < 0 || c.DiscoveryHoldDown < 0 {
+		return fmt.Errorf("ldr: rreq_retries %d, queue_cap %d, max_salvage %d, min_reply_hops %d, discovery_holddown %v out of range",
+			c.RreqRetries, c.QueueCap, c.MaxSalvage, c.MinReplyHops, c.DiscoveryHoldDown)
+	}
+	for _, t := range c.TTLs {
+		if t < 1 {
+			return fmt.Errorf("ldr: ttl schedule entry %d must be >= 1", t)
+		}
+	}
+	return nil
 }
 
 // rreq is the LDR route request: a solicitation carrying the requester's
@@ -122,13 +171,6 @@ type rreqState struct {
 	expiry  sim.Time
 }
 
-type pending struct {
-	dst     netstack.NodeID
-	attempt int
-	timer   sim.Timer
-	queue   []*netstack.DataPacket
-}
-
 // Protocol is one node's LDR instance.
 type Protocol struct {
 	netstack.BaseProtocol
@@ -141,13 +183,13 @@ type Protocol struct {
 	rreqID   uint32
 	table    map[netstack.NodeID]*entry
 	rreqs    map[rreqKey]*rreqState
-	pending  map[netstack.NodeID]*pending
-	// recentRreqs rate-limits RREQ originations.
-	recentRreqs []sim.Time
-	// holdDown blocks re-discovery of recently failed destinations.
-	holdDown map[netstack.NodeID]sim.Time
-	// recentRerrs rate-limits RERR broadcasts (RERR_RATELIMIT).
-	recentRerrs []sim.Time
+	// disc owns the pending discoveries, their packet queues, and the
+	// post-failure hold-down.
+	disc *rcommon.DiscoveryTable
+	// rreqLimit and rerrLimit enforce RREQ_RATELIMIT / RERR_RATELIMIT.
+	rreqLimit rcommon.RateLimiter
+	rerrLimit rcommon.RateLimiter
+	sweeper   rcommon.Beaconer
 }
 
 var _ netstack.Protocol = (*Protocol)(nil)
@@ -155,11 +197,12 @@ var _ netstack.Protocol = (*Protocol)(nil)
 // New returns an LDR instance.
 func New(cfg Config) *Protocol {
 	return &Protocol{
-		cfg:      cfg,
-		table:    make(map[netstack.NodeID]*entry),
-		rreqs:    make(map[rreqKey]*rreqState),
-		pending:  make(map[netstack.NodeID]*pending),
-		holdDown: make(map[netstack.NodeID]sim.Time),
+		cfg:       cfg,
+		table:     make(map[netstack.NodeID]*entry),
+		rreqs:     make(map[rreqKey]*rreqState),
+		disc:      rcommon.NewDiscoveryTable(cfg.QueueCap, cfg.RreqRetries, cfg.DiscoveryHoldDown),
+		rreqLimit: rcommon.RateLimiter{Cap: cfg.RreqRateLimit},
+		rerrLimit: rcommon.RateLimiter{Cap: 10},
 	}
 }
 
@@ -167,21 +210,19 @@ func New(cfg Config) *Protocol {
 func (p *Protocol) Attach(n *netstack.Node) {
 	p.node = n
 	p.self = n.ID()
+	p.disc.Attach(n)
 }
 
-// Start implements netstack.Protocol.
+// Start implements netstack.Protocol. Starting twice is a no-op.
 func (p *Protocol) Start() {
-	var sweep func()
-	sweep = func() {
+	p.sweeper.StartEvery(p.node, 10*time.Second, func() {
 		now := p.node.Now()
 		for k, st := range p.rreqs {
 			if st.expiry <= now {
 				delete(p.rreqs, k)
 			}
 		}
-		p.node.After(10*time.Second, sweep)
-	}
-	p.node.After(10*time.Second, sweep)
+	})
 }
 
 // SeqnoDelta reports own-sequence-number increments (Fig. 7).
@@ -227,14 +268,14 @@ func (p *Protocol) RecvData(from netstack.NodeID, pkt *netstack.DataPacket) {
 	pkt.Hops++
 	pkt.TTL--
 	if pkt.TTL <= 0 {
-		p.node.DropData(pkt, netstack.DropTTL)
+		p.node.DropData(pkt, rcommon.DropTTL)
 		return
 	}
 	e, ok := p.live(pkt.Dst)
 	if !ok {
 		out := &rerr{Dests: []netstack.NodeID{pkt.Dst}}
 		p.node.UnicastControl(from, out.size(), out)
-		p.node.DropData(pkt, netstack.DropNoRoute)
+		p.node.DropData(pkt, rcommon.DropNoRoute)
 		return
 	}
 	e.expiry = p.node.Now() + p.cfg.ActiveRouteTimeout
@@ -247,29 +288,14 @@ func (p *Protocol) sendOrDiscover(pkt *netstack.DataPacket) {
 		p.node.ForwardData(e.nextHop, pkt)
 		return
 	}
-	pd, ok := p.pending[pkt.Dst]
-	if ok {
-		if len(pd.queue) >= p.cfg.QueueCap {
-			p.node.DropData(pkt, netstack.DropQueueFull)
-			return
-		}
-		pd.queue = append(pd.queue, pkt)
-		return
-	}
-	if until, held := p.holdDown[pkt.Dst]; held && p.node.Now() < until {
-		p.node.DropData(pkt, netstack.DropNoRoute)
-		return
-	}
-	pd = &pending{dst: pkt.Dst, queue: []*netstack.DataPacket{pkt}}
-	p.pending[pkt.Dst] = pd
-	p.solicit(pd)
+	p.disc.Enqueue(pkt, false, p.solicit)
 }
 
 // DataFailed implements netstack.Protocol.
 func (p *Protocol) DataFailed(to netstack.NodeID, pkt *netstack.DataPacket) {
 	p.linkBreak(to)
 	if !p.cfg.UsePacketCache || pkt.Salvaged >= p.cfg.MaxSalvage {
-		p.node.DropData(pkt, netstack.DropLinkLost)
+		p.node.DropData(pkt, rcommon.DropLinkLost)
 		return
 	}
 	pkt.Salvaged++
@@ -279,23 +305,6 @@ func (p *Protocol) DataFailed(to netstack.NodeID, pkt *netstack.DataPacket) {
 // ControlFailed implements netstack.Protocol.
 func (p *Protocol) ControlFailed(to netstack.NodeID, msg any) { p.linkBreak(to) }
 
-// rerrAllowed enforces the per-second RERR broadcast cap.
-func (p *Protocol) rerrAllowed() bool {
-	now := p.node.Now()
-	kept := p.recentRerrs[:0]
-	for _, t := range p.recentRerrs {
-		if now-t < time.Second {
-			kept = append(kept, t)
-		}
-	}
-	p.recentRerrs = kept
-	if len(kept) >= 10 {
-		return false
-	}
-	p.recentRerrs = append(p.recentRerrs, now)
-	return true
-}
-
 func (p *Protocol) linkBreak(to netstack.NodeID) {
 	var lost []netstack.NodeID
 	for dst, e := range p.table {
@@ -304,7 +313,7 @@ func (p *Protocol) linkBreak(to netstack.NodeID) {
 			lost = append(lost, dst)
 		}
 	}
-	if len(lost) > 0 && p.rerrAllowed() {
+	if len(lost) > 0 && p.rerrLimit.Allow(p.node.Now()) {
 		out := &rerr{Dests: lost}
 		p.node.BroadcastControl(out.size(), out)
 	}
@@ -312,45 +321,23 @@ func (p *Protocol) linkBreak(to netstack.NodeID) {
 
 // --- Control plane ----------------------------------------------------
 
-// rreqAllowed enforces the per-second RREQ origination cap.
-func (p *Protocol) rreqAllowed() bool {
-	if p.cfg.RreqRateLimit <= 0 {
-		return true
-	}
-	now := p.node.Now()
-	kept := p.recentRreqs[:0]
-	for _, t := range p.recentRreqs {
-		if now-t < time.Second {
-			kept = append(kept, t)
-		}
-	}
-	p.recentRreqs = kept
-	if len(kept) >= p.cfg.RreqRateLimit {
-		return false
-	}
-	p.recentRreqs = append(p.recentRreqs, now)
-	return true
-}
-
-func (p *Protocol) solicit(pd *pending) {
-	if !p.rreqAllowed() {
-		pd.timer = p.node.After(200*time.Millisecond, func() {
-			if p.pending[pd.dst] == pd {
-				p.solicit(pd)
-			}
-		})
+// solicit broadcasts a RREQ; over-cap solicitations are deferred, not
+// abandoned (RREQ_RATELIMIT).
+func (p *Protocol) solicit(pd *rcommon.Discovery) {
+	if !p.rreqLimit.Allow(p.node.Now()) {
+		p.disc.Defer(pd, 200*time.Millisecond, p.solicit)
 		return
 	}
 	p.rreqID++
 	key := rreqKey{src: p.self, id: p.rreqID}
 	p.rreqs[key] = &rreqState{lastHop: p.self, reqFD: infinity,
 		expiry: p.node.Now() + 30*time.Second, replied: true}
-	e := p.get(pd.dst)
+	e := p.get(pd.Dst)
 	r := &rreq{
 		Src:    p.self,
 		RreqID: p.rreqID,
-		Dst:    pd.dst,
-		TTL:    p.cfg.TTLs[min(pd.attempt, len(p.cfg.TTLs)-1)],
+		Dst:    pd.Dst,
+		TTL:    p.cfg.TTLs[min(pd.Attempt, len(p.cfg.TTLs)-1)],
 	}
 	if e.fd == infinity && e.sn == 0 {
 		r.Unknown = true
@@ -361,24 +348,8 @@ func (p *Protocol) solicit(pd *pending) {
 	}
 	p.node.BroadcastControl(rreqSize, r)
 	// Binary exponential backoff across retries.
-	wait := 2 * sim.Time(r.TTL) * p.cfg.NodeTraversal << uint(pd.attempt)
-	pd.timer = p.node.After(wait, func() { p.retry(pd) })
-}
-
-func (p *Protocol) retry(pd *pending) {
-	if p.pending[pd.dst] != pd {
-		return
-	}
-	pd.attempt++
-	if pd.attempt > p.cfg.RreqRetries {
-		delete(p.pending, pd.dst)
-		p.holdDown[pd.dst] = p.node.Now() + p.cfg.DiscoveryHoldDown
-		for _, pkt := range pd.queue {
-			p.node.DropData(pkt, netstack.DropTimeout)
-		}
-		return
-	}
-	p.solicit(pd)
+	wait := 2 * sim.Time(r.TTL) * p.cfg.NodeTraversal << uint(pd.Attempt)
+	pd.Timer = p.node.After(wait, func() { p.disc.Retry(pd, p.solicit, nil) })
 }
 
 // RecvControl implements netstack.Protocol.
@@ -532,16 +503,14 @@ func (p *Protocol) accept(from netstack.NodeID, rep *rrep) bool {
 }
 
 func (p *Protocol) complete(dst netstack.NodeID) {
-	pd, ok := p.pending[dst]
+	pd, ok := p.disc.Complete(dst)
 	if !ok {
 		return
 	}
-	p.node.Cancel(pd.timer)
-	delete(p.pending, dst)
-	for _, pkt := range pd.queue {
+	for _, pkt := range pd.Queue {
 		e, live := p.live(dst)
 		if !live {
-			p.node.DropData(pkt, netstack.DropNoRoute)
+			p.node.DropData(pkt, rcommon.DropNoRoute)
 			continue
 		}
 		e.expiry = p.node.Now() + p.cfg.ActiveRouteTimeout
@@ -559,7 +528,7 @@ func (p *Protocol) handleRERR(from netstack.NodeID, e *rerr) {
 		ent.valid = false
 		lost = append(lost, dst)
 	}
-	if len(lost) > 0 && p.rerrAllowed() {
+	if len(lost) > 0 && p.rerrLimit.Allow(p.node.Now()) {
 		out := &rerr{Dests: lost}
 		p.node.BroadcastControl(out.size(), out)
 	}

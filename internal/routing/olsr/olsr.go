@@ -13,10 +13,13 @@
 package olsr
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
 	"slr/internal/netstack"
+	"slr/internal/registry"
+	"slr/internal/routing/rcommon"
 	"slr/internal/sim"
 )
 
@@ -38,6 +41,36 @@ func DefaultConfig() Config {
 		TopologyHold:  15 * time.Second,
 		Jitter:        500 * time.Millisecond,
 	}
+}
+
+// ConfigFromParams returns DefaultConfig with the spec-level overrides in
+// params applied; durations arrive in seconds. Unknown keys and
+// out-of-range values are errors.
+func ConfigFromParams(params map[string]float64) (Config, error) {
+	cfg := DefaultConfig()
+	if err := registry.ApplyParams("olsr", params, map[string]func(float64){
+		"hello_interval_seconds": func(v float64) { cfg.HelloInterval = rcommon.Seconds(v) },
+		"tc_interval_seconds":    func(v float64) { cfg.TCInterval = rcommon.Seconds(v) },
+		"neighbor_hold_seconds":  func(v float64) { cfg.NeighborHold = rcommon.Seconds(v) },
+		"topology_hold_seconds":  func(v float64) { cfg.TopologyHold = rcommon.Seconds(v) },
+		"jitter_seconds":         func(v float64) { cfg.Jitter = rcommon.Seconds(v) },
+	}); err != nil {
+		return Config{}, err
+	}
+	if err := cfg.validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// validate rejects configurations no deployment could run.
+func (c Config) validate() error {
+	if c.HelloInterval <= 0 || c.TCInterval <= 0 || c.NeighborHold <= 0 ||
+		c.TopologyHold <= 0 || c.Jitter <= 0 {
+		return fmt.Errorf("olsr: intervals and holds must be positive (hello %v, tc %v, neighbor_hold %v, topology_hold %v, jitter %v)",
+			c.HelloInterval, c.TCInterval, c.NeighborHold, c.TopologyHold, c.Jitter)
+	}
+	return nil
 }
 
 // hello advertises the sender's neighbor set; receivers use it for link
@@ -63,13 +96,6 @@ const (
 	perAddr   = 4
 )
 
-type neighbor struct {
-	sym       bool
-	expiry    sim.Time
-	twoHop    map[netstack.NodeID]sim.Time
-	selectsMe bool // neighbor chose this node as MPR
-}
-
 type topoEntry struct {
 	// advertised is kept sorted by id: route recomputation walks it, and
 	// equal-cost tie-breaks must not depend on incidental ordering (the
@@ -79,11 +105,6 @@ type topoEntry struct {
 	expiry     sim.Time
 }
 
-type tcKey struct {
-	orig netstack.NodeID
-	seq  uint32
-}
-
 // Protocol is one node's OLSR instance.
 type Protocol struct {
 	netstack.BaseProtocol
@@ -91,15 +112,23 @@ type Protocol struct {
 	node *netstack.Node
 	self netstack.NodeID
 
-	neighbors map[netstack.NodeID]*neighbor
-	mprs      map[netstack.NodeID]struct{}
-	topo      map[netstack.NodeID]*topoEntry
-	seenTC    map[tcKey]sim.Time
-	tcSeq     uint32
+	// nbrs is the hello-liveness neighbor table: Touch on every HELLO,
+	// Remove on link-layer failure, Expire from the periodic sweep.
+	nbrs *rcommon.NeighborTable
+	mprs map[netstack.NodeID]struct{}
+	topo map[netstack.NodeID]*topoEntry
+	// seenTC suppresses duplicate TC floods.
+	seenTC *rcommon.DupCache
+	tcSeq  uint32
 
-	routes map[netstack.NodeID]netstack.NodeID // dst -> next hop
-	hops   map[netstack.NodeID]int
-	dirty  bool
+	helloBeacon rcommon.Beaconer
+	tcBeacon    rcommon.Beaconer
+	sweeper     rcommon.Beaconer
+
+	routes  map[netstack.NodeID]netstack.NodeID // dst -> next hop
+	hops    map[netstack.NodeID]int
+	dirty   bool
+	started bool
 }
 
 var _ netstack.Protocol = (*Protocol)(nil)
@@ -107,13 +136,13 @@ var _ netstack.Protocol = (*Protocol)(nil)
 // New returns an OLSR instance.
 func New(cfg Config) *Protocol {
 	return &Protocol{
-		cfg:       cfg,
-		neighbors: make(map[netstack.NodeID]*neighbor),
-		mprs:      make(map[netstack.NodeID]struct{}),
-		topo:      make(map[netstack.NodeID]*topoEntry),
-		seenTC:    make(map[tcKey]sim.Time),
-		routes:    make(map[netstack.NodeID]netstack.NodeID),
-		hops:      make(map[netstack.NodeID]int),
+		cfg:    cfg,
+		nbrs:   rcommon.NewNeighborTable(),
+		mprs:   make(map[netstack.NodeID]struct{}),
+		topo:   make(map[netstack.NodeID]*topoEntry),
+		seenTC: rcommon.NewDupCache(30 * time.Second),
+		routes: make(map[netstack.NodeID]netstack.NodeID),
+		hops:   make(map[netstack.NodeID]int),
 	}
 }
 
@@ -124,28 +153,18 @@ func (p *Protocol) Attach(n *netstack.Node) {
 }
 
 // Start implements netstack.Protocol: kick off the periodic HELLO and TC
-// schedules with initial jitter so nodes do not synchronize.
+// schedules with initial jitter so nodes do not synchronize. Starting
+// twice is a no-op.
 func (p *Protocol) Start() {
-	var helloTick func()
-	helloTick = func() {
-		p.sendHello()
-		p.node.After(p.cfg.HelloInterval+p.jitter(), helloTick)
+	if p.started {
+		return
 	}
-	p.node.After(p.jitter(), helloTick)
-
-	var tcTick func()
-	tcTick = func() {
-		p.sendTC()
-		p.node.After(p.cfg.TCInterval+p.jitter(), tcTick)
-	}
-	p.node.After(p.cfg.HelloInterval+p.jitter(), tcTick)
-
-	var sweep func()
-	sweep = func() {
-		p.expire()
-		p.node.After(time.Second, sweep)
-	}
-	p.node.After(time.Second, sweep)
+	p.started = true
+	p.helloBeacon.Start(p.node, p.jitter(),
+		func() sim.Time { return p.cfg.HelloInterval + p.jitter() }, p.sendHello)
+	p.tcBeacon.Start(p.node, p.cfg.HelloInterval+p.jitter(),
+		func() sim.Time { return p.cfg.TCInterval + p.jitter() }, p.sendTC)
+	p.sweeper.StartEvery(p.node, time.Second, p.expire)
 }
 
 func (p *Protocol) jitter() sim.Time {
@@ -166,8 +185,8 @@ func (p *Protocol) SuccessorsOf(dst netstack.NodeID) []netstack.NodeID {
 func (p *Protocol) sendHello() {
 	now := p.node.Now()
 	var nbs, mprList []netstack.NodeID
-	for id, nb := range p.neighbors {
-		if nb.expiry <= now {
+	for id, nb := range p.nbrs.All() {
+		if nb.Expiry <= now {
 			continue
 		}
 		// Both heard (asymmetric) and symmetric links are advertised;
@@ -187,8 +206,8 @@ func (p *Protocol) sendTC() {
 	// Only nodes selected as MPR by someone originate TCs.
 	var selectors []netstack.NodeID
 	now := p.node.Now()
-	for id, nb := range p.neighbors {
-		if nb.expiry > now && nb.selectsMe {
+	for id, nb := range p.nbrs.All() {
+		if nb.Expiry > now && nb.SelectsMe {
 			selectors = append(selectors, id)
 		}
 	}
@@ -197,24 +216,14 @@ func (p *Protocol) sendTC() {
 	}
 	p.tcSeq++
 	m := &tc{Orig: p.self, Seq: p.tcSeq, Advertised: selectors, TTL: 35}
-	p.seenTC[tcKey{orig: p.self, seq: p.tcSeq}] = now + 30*time.Second
+	p.seenTC.Mark(p.self, p.tcSeq, now)
 	p.node.BroadcastControl(tcBase+perAddr*len(selectors), m)
 }
 
 func (p *Protocol) expire() {
 	now := p.node.Now()
-	for id, nb := range p.neighbors {
-		if nb.expiry <= now {
-			delete(p.neighbors, id)
-			p.dirty = true
-			continue
-		}
-		for th, exp := range nb.twoHop {
-			if exp <= now {
-				delete(nb.twoHop, th)
-				p.dirty = true
-			}
-		}
+	if p.nbrs.Expire(now) {
+		p.dirty = true
 	}
 	for id, te := range p.topo {
 		if te.expiry <= now {
@@ -222,11 +231,7 @@ func (p *Protocol) expire() {
 			p.dirty = true
 		}
 	}
-	for k, t := range p.seenTC {
-		if t <= now {
-			delete(p.seenTC, k)
-		}
-	}
+	p.seenTC.Sweep(now)
 	if p.dirty {
 		p.selectMPRs()
 	}
@@ -244,37 +249,28 @@ func (p *Protocol) RecvControl(from netstack.NodeID, msg any) {
 
 func (p *Protocol) handleHello(from netstack.NodeID, h *hello) {
 	now := p.node.Now()
-	nb, ok := p.neighbors[from]
-	if !ok {
-		nb = &neighbor{twoHop: make(map[netstack.NodeID]sim.Time)}
-		p.neighbors[from] = nb
-	}
-	nb.expiry = now + p.cfg.NeighborHold
+	nb := p.nbrs.Touch(from, now+p.cfg.NeighborHold)
 	// The link is symmetric once the neighbor lists us.
-	wasSym := nb.sym
-	nb.sym = false
+	nb.Sym = false
 	for _, n := range h.Neighbors {
 		if n == p.self {
-			nb.sym = true
+			nb.Sym = true
 		}
 	}
-	nb.selectsMe = false
+	nb.SelectsMe = false
 	for _, n := range h.MPRs {
 		if n == p.self {
-			nb.selectsMe = true
+			nb.SelectsMe = true
 		}
 	}
 	// Two-hop neighborhood from the neighbor's symmetric set.
-	for k := range nb.twoHop {
-		delete(nb.twoHop, k)
+	for k := range nb.TwoHop {
+		delete(nb.TwoHop, k)
 	}
 	for _, n := range h.Neighbors {
 		if n != p.self {
-			nb.twoHop[n] = now + p.cfg.NeighborHold
+			nb.TwoHop[n] = now + p.cfg.NeighborHold
 		}
-	}
-	if nb.sym != wasSym {
-		p.dirty = true
 	}
 	p.dirty = true
 	p.selectMPRs()
@@ -284,10 +280,8 @@ func (p *Protocol) handleTC(from netstack.NodeID, m *tc) {
 	if m.Orig == p.self {
 		return
 	}
-	key := tcKey{orig: m.Orig, seq: m.Seq}
 	now := p.node.Now()
-	if _, dup := p.seenTC[key]; !dup {
-		p.seenTC[key] = now + 30*time.Second
+	if p.seenTC.Witness(m.Orig, m.Seq, now) {
 		te, ok := p.topo[m.Orig]
 		if !ok || !seqNewer(te.seq, m.Seq) {
 			adv := append([]netstack.NodeID(nil), m.Advertised...)
@@ -298,7 +292,7 @@ func (p *Protocol) handleTC(from netstack.NodeID, m *tc) {
 		}
 		// MPR forwarding rule: relay only if the transmitter selected
 		// this node as MPR.
-		if nb, ok := p.neighbors[from]; ok && nb.selectsMe && m.TTL > 1 {
+		if nb, ok := p.nbrs.Get(from); ok && nb.SelectsMe && m.TTL > 1 {
 			z := *m
 			z.TTL--
 			jit := sim.Time(p.node.Rand().Int63n(int64(10 * time.Millisecond)))
@@ -308,15 +302,16 @@ func (p *Protocol) handleTC(from netstack.NodeID, m *tc) {
 	}
 }
 
-// seqNewer reports that stored is newer than incoming.
-func seqNewer(stored, incoming uint32) bool { return int32(stored-incoming) > 0 }
+// seqNewer reports that stored is newer than incoming, via the shared
+// wraparound comparison.
+func seqNewer(stored, incoming uint32) bool { return rcommon.SeqGT(stored, incoming) }
 
 // selectMPRs runs the greedy set cover of the strict two-hop neighborhood.
 func (p *Protocol) selectMPRs() {
 	now := p.node.Now()
-	sym := make(map[netstack.NodeID]*neighbor)
-	for id, nb := range p.neighbors {
-		if nb.sym && nb.expiry > now {
+	sym := make(map[netstack.NodeID]*rcommon.Neighbor)
+	for id, nb := range p.nbrs.All() {
+		if nb.Sym && nb.Expiry > now {
 			sym[id] = nb
 		}
 	}
@@ -324,7 +319,7 @@ func (p *Protocol) selectMPRs() {
 	// symmetric neighbor itself, not self.
 	uncovered := make(map[netstack.NodeID]struct{})
 	for _, nb := range sym {
-		for th := range nb.twoHop {
+		for th := range nb.TwoHop {
 			if th == p.self {
 				continue
 			}
@@ -343,7 +338,7 @@ func (p *Protocol) selectMPRs() {
 				continue
 			}
 			cover := 0
-			for th := range nb.twoHop {
+			for th := range nb.TwoHop {
 				if _, u := uncovered[th]; u {
 					cover++
 				}
@@ -356,7 +351,7 @@ func (p *Protocol) selectMPRs() {
 			break // remaining two-hops unreachable (stale info)
 		}
 		mprs[best] = struct{}{}
-		for th := range sym[best].twoHop {
+		for th := range sym[best].TwoHop {
 			delete(uncovered, th)
 		}
 	}
@@ -393,9 +388,9 @@ func (p *Protocol) recompute() {
 	// tie-breaks must not depend on map iteration order (it varies across
 	// goroutines, which would make trial results depend on the worker
 	// count of the sweep runner).
-	queue := make([]netstack.NodeID, 0, len(p.neighbors))
-	for id, nb := range p.neighbors {
-		if nb.sym && nb.expiry > now {
+	queue := make([]netstack.NodeID, 0, p.nbrs.Len())
+	for id, nb := range p.nbrs.All() {
+		if nb.Sym && nb.Expiry > now {
 			queue = append(queue, id)
 		}
 	}
@@ -435,7 +430,7 @@ func (p *Protocol) OriginateData(pkt *netstack.DataPacket) {
 	p.recompute()
 	nh, ok := p.routes[pkt.Dst]
 	if !ok {
-		p.node.DropData(pkt, netstack.DropNoRoute)
+		p.node.DropData(pkt, rcommon.DropNoRoute)
 		return
 	}
 	p.node.ForwardData(nh, pkt)
@@ -450,13 +445,13 @@ func (p *Protocol) RecvData(from netstack.NodeID, pkt *netstack.DataPacket) {
 	}
 	pkt.TTL--
 	if pkt.TTL <= 0 {
-		p.node.DropData(pkt, netstack.DropTTL)
+		p.node.DropData(pkt, rcommon.DropTTL)
 		return
 	}
 	p.recompute()
 	nh, ok := p.routes[pkt.Dst]
 	if !ok {
-		p.node.DropData(pkt, netstack.DropNoRoute)
+		p.node.DropData(pkt, rcommon.DropNoRoute)
 		return
 	}
 	p.node.ForwardData(nh, pkt)
@@ -467,14 +462,14 @@ func (p *Protocol) RecvData(from netstack.NodeID, pkt *netstack.DataPacket) {
 // immediately to react a little faster, as link-layer feedback is enabled
 // for all protocols in the evaluation.
 func (p *Protocol) DataFailed(to netstack.NodeID, pkt *netstack.DataPacket) {
-	delete(p.neighbors, to)
+	p.nbrs.Remove(to)
 	p.dirty = true
 	p.selectMPRs()
-	p.node.DropData(pkt, netstack.DropLinkLost)
+	p.node.DropData(pkt, rcommon.DropLinkLost)
 }
 
 // ControlFailed implements netstack.Protocol.
 func (p *Protocol) ControlFailed(to netstack.NodeID, msg any) {
-	delete(p.neighbors, to)
+	p.nbrs.Remove(to)
 	p.dirty = true
 }

@@ -18,8 +18,8 @@ func TestNeighborDiscovery(t *testing.T) {
 	w.Sim.RunUntil(10 * time.Second)
 	p := w.Nodes[1].Protocol().(*Protocol)
 	sym := 0
-	for _, nb := range p.neighbors {
-		if nb.sym {
+	for _, nb := range p.nbrs.All() {
+		if nb.Sym {
 			sym++
 		}
 	}
@@ -165,20 +165,20 @@ func TestMPRCoverProperty(t *testing.T) {
 		twoHopUniverse := make(map[netstack.NodeID]bool)
 		for i := 0; i < nNb; i++ {
 			id := netstack.NodeID(100 + i)
-			nb := &neighbor{sym: true, expiry: sim.Time(time.Hour),
-				twoHop: make(map[netstack.NodeID]sim.Time)}
+			nb := p.nbrs.Touch(id, sim.Time(time.Hour))
+			nb.Sym = true
 			for j := 0; j < rng.Intn(6); j++ {
 				th := netstack.NodeID(200 + rng.Intn(10))
-				nb.twoHop[th] = sim.Time(time.Hour)
+				nb.TwoHop[th] = sim.Time(time.Hour)
 				twoHopUniverse[th] = true
 			}
-			p.neighbors[id] = nb
 		}
 		p.selectMPRs()
 		// Verify cover.
 		covered := make(map[netstack.NodeID]bool)
 		for id := range p.mprs {
-			for th := range p.neighbors[id].twoHop {
+			nb, _ := p.nbrs.Get(id)
+			for th := range nb.TwoHop {
 				covered[th] = true
 			}
 		}

@@ -1,0 +1,127 @@
+package rcommon
+
+import (
+	"slr/internal/netstack"
+	"slr/internal/sim"
+)
+
+// Discovery is one in-flight route discovery: the packets queued behind
+// it, the retry attempt counter, and the timer driving the next retry.
+type Discovery struct {
+	Dst     netstack.NodeID
+	Attempt int
+	Timer   sim.Timer
+	Queue   []*netstack.DataPacket
+	// Repair marks a local-repair discovery started by an intermediate
+	// node (AODV §V); the owner consults it when the discovery is
+	// abandoned.
+	Repair bool
+}
+
+// DiscoveryTable owns the per-destination discovery state every on-demand
+// protocol keeps: the pending map, the bounded packet queue behind each
+// discovery, the retry budget, and the post-failure hold-down that stops
+// saturated flows from flooding back-to-back failed searches.
+//
+// The table does the bookkeeping only — soliciting (building and
+// broadcasting the RREQ, arming the retry timer) stays with the protocol,
+// which receives the *Discovery to operate on.
+type DiscoveryTable struct {
+	node     *netstack.Node
+	queueCap int
+	retries  int
+	holdFor  sim.Time
+	pending  map[netstack.NodeID]*Discovery
+	holdDown map[netstack.NodeID]sim.Time
+}
+
+// NewDiscoveryTable returns a table allowing queueCap packets behind each
+// discovery, retries re-solicitations after the first attempt, and a
+// holdFor hold-down after a discovery fails all retries.
+func NewDiscoveryTable(queueCap, retries int, holdFor sim.Time) *DiscoveryTable {
+	return &DiscoveryTable{
+		queueCap: queueCap,
+		retries:  retries,
+		holdFor:  holdFor,
+		pending:  make(map[netstack.NodeID]*Discovery),
+		holdDown: make(map[netstack.NodeID]sim.Time),
+	}
+}
+
+// Attach binds the table to its node; called from the protocol's Attach.
+func (t *DiscoveryTable) Attach(n *netstack.Node) { t.node = n }
+
+// Owns reports whether d is still the current discovery for its
+// destination — the staleness check every retry and deferral callback
+// performs before acting.
+func (t *DiscoveryTable) Owns(d *Discovery) bool { return t.pending[d.Dst] == d }
+
+// Enqueue routes pkt into the discovery machinery: queue it behind an
+// existing discovery (dropping with DropQueueFull past the cap), drop it
+// with DropNoRoute while the destination is held down, or start a fresh
+// discovery and hand it to solicit.
+func (t *DiscoveryTable) Enqueue(pkt *netstack.DataPacket, repair bool, solicit func(*Discovery)) {
+	d, ok := t.pending[pkt.Dst]
+	if ok {
+		if len(d.Queue) >= t.queueCap {
+			t.node.DropData(pkt, DropQueueFull)
+			return
+		}
+		d.Queue = append(d.Queue, pkt)
+		return
+	}
+	if until, held := t.holdDown[pkt.Dst]; held && t.node.Now() < until {
+		t.node.DropData(pkt, DropNoRoute)
+		return
+	}
+	d = &Discovery{Dst: pkt.Dst, Queue: []*netstack.DataPacket{pkt}, Repair: repair}
+	t.pending[pkt.Dst] = d
+	solicit(d)
+}
+
+// Defer re-arms d's timer to re-run solicit after delay — the path a
+// rate-limited solicitation takes instead of transmitting.
+func (t *DiscoveryTable) Defer(d *Discovery, delay sim.Time, solicit func(*Discovery)) {
+	d.Timer = t.node.After(delay, func() {
+		if t.Owns(d) {
+			solicit(d)
+		}
+	})
+}
+
+// Retry advances d when its retry timer fires: re-solicit while attempts
+// remain, otherwise abandon — drop every queued packet with DropTimeout,
+// start the destination's hold-down, and invoke abandoned (which may be
+// nil) for protocol-specific failure handling such as AODV's local-repair
+// error report.
+func (t *DiscoveryTable) Retry(d *Discovery, solicit, abandoned func(*Discovery)) {
+	if !t.Owns(d) {
+		return
+	}
+	d.Attempt++
+	if d.Attempt > t.retries {
+		delete(t.pending, d.Dst)
+		t.holdDown[d.Dst] = t.node.Now() + t.holdFor
+		for _, pkt := range d.Queue {
+			t.node.DropData(pkt, DropTimeout)
+		}
+		if abandoned != nil {
+			abandoned(d)
+		}
+		return
+	}
+	solicit(d)
+}
+
+// Complete ends the discovery for dst, canceling its retry timer and
+// returning it so the protocol can flush the queued packets onto the
+// fresh route. It returns false when no discovery was pending.
+func (t *DiscoveryTable) Complete(dst netstack.NodeID) (*Discovery, bool) {
+	d, ok := t.pending[dst]
+	if !ok {
+		return nil, false
+	}
+	t.node.Cancel(d.Timer)
+	delete(t.pending, dst)
+	return d, true
+}

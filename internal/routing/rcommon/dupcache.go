@@ -1,0 +1,55 @@
+package rcommon
+
+import (
+	"slr/internal/netstack"
+	"slr/internal/sim"
+)
+
+// DupKey identifies one flooded control message: its originator and the
+// originator-scoped id (RREQ id, TC sequence number).
+type DupKey struct {
+	Orig netstack.NodeID
+	ID   uint32
+}
+
+// DupCache suppresses duplicate processing of flooded control messages:
+// each (originator, id) is acted on once and then remembered for a
+// retention window. Protocols Sweep it from their periodic housekeeping.
+type DupCache struct {
+	m   map[DupKey]sim.Time
+	ttl sim.Time
+}
+
+// NewDupCache returns a cache retaining sightings for ttl.
+func NewDupCache(ttl sim.Time) *DupCache {
+	return &DupCache{m: make(map[DupKey]sim.Time), ttl: ttl}
+}
+
+// Witness records the first sighting of (orig, id) and reports whether it
+// was new; a repeat sighting inside the retention window returns false.
+func (c *DupCache) Witness(orig netstack.NodeID, id uint32, now sim.Time) bool {
+	key := DupKey{Orig: orig, ID: id}
+	if _, dup := c.m[key]; dup {
+		return false
+	}
+	c.m[key] = now + c.ttl
+	return true
+}
+
+// Mark records (orig, id) as seen without checking — originators mark
+// their own floods before transmitting.
+func (c *DupCache) Mark(orig netstack.NodeID, id uint32, now sim.Time) {
+	c.m[DupKey{Orig: orig, ID: id}] = now + c.ttl
+}
+
+// Sweep drops entries whose retention expired.
+func (c *DupCache) Sweep(now sim.Time) {
+	for k, t := range c.m {
+		if t <= now {
+			delete(c.m, k)
+		}
+	}
+}
+
+// Len returns the number of retained sightings.
+func (c *DupCache) Len() int { return len(c.m) }

@@ -1,0 +1,94 @@
+package rcommon
+
+import (
+	"slr/internal/netstack"
+	"slr/internal/sim"
+)
+
+// Neighbor is one entry of a NeighborTable: hello-refreshed liveness plus
+// the link-state facts proactive protocols advertise about it.
+type Neighbor struct {
+	// Sym marks the link symmetric: the neighbor's hello listed us.
+	Sym bool
+	// Expiry is the hello-liveness deadline; a neighbor whose hellos stop
+	// ages out at Expiry.
+	Expiry sim.Time
+	// TwoHop maps the neighbor's own symmetric neighbors to their
+	// liveness deadlines — the two-hop neighborhood MPR selection covers.
+	TwoHop map[netstack.NodeID]sim.Time
+	// SelectsMe marks that the neighbor chose this node as multipoint
+	// relay.
+	SelectsMe bool
+}
+
+// NeighborTable tracks one node's neighbors with the two liveness signals
+// of §V's evaluation: hello receipt (Touch extends Expiry) and link-layer
+// delivery failure (Remove kills the entry immediately, without waiting
+// for the hold time to expire).
+//
+// Iteration over All is map-ordered and therefore unordered; callers must
+// keep every outcome order-independent (or sort), exactly as the
+// protocol-local maps this table replaces required.
+type NeighborTable struct {
+	m map[netstack.NodeID]*Neighbor
+}
+
+// NewNeighborTable returns an empty table.
+func NewNeighborTable() *NeighborTable {
+	return &NeighborTable{m: make(map[netstack.NodeID]*Neighbor)}
+}
+
+// Len returns the number of entries, live or not yet expired-out.
+func (t *NeighborTable) Len() int { return len(t.m) }
+
+// Get returns the entry for id, if present.
+func (t *NeighborTable) Get(id netstack.NodeID) (*Neighbor, bool) {
+	nb, ok := t.m[id]
+	return nb, ok
+}
+
+// Touch records hello receipt from id: the entry is created on first
+// contact and its liveness deadline extended to expiry.
+func (t *NeighborTable) Touch(id netstack.NodeID, expiry sim.Time) *Neighbor {
+	nb, ok := t.m[id]
+	if !ok {
+		nb = &Neighbor{TwoHop: make(map[netstack.NodeID]sim.Time)}
+		t.m[id] = nb
+	}
+	nb.Expiry = expiry
+	return nb
+}
+
+// Remove drops id on link-layer failure evidence; it reports whether an
+// entry existed.
+func (t *NeighborTable) Remove(id netstack.NodeID) bool {
+	if _, ok := t.m[id]; !ok {
+		return false
+	}
+	delete(t.m, id)
+	return true
+}
+
+// Expire ages out neighbors whose hellos stopped and prunes stale two-hop
+// entries of the survivors. It reports whether anything changed.
+func (t *NeighborTable) Expire(now sim.Time) bool {
+	changed := false
+	for id, nb := range t.m {
+		if nb.Expiry <= now {
+			delete(t.m, id)
+			changed = true
+			continue
+		}
+		for th, exp := range nb.TwoHop {
+			if exp <= now {
+				delete(nb.TwoHop, th)
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// All exposes the underlying map for iteration. Outcomes of an iteration
+// must not depend on its order.
+func (t *NeighborTable) All() map[netstack.NodeID]*Neighbor { return t.m }

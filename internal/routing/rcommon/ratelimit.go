@@ -1,0 +1,41 @@
+package rcommon
+
+import (
+	"time"
+
+	"slr/internal/sim"
+)
+
+// RateLimiter is the sliding-window origination cap of the AODV framework
+// (RREQ_RATELIMIT / RERR_RATELIMIT): at most Cap events per window,
+// enforced over the exact timestamps of the recent events. A non-positive
+// Cap disables the limiter. The zero value is a disabled limiter; set Cap
+// (and leave Window zero for the framework's one-second window).
+type RateLimiter struct {
+	Cap    int
+	Window sim.Time
+	recent []sim.Time
+}
+
+// Allow reports whether an event may fire now, recording it when allowed.
+func (r *RateLimiter) Allow(now sim.Time) bool {
+	if r.Cap <= 0 {
+		return true
+	}
+	window := r.Window
+	if window <= 0 {
+		window = time.Second
+	}
+	kept := r.recent[:0]
+	for _, t := range r.recent {
+		if now-t < window {
+			kept = append(kept, t)
+		}
+	}
+	r.recent = kept
+	if len(kept) >= r.Cap {
+		return false
+	}
+	r.recent = append(r.recent, now)
+	return true
+}

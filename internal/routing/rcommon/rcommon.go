@@ -1,0 +1,33 @@
+// Package rcommon is the shared control-plane toolkit of the routing
+// protocols: the machinery that every on-demand or proactive MANET
+// protocol reimplements around its actual routing logic. It owns
+//
+//   - the canonical routing-layer drop-reason vocabulary (drops.go),
+//   - the route-discovery bookkeeping — pending queues, retry counting,
+//     and post-failure hold-down (discovery.go),
+//   - sliding-window rate limiters for RREQ/RERR origination (ratelimit.go),
+//   - the periodic beaconer driving HELLO/TC/sweep schedules on re-armed
+//     sim timers (beacon.go),
+//   - the hello/link-liveness neighbor table (neighbors.go),
+//   - duplicate-flood suppression keyed on (originator, id) (dupcache.go),
+//   - and sequence-number wraparound comparisons (seqno.go).
+//
+// Every helper is a pure extraction: porting a protocol onto rcommon must
+// not change its packet trace. Helpers therefore never draw randomness
+// themselves — jitter stays in protocol callbacks so each protocol's RNG
+// draw order is exactly what it was before the extraction — and they
+// schedule timers at the same points in the event sequence the inlined
+// code did.
+package rcommon
+
+import (
+	"time"
+
+	"slr/internal/sim"
+)
+
+// Seconds converts a spec-level float seconds value (the unit of every
+// protocol parameter map) to simulation time.
+func Seconds(v float64) sim.Time {
+	return sim.Time(v * float64(time.Second))
+}

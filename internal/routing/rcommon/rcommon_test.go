@@ -1,0 +1,113 @@
+package rcommon
+
+import (
+	"testing"
+	"time"
+
+	"slr/internal/sim"
+)
+
+func TestDropVocabulary(t *testing.T) {
+	for _, r := range DropReasons {
+		if !KnownDropReason(r) {
+			t.Errorf("listed reason %q not recognized", r)
+		}
+	}
+	for _, bad := range []string{"", "rreq-queue-full", "no route", "NO-ROUTE"} {
+		if KnownDropReason(bad) {
+			t.Errorf("reason %q should be unknown", bad)
+		}
+	}
+}
+
+func TestRateLimiterWindow(t *testing.T) {
+	rl := RateLimiter{Cap: 2}
+	now := sim.Time(0)
+	if !rl.Allow(now) || !rl.Allow(now) {
+		t.Fatal("first two events must pass")
+	}
+	if rl.Allow(now + 500*time.Millisecond) {
+		t.Fatal("third event inside the window must be rejected")
+	}
+	if !rl.Allow(now + time.Second) {
+		t.Fatal("event after the window must pass")
+	}
+	unlimited := RateLimiter{}
+	for i := 0; i < 100; i++ {
+		if !unlimited.Allow(0) {
+			t.Fatal("non-positive cap must disable the limiter")
+		}
+	}
+}
+
+func TestDupCache(t *testing.T) {
+	c := NewDupCache(30 * time.Second)
+	if !c.Witness(1, 7, 0) {
+		t.Fatal("first sighting must be new")
+	}
+	if c.Witness(1, 7, time.Second) {
+		t.Fatal("repeat sighting inside retention must be suppressed")
+	}
+	c.Mark(2, 9, 0)
+	if c.Witness(2, 9, time.Second) {
+		t.Fatal("marked flood must read as seen")
+	}
+	c.Sweep(31 * time.Second)
+	if c.Len() != 0 {
+		t.Fatalf("sweep left %d entries", c.Len())
+	}
+	if !c.Witness(1, 7, 31*time.Second) {
+		t.Fatal("sighting after retention must be new again")
+	}
+}
+
+func TestNeighborTableLiveness(t *testing.T) {
+	nt := NewNeighborTable()
+	nb := nt.Touch(3, 6*time.Second)
+	nb.Sym = true
+	nb.TwoHop[9] = 2 * time.Second
+	if got, ok := nt.Get(3); !ok || got != nb {
+		t.Fatal("Touch must create and return the entry")
+	}
+	if same := nt.Touch(3, 8*time.Second); same != nb {
+		t.Fatal("Touch must reuse the existing entry")
+	}
+	if nb.Expiry != 8*time.Second {
+		t.Fatalf("Touch did not extend liveness: %v", nb.Expiry)
+	}
+	if !nt.Expire(3 * time.Second) {
+		t.Fatal("stale two-hop entry must count as a change")
+	}
+	if _, stale := nb.TwoHop[9]; stale {
+		t.Fatal("stale two-hop entry survived Expire")
+	}
+	if nt.Expire(3 * time.Second) {
+		t.Fatal("second expire at the same instant must be a no-op")
+	}
+	if !nt.Expire(9*time.Second) || nt.Len() != 0 {
+		t.Fatal("hello-silent neighbor must age out")
+	}
+	if nt.Remove(3) {
+		t.Fatal("removing an absent neighbor must report false")
+	}
+	nt.Touch(5, time.Second)
+	if !nt.Remove(5) || nt.Len() != 0 {
+		t.Fatal("link-layer removal must drop the entry immediately")
+	}
+}
+
+func TestSeqWraparound(t *testing.T) {
+	if !SeqGT(1, 0) || SeqGT(0, 1) || !SeqGE(1, 1) {
+		t.Fatal("basic ordering broken")
+	}
+	// Freshness survives rollover: 3 is fresher than MaxUint32-2.
+	if !SeqGT(3, ^uint32(0)-2) {
+		t.Fatal("wraparound comparison broken")
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if Seconds(2.5) != 2500*time.Millisecond {
+		t.Fatalf("Seconds(2.5) = %v", Seconds(2.5))
+	}
+}

@@ -1,0 +1,9 @@
+package rcommon
+
+// SeqGT reports a fresher than b under 32-bit sequence-number wraparound
+// (RFC 3561 §6.1): the signed difference decides, so freshness survives
+// the counter rolling over.
+func SeqGT(a, b uint32) bool { return int32(a-b) > 0 }
+
+// SeqGE reports a at least as fresh as b under wraparound.
+func SeqGE(a, b uint32) bool { return a == b || SeqGT(a, b) }

@@ -28,9 +28,19 @@ type World struct {
 // Factory builds a protocol instance for a node.
 type Factory func(id netstack.NodeID) netstack.Protocol
 
-// New builds a world with one node per position. Nodes are static unless
-// models is non-nil, in which case models[i] overrides position i.
+// New builds a world with one node per position and starts every
+// protocol. Nodes are static unless models is non-nil, in which case
+// models[i] overrides position i.
 func New(seed int64, rangeM float64, f Factory, positions []geo.Point, models []mobility.Model) *World {
+	w := NewStopped(seed, rangeM, f, positions, models)
+	w.StartAll()
+	return w
+}
+
+// NewStopped builds a world like New but does not start the protocols, so
+// tests can observe the before-Start contract (no control traffic) or
+// exercise Start explicitly.
+func NewStopped(seed int64, rangeM float64, f Factory, positions []geo.Point, models []mobility.Model) *World {
 	s := sim.New(seed)
 	p := radio.DefaultParams()
 	p.Range = rangeM
@@ -47,10 +57,14 @@ func New(seed int64, rangeM float64, f Factory, positions []geo.Point, models []
 		ch.Register(id, m, n.Mac())
 		w.Nodes = append(w.Nodes, n)
 	}
+	return w
+}
+
+// StartAll starts every node's protocol.
+func (w *World) StartAll() {
 	for _, n := range w.Nodes {
 		n.Start()
 	}
-	return w
 }
 
 // Chain returns n positions spaced `gap` meters apart on a line.

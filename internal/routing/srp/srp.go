@@ -1,11 +1,14 @@
 package srp
 
 import (
+	"fmt"
 	"time"
 
 	"slr/internal/frac"
 	"slr/internal/label"
 	"slr/internal/netstack"
+	"slr/internal/registry"
+	"slr/internal/routing/rcommon"
 	"slr/internal/sim"
 )
 
@@ -90,6 +93,78 @@ func DefaultConfig() Config {
 	}
 }
 
+// ConfigFromParams returns DefaultConfig with the spec-level overrides in
+// params applied; durations arrive in seconds, booleans as 0/1, multipath
+// as the PathPolicy ordinal (0 min-hop, 1 round-robin, 2 random). Unknown
+// keys and out-of-range values are errors.
+func ConfigFromParams(params map[string]float64) (Config, error) {
+	cfg := DefaultConfig()
+	maxDenom := float64(cfg.MaxDenom)
+	if err := registry.ApplyParams("srp", params, map[string]func(float64){
+		"active_route_timeout_seconds": func(v float64) { cfg.ActiveRouteTimeout = rcommon.Seconds(v) },
+		"delete_period_seconds":        func(v float64) { cfg.DeletePeriod = rcommon.Seconds(v) },
+		"max_denom":                    func(v float64) { maxDenom = v },
+		"node_traversal_seconds":       func(v float64) { cfg.NodeTraversal = rcommon.Seconds(v) },
+		"rreq_retries":                 func(v float64) { cfg.RreqRetries = int(v) },
+		"ttl_0":                        func(v float64) { cfg.TTLs[0] = int(v) },
+		"ttl_1":                        func(v float64) { cfg.TTLs[1] = int(v) },
+		"ttl_2":                        func(v float64) { cfg.TTLs[2] = int(v) },
+		"min_reply_hops":               func(v float64) { cfg.MinReplyHops = int(v) },
+		"queue_cap":                    func(v float64) { cfg.QueueCap = int(v) },
+		"max_salvage":                  func(v float64) { cfg.MaxSalvage = int(v) },
+		"rreq_rate_limit":              func(v float64) { cfg.RreqRateLimit = int(v) },
+		"discovery_holddown_seconds":   func(v float64) { cfg.DiscoveryHoldDown = rcommon.Seconds(v) },
+		"use_lie":                      func(v float64) { cfg.UseLie = v != 0 },
+		"use_packet_cache":             func(v float64) { cfg.UsePacketCache = v != 0 },
+		"farey":                        func(v float64) { cfg.Farey = v != 0 },
+		"next_element_only":            func(v float64) { cfg.NextElementOnly = v != 0 },
+		"multipath":                    func(v float64) { cfg.Multipath = PathPolicy(v) },
+		"hello_interval_seconds":       func(v float64) { cfg.HelloInterval = rcommon.Seconds(v) },
+		"hello_fanout":                 func(v float64) { cfg.HelloFanout = int(v) },
+		"request_rack":                 func(v float64) { cfg.RequestRack = v != 0 },
+	}); err != nil {
+		return Config{}, err
+	}
+	// Range-check before the uint32 conversion: out-of-range float-to-int
+	// conversions wrap implementation-specifically, so a negative or
+	// oversized max_denom must error here, not truncate.
+	if maxDenom < 2 || maxDenom > float64(^uint32(0)) {
+		return Config{}, fmt.Errorf("srp: max_denom %v must be in [2, %d]", maxDenom, ^uint32(0))
+	}
+	cfg.MaxDenom = uint32(maxDenom)
+	if err := cfg.validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// validate rejects configurations no deployment could run.
+func (c Config) validate() error {
+	if c.ActiveRouteTimeout <= 0 || c.DeletePeriod <= 0 || c.NodeTraversal <= 0 {
+		return fmt.Errorf("srp: timeouts must be positive (active_route_timeout %v, delete_period %v, node_traversal %v)",
+			c.ActiveRouteTimeout, c.DeletePeriod, c.NodeTraversal)
+	}
+	if c.MaxDenom < 2 {
+		return fmt.Errorf("srp: max_denom %d must be >= 2", c.MaxDenom)
+	}
+	if c.HelloInterval != 0 && c.HelloInterval < time.Millisecond {
+		// Start jitters hellos by Rand.Int63n(HelloInterval/4), which
+		// needs a positive argument; a sub-millisecond beacon period is
+		// nonsense anyway.
+		return fmt.Errorf("srp: hello_interval %v must be 0 (disabled) or >= 1ms", c.HelloInterval)
+	}
+	if c.RreqRetries < 0 || c.QueueCap < 1 || c.MaxSalvage < 0 ||
+		c.MinReplyHops < 0 || c.DiscoveryHoldDown < 0 || c.HelloInterval < 0 ||
+		c.HelloFanout < 0 {
+		return fmt.Errorf("srp: rreq_retries %d, queue_cap %d, max_salvage %d, min_reply_hops %d, discovery_holddown %v, hello_interval %v, hello_fanout %d out of range",
+			c.RreqRetries, c.QueueCap, c.MaxSalvage, c.MinReplyHops, c.DiscoveryHoldDown, c.HelloInterval, c.HelloFanout)
+	}
+	if c.Multipath != PolicyMinHop && c.Multipath != PolicyRoundRobin && c.Multipath != PolicyRandom {
+		return fmt.Errorf("srp: multipath policy %d unknown (0 min-hop, 1 round-robin, 2 random)", c.Multipath)
+	}
+	return nil
+}
+
 // Protocol is one node's SRP instance.
 type Protocol struct {
 	netstack.BaseProtocol
@@ -103,16 +178,19 @@ type Protocol struct {
 	mySeq         label.SeqNo
 	seqIncrements uint64
 
-	rreqID  uint32
-	routes  map[netstack.NodeID]*route
-	rreqs   map[rreqKey]*rreqState
-	pending map[netstack.NodeID]*pendingDiscovery
-	// recentRreqs rate-limits RREQ originations.
-	recentRreqs []sim.Time
-	// holdDown blocks re-discovery of recently failed destinations.
-	holdDown map[netstack.NodeID]sim.Time
-	// recentRerrs rate-limits RERR broadcasts (RERR_RATELIMIT).
-	recentRerrs []sim.Time
+	rreqID uint32
+	routes map[netstack.NodeID]*route
+	rreqs  map[rreqKey]*rreqState
+	// disc owns the pending discoveries, their packet queues, and the
+	// post-failure hold-down.
+	disc *rcommon.DiscoveryTable
+	// rreqLimit and rerrLimit enforce RREQ_RATELIMIT / RERR_RATELIMIT of
+	// the AODV framework SRP's messaging follows.
+	rreqLimit   rcommon.RateLimiter
+	rerrLimit   rcommon.RateLimiter
+	sweeper     rcommon.Beaconer
+	helloBeacon rcommon.Beaconer
+	started     bool
 	// helloCursor rotates the HelloFanout window over the (sorted) active
 	// destinations, so which routes a HELLO advertises is deterministic
 	// instead of following map iteration order.
@@ -129,12 +207,13 @@ var _ netstack.Protocol = (*Protocol)(nil)
 // New returns an SRP instance with the given configuration.
 func New(cfg Config) *Protocol {
 	return &Protocol{
-		cfg:      cfg,
-		mySeq:    1,
-		routes:   make(map[netstack.NodeID]*route),
-		rreqs:    make(map[rreqKey]*rreqState),
-		pending:  make(map[netstack.NodeID]*pendingDiscovery),
-		holdDown: make(map[netstack.NodeID]sim.Time),
+		cfg:       cfg,
+		mySeq:     1,
+		routes:    make(map[netstack.NodeID]*route),
+		rreqs:     make(map[rreqKey]*rreqState),
+		disc:      rcommon.NewDiscoveryTable(cfg.QueueCap, cfg.RreqRetries, cfg.DiscoveryHoldDown),
+		rreqLimit: rcommon.RateLimiter{Cap: cfg.RreqRateLimit},
+		rerrLimit: rcommon.RateLimiter{Cap: 10},
 	}
 }
 
@@ -142,27 +221,28 @@ func New(cfg Config) *Protocol {
 func (p *Protocol) Attach(n *netstack.Node) {
 	p.node = n
 	p.self = n.ID()
+	p.disc.Attach(n)
 }
 
 // Start implements netstack.Protocol. SRP as simulated in the paper has no
 // periodic messaging; only a slow sweep reclaims expired computation state.
 // When HelloInterval is set, periodic Hello advertisements run too.
+// Starting twice is a no-op.
 func (p *Protocol) Start() {
-	var sweep func()
-	sweep = func() {
-		p.sweep()
-		p.node.After(10*time.Second, sweep)
+	if p.started {
+		return
 	}
-	p.node.After(10*time.Second, sweep)
+	p.started = true
+	p.sweeper.StartEvery(p.node, 10*time.Second, p.sweep)
 
 	if p.cfg.HelloInterval > 0 {
-		var tick func()
-		tick = func() {
-			p.sendHello()
-			jitter := sim.Time(p.node.Rand().Int63n(int64(p.cfg.HelloInterval) / 4))
-			p.node.After(p.cfg.HelloInterval+jitter, tick)
-		}
-		p.node.After(sim.Time(p.node.Rand().Int63n(int64(p.cfg.HelloInterval))), tick)
+		p.helloBeacon.Start(p.node,
+			sim.Time(p.node.Rand().Int63n(int64(p.cfg.HelloInterval))),
+			func() sim.Time {
+				jitter := sim.Time(p.node.Rand().Int63n(int64(p.cfg.HelloInterval) / 4))
+				return p.cfg.HelloInterval + jitter
+			},
+			p.sendHello)
 	}
 }
 
@@ -278,7 +358,7 @@ func (p *Protocol) RecvData(from netstack.NodeID, pkt *netstack.DataPacket) {
 	pkt.Hops++
 	pkt.TTL--
 	if pkt.TTL <= 0 {
-		p.node.DropData(pkt, netstack.DropTTL)
+		p.node.DropData(pkt, rcommon.DropTTL)
 		return
 	}
 	r := p.rt(pkt.Dst)
@@ -290,7 +370,7 @@ func (p *Protocol) RecvData(from netstack.NodeID, pkt *netstack.DataPacket) {
 		p.node.UnicastControl(from, (&rerr{Dests: []netstack.NodeID{pkt.Dst}}).size(),
 			&rerr{Dests: []netstack.NodeID{pkt.Dst}})
 		p.statRERR++
-		p.node.DropData(pkt, netstack.DropNoRoute)
+		p.node.DropData(pkt, rcommon.DropNoRoute)
 		return
 	}
 	p.refresh(r, next)
@@ -306,22 +386,7 @@ func (p *Protocol) sendOrDiscover(pkt *netstack.DataPacket) {
 		p.node.ForwardData(next, pkt)
 		return
 	}
-	pd, ok := p.pending[pkt.Dst]
-	if ok {
-		if len(pd.queue) >= p.cfg.QueueCap {
-			p.node.DropData(pkt, netstack.DropQueueFull)
-			return
-		}
-		pd.queue = append(pd.queue, pkt)
-		return
-	}
-	if until, held := p.holdDown[pkt.Dst]; held && p.node.Now() < until {
-		p.node.DropData(pkt, netstack.DropNoRoute)
-		return
-	}
-	pd = &pendingDiscovery{dst: pkt.Dst, queue: []*netstack.DataPacket{pkt}}
-	p.pending[pkt.Dst] = pd
-	p.solicit(pd)
+	p.disc.Enqueue(pkt, false, p.solicit)
 }
 
 // refresh extends the lifetime of a successor in use.
@@ -337,7 +402,7 @@ func (p *Protocol) refresh(r *route, next netstack.NodeID) {
 func (p *Protocol) DataFailed(to netstack.NodeID, pkt *netstack.DataPacket) {
 	p.linkBreak(to)
 	if !p.cfg.UsePacketCache || pkt.Salvaged >= p.cfg.MaxSalvage {
-		p.node.DropData(pkt, netstack.DropLinkLost)
+		p.node.DropData(pkt, rcommon.DropLinkLost)
 		return
 	}
 	pkt.Salvaged++
@@ -349,24 +414,6 @@ func (p *Protocol) DataFailed(to netstack.NodeID, pkt *netstack.DataPacket) {
 // retry timer recovers.
 func (p *Protocol) ControlFailed(to netstack.NodeID, msg any) {
 	p.linkBreak(to)
-}
-
-// rerrAllowed enforces the per-second RERR broadcast cap, damping error
-// cascades under congestion (the AODV framework's RERR_RATELIMIT).
-func (p *Protocol) rerrAllowed() bool {
-	now := p.node.Now()
-	kept := p.recentRerrs[:0]
-	for _, t := range p.recentRerrs {
-		if now-t < time.Second {
-			kept = append(kept, t)
-		}
-	}
-	p.recentRerrs = kept
-	if len(kept) >= 10 {
-		return false
-	}
-	p.recentRerrs = append(p.recentRerrs, now)
-	return true
 }
 
 // linkBreak removes `to` as successor for all destinations and broadcasts a
@@ -383,7 +430,7 @@ func (p *Protocol) linkBreak(to netstack.NodeID) {
 			lost = append(lost, dst)
 		}
 	}
-	if len(lost) > 0 && p.rerrAllowed() {
+	if len(lost) > 0 && p.rerrLimit.Allow(now) {
 		sortNodeIDs(lost) // deterministic RERR content whatever the map order
 		e := &rerr{Dests: lost}
 		p.node.BroadcastControl(e.size(), e)
@@ -393,51 +440,26 @@ func (p *Protocol) linkBreak(to netstack.NodeID) {
 
 // --- Solicitation (Procedures 1 and 2) --------------------------------
 
-// rreqAllowed enforces the per-second RREQ origination cap; when over the
-// cap the discovery is deferred, not abandoned.
-func (p *Protocol) rreqAllowed() bool {
-	if p.cfg.RreqRateLimit <= 0 {
-		return true
-	}
-	now := p.node.Now()
-	kept := p.recentRreqs[:0]
-	for _, t := range p.recentRreqs {
-		if now-t < time.Second {
-			kept = append(kept, t)
-		}
-	}
-	p.recentRreqs = kept
-	if len(kept) >= p.cfg.RreqRateLimit {
-		return false
-	}
-	p.recentRreqs = append(p.recentRreqs, now)
-	return true
-}
-
-// solicit issues a RREQ for pd's destination (Procedure 1).
-func (p *Protocol) solicit(pd *pendingDiscovery) {
-	if !p.rreqAllowed() {
-		pd.timer = p.node.After(200*time.Millisecond, func() {
-			if p.pending[pd.dst] == pd {
-				p.solicit(pd)
-			}
-		})
+// solicit issues a RREQ for pd's destination (Procedure 1). When the
+// origination cap is hit the discovery is deferred, not abandoned.
+func (p *Protocol) solicit(pd *rcommon.Discovery) {
+	if !p.rreqLimit.Allow(p.node.Now()) {
+		p.disc.Defer(pd, 200*time.Millisecond, p.solicit)
 		return
 	}
 	p.rreqID++
-	pd.rreqID = p.rreqID
-	key := rreqKey{src: p.self, id: pd.rreqID}
+	key := rreqKey{src: p.self, id: p.rreqID}
 	p.rreqs[key] = &rreqState{
 		cached:  label.Unassigned, // M_k = infinity at the requester
 		lastHop: p.self,
 		active:  true,
 		expiry:  p.node.Now() + p.cfg.DeletePeriod,
 	}
-	ttl := p.cfg.TTLs[min(pd.attempt, len(p.cfg.TTLs)-1)]
+	ttl := p.cfg.TTLs[min(pd.Attempt, len(p.cfg.TTLs)-1)]
 	r := &rreq{
 		Src:    p.self,
-		RreqID: pd.rreqID,
-		Dst:    pd.dst,
+		RreqID: p.rreqID,
+		Dst:    pd.Dst,
 		TTL:    ttl,
 		// Advertisement for self: own destination label.
 		SrcSeq:   p.mySeq,
@@ -445,7 +467,7 @@ func (p *Protocol) solicit(pd *pendingDiscovery) {
 		LD:       0,
 		Lifetime: p.cfg.ActiveRouteTimeout,
 	}
-	if o := p.order(pd.dst); !o.IsUnassigned() {
+	if o := p.order(pd.Dst); !o.IsUnassigned() {
 		r.DstSeq = o.SN
 		r.F = o.FD
 		if p.cfg.UseLie {
@@ -459,25 +481,8 @@ func (p *Protocol) solicit(pd *pendingDiscovery) {
 
 	// Binary exponential backoff across attempts, per the AODV
 	// framework's retry rule.
-	wait := 2 * sim.Time(ttl) * p.cfg.NodeTraversal << uint(pd.attempt)
-	pd.timer = p.node.After(wait, func() { p.retry(pd) })
-}
-
-// retry re-issues or abandons a discovery when its timer expires.
-func (p *Protocol) retry(pd *pendingDiscovery) {
-	if p.pending[pd.dst] != pd {
-		return
-	}
-	pd.attempt++
-	if pd.attempt > p.cfg.RreqRetries {
-		delete(p.pending, pd.dst)
-		p.holdDown[pd.dst] = p.node.Now() + p.cfg.DiscoveryHoldDown
-		for _, pkt := range pd.queue {
-			p.node.DropData(pkt, netstack.DropTimeout)
-		}
-		return
-	}
-	p.solicit(pd)
+	wait := 2 * sim.Time(ttl) * p.cfg.NodeTraversal << uint(pd.Attempt)
+	pd.Timer = p.node.After(wait, func() { p.disc.Retry(pd, p.solicit, nil) })
 }
 
 // RecvControl implements netstack.Protocol.
@@ -729,17 +734,15 @@ func (p *Protocol) completeDiscovery(rep *rrep, g label.Order) {
 	}
 	// Any reply for the destination completes the discovery, even one
 	// answering an earlier attempt: the route is already installed.
-	pd, ok := p.pending[rep.Dst]
+	pd, ok := p.disc.Complete(rep.Dst)
 	if !ok {
 		return
 	}
-	p.node.Cancel(pd.timer)
-	delete(p.pending, rep.Dst)
 	r := p.rt(rep.Dst)
-	for _, pkt := range pd.queue {
+	for _, pkt := range pd.Queue {
 		next, live := r.best(p.node.Now())
 		if !live {
-			p.node.DropData(pkt, netstack.DropNoRoute)
+			p.node.DropData(pkt, rcommon.DropNoRoute)
 			continue
 		}
 		p.refresh(r, next)
@@ -837,7 +840,7 @@ func (p *Protocol) handleRERR(from netstack.NodeID, e *rerr) {
 			lost = append(lost, dst)
 		}
 	}
-	if len(lost) > 0 && p.rerrAllowed() {
+	if len(lost) > 0 && p.rerrLimit.Allow(now) {
 		out := &rerr{Dests: lost}
 		p.node.BroadcastControl(out.size(), out)
 		p.statRERR++

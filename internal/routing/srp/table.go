@@ -162,12 +162,3 @@ type rreqKey struct {
 	src netstack.NodeID
 	id  uint32
 }
-
-// pendingDiscovery tracks an in-progress route discovery at the originator.
-type pendingDiscovery struct {
-	dst     netstack.NodeID
-	rreqID  uint32
-	attempt int
-	timer   sim.Timer
-	queue   []*netstack.DataPacket
-}

@@ -19,16 +19,14 @@ import (
 	"slr/internal/mobility"
 	"slr/internal/netstack"
 	"slr/internal/radio"
-	"slr/internal/routing/aodv"
-	"slr/internal/routing/dsr"
-	"slr/internal/routing/ldr"
-	"slr/internal/routing/olsr"
+	"slr/internal/routing"
 	"slr/internal/routing/srp"
 	"slr/internal/sim"
 	"slr/internal/traffic"
 )
 
-// ProtocolName selects the routing protocol of a run.
+// ProtocolName selects the routing protocol of a run; it must name an
+// entry of the routing registry (slr/internal/routing).
 type ProtocolName string
 
 // The five protocols of the paper's evaluation.
@@ -41,6 +39,9 @@ const (
 )
 
 // AllProtocols lists the evaluation's protocols in the paper's order.
+// Every entry resolves through the routing registry, and vice versa
+// (enforced by a scenario test), so sweeps over AllProtocols cover the
+// whole registry in a stable order.
 var AllProtocols = []ProtocolName{SRP, LDR, AODV, DSR, OLSR}
 
 // Params configures one run. The zero value is unusable; start from
@@ -60,8 +61,11 @@ type Params struct {
 	// check every CheckEvery of simulated time.
 	CheckInvariants bool
 	CheckEvery      sim.Time
-	// SRPConfig overrides SRP's configuration (ablation benches).
-	SRPConfig *srp.Config
+	// ProtoParams overrides the selected protocol's constants (spec
+	// "protocol_params": durations in seconds, booleans as 0/1). Keys are
+	// protocol-specific and validated by the routing registry; the
+	// ablation benches toggle SRP heuristics through it.
+	ProtoParams map[string]float64
 	// Mobility optionally selects a registered mobility model. The zero
 	// value keeps the paper's random waypoint built from MinSpeed,
 	// MaxSpeed, and Pause; a non-empty Model overrides all three from
@@ -267,24 +271,13 @@ func Run(p Params) Result {
 }
 
 func buildProtocol(p Params) netstack.Protocol {
-	switch p.Protocol {
-	case SRP:
-		cfg := srp.DefaultConfig()
-		if p.SRPConfig != nil {
-			cfg = *p.SRPConfig
-		}
-		return srp.New(cfg)
-	case LDR:
-		return ldr.New(ldr.DefaultConfig())
-	case AODV:
-		return aodv.New(aodv.DefaultConfig())
-	case DSR:
-		return dsr.New(dsr.DefaultConfig())
-	case OLSR:
-		return olsr.New(olsr.DefaultConfig())
-	default:
-		panic(fmt.Sprintf("scenario: unknown protocol %q", p.Protocol))
+	proto, err := routing.Build(routing.Spec{Name: string(p.Protocol), Params: p.ProtoParams})
+	if err != nil {
+		// Spec loading validates protocol names and parameters, so an
+		// error here is a wiring bug.
+		panic(fmt.Sprintf("scenario: %v", err))
 	}
+	return proto
 }
 
 // checkLoops verifies per-destination acyclicity over all protocols'

@@ -26,9 +26,13 @@
 //	}
 //
 // Model-specific knobs ride in each section's "params" map (e.g.
-// {"model": "manhattan", "params": {"block_m": 150}}). Unknown fields are
-// rejected so typos fail loudly, and Validate resolves every model name
-// against its registry before a simulator is built.
+// {"model": "manhattan", "params": {"block_m": 150}}), and the routing
+// protocol's constants in the top-level "protocol_params" map (durations
+// in seconds, booleans as 0/1 — e.g. {"rreq_retries": 4,
+// "ttl_0": 35}), resolved against the routing registry's per-protocol
+// vocabulary. Unknown fields are rejected so typos fail loudly, and
+// Validate resolves every model and protocol name against its registry
+// before a simulator is built.
 package spec
 
 import (
@@ -44,6 +48,7 @@ import (
 	"slr/internal/geo"
 	"slr/internal/mobility"
 	"slr/internal/radio"
+	"slr/internal/routing"
 	"slr/internal/scenario"
 	"slr/internal/sim"
 	"slr/internal/traffic"
@@ -91,18 +96,23 @@ type Traffic struct {
 
 // ScenarioSpec is a complete declarative scenario.
 type ScenarioSpec struct {
-	Version         int      `json:"version"`
-	Name            string   `json:"name,omitempty"`
-	Protocol        string   `json:"protocol"`
-	Nodes           int      `json:"nodes"`
-	Terrain         Terrain  `json:"terrain"`
-	DurationSeconds float64  `json:"duration_seconds"`
-	Seed            int64    `json:"seed,omitempty"`   // default 1
-	Trials          int      `json:"trials,omitempty"` // default 1
-	Radio           Radio    `json:"radio"`
-	Mobility        Mobility `json:"mobility"`
-	Traffic         Traffic  `json:"traffic"`
-	CheckInvariants bool     `json:"check_invariants,omitempty"`
+	Version  int    `json:"version"`
+	Name     string `json:"name,omitempty"`
+	Protocol string `json:"protocol"`
+	// ProtocolParams overrides the protocol's constants; keys are
+	// protocol-specific (see each protocol's ConfigFromParams), durations
+	// in seconds, booleans as 0/1. Missing keys take the protocol's
+	// published defaults; unknown keys fail validation.
+	ProtocolParams  map[string]float64 `json:"protocol_params,omitempty"`
+	Nodes           int                `json:"nodes"`
+	Terrain         Terrain            `json:"terrain"`
+	DurationSeconds float64            `json:"duration_seconds"`
+	Seed            int64              `json:"seed,omitempty"`   // default 1
+	Trials          int                `json:"trials,omitempty"` // default 1
+	Radio           Radio              `json:"radio"`
+	Mobility        Mobility           `json:"mobility"`
+	Traffic         Traffic            `json:"traffic"`
+	CheckInvariants bool               `json:"check_invariants,omitempty"`
 }
 
 // PaperDefault returns the named built-in spec reproducing the paper's
@@ -203,9 +213,8 @@ func (s *ScenarioSpec) Validate() error {
 	if s.Radio.RangeM <= 0 {
 		return fmt.Errorf("spec: radio range_m %v must be positive", s.Radio.RangeM)
 	}
-	proto := scenario.ProtocolName(strings.ToUpper(s.Protocol))
-	if !slices.Contains(scenario.AllProtocols, proto) {
-		return fmt.Errorf("spec: unknown protocol %q (want one of %v)", s.Protocol, scenario.AllProtocols)
+	if err := routing.Validate(routing.Spec{Name: s.Protocol, Params: s.ProtocolParams}); err != nil {
+		return fmt.Errorf("spec: %w", err)
 	}
 	if !slices.Contains(mobility.Models(), s.Mobility.Model) {
 		return fmt.Errorf("spec: unknown mobility model %q (registered: %v)", s.Mobility.Model, mobility.Models())
@@ -258,15 +267,16 @@ func (s *ScenarioSpec) params() scenario.Params {
 	}
 	secs := func(v float64) sim.Time { return sim.Time(v * float64(time.Second)) }
 	return scenario.Params{
-		Protocol: scenario.ProtocolName(strings.ToUpper(s.Protocol)),
-		Nodes:    s.Nodes,
-		Terrain:  geo.Terrain{Width: s.Terrain.WidthM, Height: s.Terrain.HeightM},
-		Range:    s.Radio.RangeM,
-		MinSpeed: s.Mobility.MinSpeedMps,
-		MaxSpeed: s.Mobility.MaxSpeedMps,
-		Pause:    secs(s.Mobility.PauseSeconds),
-		Duration: secs(s.DurationSeconds),
-		Seed:     seed,
+		Protocol:    scenario.ProtocolName(strings.ToUpper(s.Protocol)),
+		ProtoParams: s.ProtocolParams,
+		Nodes:       s.Nodes,
+		Terrain:     geo.Terrain{Width: s.Terrain.WidthM, Height: s.Terrain.HeightM},
+		Range:       s.Radio.RangeM,
+		MinSpeed:    s.Mobility.MinSpeedMps,
+		MaxSpeed:    s.Mobility.MaxSpeedMps,
+		Pause:       secs(s.Mobility.PauseSeconds),
+		Duration:    secs(s.DurationSeconds),
+		Seed:        seed,
 		Traffic: traffic.Params{
 			Flows:       s.Traffic.Flows,
 			PacketSize:  s.Traffic.PacketSizeBytes,

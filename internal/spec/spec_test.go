@@ -173,3 +173,65 @@ func TestTinySpecRuns(t *testing.T) {
 		t.Fatal("tiny smoke spec generated no traffic")
 	}
 }
+
+// TestProtocolParamsThread verifies the spec's protocol_params section
+// reaches scenario.Params untouched and that every registered protocol
+// accepts a spec overriding at least three of its constants — the
+// protocol-parameter-sweep workload contract.
+func TestProtocolParamsThread(t *testing.T) {
+	overrides := map[string]map[string]float64{
+		"SRP":  {"rreq_retries": 4, "hello_interval_seconds": 2, "max_denom": 1e6},
+		"LDR":  {"rreq_retries": 3, "queue_cap": 20, "min_reply_hops": 1},
+		"AODV": {"active_route_timeout_seconds": 5, "local_repair": 0, "rreq_rate_limit": 20},
+		"DSR":  {"cache_lifetime_seconds": 120, "routes_per_dest": 5, "reply_from_cache": 0},
+		"OLSR": {"hello_interval_seconds": 1, "tc_interval_seconds": 3, "neighbor_hold_seconds": 3},
+	}
+	for _, proto := range scenario.AllProtocols {
+		t.Run(string(proto), func(t *testing.T) {
+			params, ok := overrides[string(proto)]
+			if !ok || len(params) < 3 {
+				t.Fatalf("need >= 3 override keys for %s", proto)
+			}
+			s := PaperDefault()
+			s.Protocol = string(proto)
+			s.ProtocolParams = params
+			p, err := s.Params()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(p.ProtoParams, params) {
+				t.Fatalf("ProtoParams = %v, want %v", p.ProtoParams, params)
+			}
+		})
+	}
+}
+
+// TestProtocolParamsRejected verifies a typoed or out-of-range protocol
+// parameter fails at spec load, naming the offending key.
+func TestProtocolParamsRejected(t *testing.T) {
+	s := PaperDefault()
+	s.ProtocolParams = map[string]float64{"helo_interval_seconds": 2}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "helo_interval_seconds") {
+		t.Fatalf("typoed key error = %v", err)
+	}
+	s.ProtocolParams = map[string]float64{"queue_cap": 0}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "queue_cap") {
+		t.Fatalf("out-of-range error = %v", err)
+	}
+}
+
+// TestAodvAggressiveSpec pins the committed tuned-protocol example: it
+// must select AODV with at least three overridden constants.
+func TestAodvAggressiveSpec(t *testing.T) {
+	s, err := Load("../../examples/scenarios/aodv-aggressive.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Protocol != "AODV" || len(s.ProtocolParams) < 3 {
+		t.Fatalf("aodv-aggressive spec = protocol %s with %d params, want AODV with >= 3",
+			s.Protocol, len(s.ProtocolParams))
+	}
+	if _, err := s.Params(); err != nil {
+		t.Fatal(err)
+	}
+}
