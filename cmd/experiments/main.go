@@ -109,19 +109,16 @@ func run(args []string) error {
 	var metric *experiments.Metric
 	switch *exp {
 	case "all", "table1":
-	case "fig3":
-		metric = &experiments.MetricMACDrops
-	case "fig4":
-		metric = &experiments.MetricDelivery
-	case "fig5":
-		metric = &experiments.MetricNetLoad
-	case "fig6":
-		metric = &experiments.MetricLatency
-	case "fig7":
-		metric = &experiments.MetricSeqno
-		protos = []scenario.ProtocolName{scenario.SRP, scenario.LDR, scenario.AODV}
 	default:
-		return fmt.Errorf("unknown experiment %q", *exp)
+		metric = experiments.MetricByName[*exp]
+		if metric == nil {
+			return fmt.Errorf("unknown experiment %q", *exp)
+		}
+		if metric.Protos != nil {
+			// Figures restricted to a protocol subset (Fig. 7) only
+			// sweep that subset.
+			protos = metric.Protos
+		}
 	}
 
 	emitters, closeEmitters, err := openEmitters(*jsonlOut, *csvOut)

@@ -1,0 +1,143 @@
+// Command slranalyze regenerates the paper's evaluation artifacts from a
+// sweep's per-trial JSONL stream alone — no re-simulation. A full-scale
+// sweep (400 runs, hours of CPU) is run once with -jsonl; every table,
+// CI, percentile merge, and shape verdict is then recomputed offline in
+// milliseconds, with protocol filters and report selection, and the
+// output is byte-identical to what the in-process sweep printed.
+//
+// Grid reports (-report all, table1, fig3..fig7, percentiles, shape)
+// need -scale to map each record's pause time back to its grid cell and
+// to label the tables; records whose pause matches no grid point at that
+// scale are counted to stderr and left out. -report trials needs no
+// scale: it groups records by (protocol, pause) as they are and prints
+// each group's trial summary, which also fits single-spec runs
+// (cmd/experiments -spec ... -jsonl).
+//
+// Example:
+//
+//	experiments -scale full -workers 0 -jsonl full.jsonl   # hours, once
+//	slranalyze -in full.jsonl -scale full                  # ms, repeatable
+//	slranalyze -in full.jsonl -scale full -report table1 -protos SRP,LDR
+//	slranalyze -in tiny.jsonl -report trials
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"slr/internal/experiments"
+	"slr/internal/runner"
+	"slr/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "slranalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("slranalyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in        = fs.String("in", "-", "sweep JSONL file (\"-\" = stdin)")
+		scaleName = fs.String("scale", "mid", "scale the sweep ran at: full, mid, small (grid reports)")
+		report    = fs.String("report", "all", "report: all, table1, fig3..fig7, percentiles, shape, trials")
+		protos    = fs.String("protos", "", "comma-separated protocol filter (default: all present)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var r io.Reader = stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	recs, err := runner.ReadRecords(r)
+	if err != nil {
+		// A sweep killed mid-write leaves a truncated trailing line; the
+		// complete records before it are exactly what this tool exists to
+		// salvage without re-simulating. Analyze them and say what broke.
+		if len(recs) == 0 {
+			return fmt.Errorf("reading %s: %w", *in, err)
+		}
+		fmt.Fprintf(stderr, "slranalyze: %s: %v after %d complete records; analyzing those\n",
+			*in, err, len(recs))
+	}
+	if *protos != "" {
+		recs = filterProtos(recs, *protos)
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("no records to analyze (after filters)")
+	}
+
+	if *report == "trials" {
+		for i, ts := range experiments.Groups(recs) {
+			if i > 0 {
+				fmt.Fprintln(stdout)
+			}
+			name := fmt.Sprintf("%s pause=%.0fs", ts.Protocol, ts.Pause.Seconds())
+			fmt.Fprint(stdout, experiments.TrialReport(name, ts))
+		}
+		return nil
+	}
+
+	scale, err := experiments.ScaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	grid, leftover := experiments.GridFromRecords(scale, recs)
+	if len(leftover) > 0 {
+		fmt.Fprintf(stderr, "slranalyze: %d of %d records match no %s-scale pause time (wrong -scale? try -report trials); analyzing the rest\n",
+			len(leftover), len(recs), scale.Name)
+		if len(leftover) == len(recs) {
+			return fmt.Errorf("no records left to analyze")
+		}
+	}
+
+	switch *report {
+	case "all":
+		fmt.Fprintln(stdout, grid.Report())
+	case "table1":
+		fmt.Fprintln(stdout, grid.Table1())
+	case "percentiles":
+		fmt.Fprintln(stdout, grid.LatencyPercentileTable())
+	case "shape":
+		fmt.Fprintln(stdout, grid.ShapeReport())
+	default:
+		m := experiments.MetricByName[*report]
+		if m == nil {
+			return fmt.Errorf("unknown report %q", *report)
+		}
+		fmt.Fprintln(stdout, grid.FigureTable(*m))
+	}
+	return nil
+}
+
+// filterProtos keeps records whose protocol is in the comma-separated
+// list (case-insensitive).
+func filterProtos(recs []runner.Record, list string) []runner.Record {
+	keep := make(map[scenario.ProtocolName]bool)
+	for _, p := range strings.Split(list, ",") {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			keep[scenario.ProtocolName(strings.ToUpper(p))] = true
+		}
+	}
+	var out []runner.Record
+	for _, rec := range recs {
+		if keep[scenario.ProtocolName(strings.ToUpper(rec.Protocol))] {
+			out = append(out, rec)
+		}
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"slr/internal/experiments"
+	"slr/internal/runner"
+	"slr/internal/scenario"
+)
+
+// TestReproducesSweepByteIdentically is the acceptance gate of the
+// offline aggregator: run the small-scale sweep once in process,
+// streaming JSONL exactly as `experiments -jsonl` does (completion order,
+// all workers), then re-derive every report from the JSONL alone and
+// compare byte for byte against what the live grid printed.
+func TestReproducesSweepByteIdentically(t *testing.T) {
+	var jsonl bytes.Buffer
+	grid, err := experiments.SweepOpts(experiments.Small, scenario.AllProtocols, 1,
+		experiments.SweepOptions{Emitters: []runner.Emitter{runner.NewJSONL(&jsonl)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(t.TempDir(), "sweep.jsonl")
+	if err := os.WriteFile(in, jsonl.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		report string
+		want   string
+	}{
+		{"table1", grid.Table1()},
+		{"shape", grid.ShapeReport()},
+		{"percentiles", grid.LatencyPercentileTable()},
+		{"fig4", grid.FigureTable(experiments.MetricDelivery)},
+		{"fig7", grid.FigureTable(experiments.MetricSeqno)},
+		{"all", grid.Report()},
+	} {
+		var out, errw bytes.Buffer
+		err := run([]string{"-in", in, "-scale", "small", "-report", tc.report},
+			strings.NewReader(""), &out, &errw)
+		if err != nil {
+			t.Fatalf("-report %s: %v", tc.report, err)
+		}
+		if got := out.String(); got != tc.want+"\n" {
+			t.Errorf("-report %s differs from in-process sweep:\n--- offline ---\n%s--- live ---\n%s",
+				tc.report, got, tc.want)
+		}
+		if errw.Len() != 0 {
+			t.Errorf("-report %s: unexpected stderr (leftover records?):\n%s", tc.report, errw.String())
+		}
+	}
+
+	// Protocol filtering drops the others' columns and turns their shape
+	// claims into [n/a], never into verdict flips.
+	var out, errw bytes.Buffer
+	if err := run([]string{"-in", in, "-scale", "small", "-protos", "srp,ldr", "-report", "table1"},
+		strings.NewReader(""), &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); strings.Contains(got, "AODV") || !strings.Contains(got, "SRP") {
+		t.Errorf("-protos filter not applied:\n%s", got)
+	}
+	out.Reset()
+	if err := run([]string{"-in", in, "-scale", "small", "-protos", "SRP", "-report", "shape"},
+		strings.NewReader(""), &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "[n/a]") || strings.Contains(got, "[FAIL]") {
+		t.Errorf("shape report on filtered grid should mark comparisons n/a, not FAIL:\n%s", got)
+	}
+}
+
+// TestTrialsReportFromStdin covers the scale-free grouping path on a
+// hand-built JSONL stream fed through stdin, out of trial order.
+func TestTrialsReportFromStdin(t *testing.T) {
+	lines := `{"protocol":"LDR","pause_seconds":30,"trial":1,"seed":2,"delivery_ratio":0.8,"network_load":1.5,"latency_sec":0.02,"data_sent":10,"data_recv":8,"schema":2}
+{"protocol":"SRP","pause_seconds":30,"trial":0,"seed":1,"delivery_ratio":1,"network_load":0.5,"latency_sec":0.01,"data_sent":10,"data_recv":10,"schema":2}
+{"protocol":"LDR","pause_seconds":30,"trial":0,"seed":1,"delivery_ratio":0.9,"network_load":null,"latency_sec":0.03,"data_sent":10,"data_recv":9,"schema":2}
+`
+	var out, errw bytes.Buffer
+	if err := run([]string{"-report", "trials"}, strings.NewReader(lines), &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	// Paper protocol order, not input order; the null network_load is
+	// excluded and flagged, not averaged.
+	if srp, ldr := strings.Index(got, "SRP pause=30s"), strings.Index(got, "LDR pause=30s"); srp < 0 || ldr < 0 || srp > ldr {
+		t.Errorf("groups missing or misordered:\n%s", got)
+	}
+	if !strings.Contains(got, "(n/a in 1 of 2 trials)") {
+		t.Errorf("null network_load not flagged:\n%s", got)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if err := run([]string{"-in", "/does/not/exist.jsonl"}, strings.NewReader(""), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("missing input file accepted")
+	}
+	if err := run([]string{"-report", "bogus"}, strings.NewReader(`{"protocol":"SRP","pause_seconds":0}`), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown report accepted")
+	}
+	if err := run(nil, strings.NewReader(""), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("empty input accepted")
+	}
+}

@@ -183,8 +183,14 @@ func run(args []string) error {
 		deliv := ts.Series(func(r scenario.Result) float64 { return r.DeliveryRatio })
 		load := ts.Series(func(r scenario.Result) float64 { return r.NetworkLoad })
 		lat := ts.Series(func(r scenario.Result) float64 { return r.Latency })
-		fmt.Printf("mean over %d trials: deliv %.4f±%.4f  load %.4f±%.4f  latency %.4f±%.4f\n",
+		fmt.Printf("mean over %d trials: deliv %.4f±%.4f  load %.4f±%.4f  latency %.4f±%.4f",
 			*trials, deliv.Mean(), deliv.CI(), load.Mean(), load.CI(), lat.Mean(), lat.CI())
+		if load.NaNs > 0 {
+			// Zero-delivery trials have no load ratio; say the sample
+			// shrank instead of printing a mean that looks measured.
+			fmt.Printf("  (load n/a in %d of %d trials)", load.NaNs, *trials)
+		}
+		fmt.Println()
 	}
 	return nil
 }

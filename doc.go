@@ -34,6 +34,15 @@
 // is the built-in "paper-default" spec; both cmd/slrsim and
 // cmd/experiments take -spec, and -pparam overrides single constants.
 //
+// Measurement is a streaming pipeline: internal/metrics collects run
+// totals, fixed-bucket log2 latency/hop histograms with exact
+// bucket-bound percentiles, and a per-flow sent/recv/first-last-delivery
+// ledger, all on an allocation-free per-packet path. Per-trial records
+// are versioned and append-only ("schema": 2), and histogram merging is
+// exact, so cmd/slranalyze reproduces Table I, every figure table, the
+// latency-percentile table, and the shape verdicts from a sweep's JSONL
+// alone — byte-identical to the in-process output, without re-simulating.
+//
 // The routing control plane shares one toolkit: internal/routing/rcommon
 // owns the drop-reason vocabulary, discovery queues with retry and
 // hold-down bookkeeping, RREQ/RERR rate limiters, the periodic beaconer,

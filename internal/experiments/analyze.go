@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"sort"
+	"time"
+
+	"slr/internal/runner"
+	"slr/internal/scenario"
+	"slr/internal/sim"
+)
+
+// protoRank orders protocols for analysis output: the paper's order for
+// the protocols it evaluates, then any registry extras (rank beyond the
+// paper list, name-sorted by the callers' tie-break).
+func protoRank(p scenario.ProtocolName) int {
+	for i, ap := range scenario.AllProtocols {
+		if p == ap {
+			return i
+		}
+	}
+	return len(scenario.AllProtocols)
+}
+
+// protoLess is the shared protocol ordering: paper rank, then name.
+func protoLess(a, b scenario.ProtocolName) bool {
+	if ra, rb := protoRank(a), protoRank(b); ra != rb {
+		return ra < rb
+	}
+	return a < b
+}
+
+// sortTrials restores the in-process sweep's per-cell ordering — trial
+// number (the seed order), ties broken by seed — on a completion-ordered
+// record stream. Both GridFromRecords and Groups order cells with it, so
+// the byte-identity contract holds for every report shape.
+func sortTrials(recs []runner.Record) {
+	sort.SliceStable(recs, func(a, b int) bool {
+		if recs[a].Trial != recs[b].Trial {
+			return recs[a].Trial < recs[b].Trial
+		}
+		return recs[a].Seed < recs[b].Seed
+	})
+}
+
+// trialSet converts trial-ordered records into one cell's TrialSet.
+func trialSet(proto scenario.ProtocolName, pause sim.Time, recs []runner.Record) scenario.TrialSet {
+	ts := scenario.TrialSet{Protocol: proto, Pause: pause}
+	for _, rec := range recs {
+		ts.Results = append(ts.Results, rec.Result())
+	}
+	return ts
+}
+
+// GridFromRecords reconstructs a sweep Grid from streamed per-trial
+// records (a -jsonl file, a JSONReport's runs), so Table I, the figure
+// tables, the latency percentiles, and the shape report can be
+// regenerated offline — grouping, CIs, and histogram merges included —
+// without re-simulating. The scale must be the one the sweep ran at: its
+// duration maps each record's pause seconds back to the grid's pause
+// fraction, and its node/flow counts label the tables.
+//
+// Every rendered table is byte-identical to the one the live Sweep
+// printed, whatever order the records arrived in (see sortTrials). The
+// second return value holds records whose pause time matches no pause
+// fraction at this scale (wrong -scale, or a single-spec run): they are
+// left out of the grid, never silently folded into the wrong cell.
+func GridFromRecords(s Scale, recs []runner.Record) (*Grid, []runner.Record) {
+	// Pause seconds survive the float64→JSON→float64 round trip exactly
+	// (the encoder emits the shortest representation that parses back to
+	// the same value), so fractions match by equality, not tolerance.
+	fracOf := make(map[float64]float64, len(PauseFractions))
+	for _, pf := range PauseFractions {
+		fracOf[(sim.Time(pf * float64(s.Duration))).Seconds()] = pf
+	}
+
+	byPoint := make(map[point][]runner.Record)
+	var leftover []runner.Record
+	for _, rec := range recs {
+		pf, ok := fracOf[rec.PauseSeconds]
+		if !ok {
+			leftover = append(leftover, rec)
+			continue
+		}
+		pt := point{scenario.ProtocolName(rec.Protocol), pf}
+		byPoint[pt] = append(byPoint[pt], rec)
+	}
+
+	g := &Grid{Scale: s, cells: make(map[point]scenario.TrialSet, len(byPoint))}
+	seen := make(map[scenario.ProtocolName]bool)
+	for pt, cellRecs := range byPoint {
+		sortTrials(cellRecs)
+		g.cells[pt] = trialSet(pt.proto, sim.Time(pt.pause*float64(s.Duration)), cellRecs)
+		seen[pt.proto] = true
+	}
+	for p := range seen {
+		g.Protos = append(g.Protos, p)
+	}
+	sort.Slice(g.Protos, func(i, j int) bool { return protoLess(g.Protos[i], g.Protos[j]) })
+	return g, leftover
+}
+
+// Groups splits records into per-(protocol, pause) trial sets for
+// analyses that need no grid geometry (single-spec runs, ad-hoc pause
+// times). Sets come back in protocol order (see protoLess) and ascending
+// pause, trials in trial/seed order within each set.
+func Groups(recs []runner.Record) []scenario.TrialSet {
+	type key struct {
+		proto scenario.ProtocolName
+		pause float64
+	}
+	byKey := make(map[key][]runner.Record)
+	for _, rec := range recs {
+		k := key{scenario.ProtocolName(rec.Protocol), rec.PauseSeconds}
+		byKey[k] = append(byKey[k], rec)
+	}
+	keys := make([]key, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].proto != keys[j].proto {
+			return protoLess(keys[i].proto, keys[j].proto)
+		}
+		return keys[i].pause < keys[j].pause
+	})
+	out := make([]scenario.TrialSet, 0, len(keys))
+	for _, k := range keys {
+		sortTrials(byKey[k])
+		out = append(out, trialSet(k.proto, sim.Time(k.pause*float64(time.Second)), byKey[k]))
+	}
+	return out
+}

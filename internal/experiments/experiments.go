@@ -212,6 +212,38 @@ var (
 // AllMetrics lists the figures in paper order.
 var AllMetrics = []Metric{MetricMACDrops, MetricDelivery, MetricNetLoad, MetricLatency, MetricSeqno}
 
+// MetricByName maps the CLI figure names (cmd/experiments -exp,
+// cmd/slranalyze -report) to their metrics, so the live sweep and the
+// offline aggregator can never drift on which name renders which figure.
+var MetricByName = map[string]*Metric{
+	"fig3": &MetricMACDrops,
+	"fig4": &MetricDelivery,
+	"fig5": &MetricNetLoad,
+	"fig6": &MetricLatency,
+	"fig7": &MetricSeqno,
+}
+
+// meanCI renders a series cell as mean±CI. A series whose every
+// measurement was the NaN sentinel (an all-zero-delivery cell's network
+// load) has no defined mean: it reads "n/a", never a 0.000±0.000 that
+// looks measured and would rank the protocol best on an undefined metric.
+// A partially-excluded cell keeps its mean but is starred — the shrunken
+// sample must not pass for a fully measured one; excluded reports either
+// case so the table can append its footnote.
+func meanCI(s *metrics.Series, prec int) (cell string, excluded bool) {
+	if len(s.Values) == 0 && s.NaNs > 0 {
+		return "n/a", true
+	}
+	cell = fmt.Sprintf("%.*f±%.*f", prec, s.Mean(), prec, s.CI())
+	if s.NaNs > 0 {
+		return cell + "*", true
+	}
+	return cell, false
+}
+
+// exclusionFootnote is appended to a table that starred or n/a'd a cell.
+const exclusionFootnote = "  * excludes trials with an undefined value (e.g. zero-delivery network load)\n"
+
 // FigureTable renders one figure's series as a text table: one row per
 // pause time, one mean±CI column per protocol.
 func (g *Grid) FigureTable(m Metric) string {
@@ -227,6 +259,7 @@ func (g *Grid) FigureTable(m Metric) string {
 		fmt.Fprintf(&b, "%-18s", p)
 	}
 	b.WriteString("\n")
+	flagged := false
 	for _, pf := range PauseFractions {
 		fmt.Fprintf(&b, "%-8s", g.Scale.PauseLabel(pf))
 		for _, p := range protos {
@@ -236,9 +269,14 @@ func (g *Grid) FigureTable(m Metric) string {
 				continue
 			}
 			s := ts.Series(func(r scenario.Result) float64 { return m.Get(r) })
-			fmt.Fprintf(&b, "%-18s", fmt.Sprintf("%.*f±%.*f", m.Prec, s.Mean(), m.Prec, s.CI()))
+			cell, ex := meanCI(s, m.Prec)
+			flagged = flagged || ex
+			fmt.Fprintf(&b, "%-18s", cell)
 		}
 		b.WriteString("\n")
+	}
+	if flagged {
+		b.WriteString(exclusionFootnote)
 	}
 	return b.String()
 }
@@ -249,6 +287,7 @@ func (g *Grid) Table1() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table I: Performance average over all pause times (%s scale)\n", g.Scale.Name)
 	fmt.Fprintf(&b, "%-10s%-18s%-18s%-18s\n", "protocol", "deliv. ratio", "net load", "latency (sec)")
+	flagged := false
 	for _, p := range g.Protos {
 		var deliv, load, lat metrics.Series
 		for _, pf := range PauseFractions {
@@ -262,10 +301,14 @@ func (g *Grid) Table1() string {
 				lat.Add(r.Latency)
 			}
 		}
-		fmt.Fprintf(&b, "%-10s%-18s%-18s%-18s\n", p,
-			fmt.Sprintf("%.3f±%.3f", deliv.Mean(), deliv.CI()),
-			fmt.Sprintf("%.3f±%.3f", load.Mean(), load.CI()),
-			fmt.Sprintf("%.3f±%.3f", lat.Mean(), lat.CI()))
+		dc, dex := meanCI(&deliv, 3)
+		lc, lex := meanCI(&load, 3)
+		tc, tex := meanCI(&lat, 3)
+		flagged = flagged || dex || lex || tex
+		fmt.Fprintf(&b, "%-10s%-18s%-18s%-18s\n", p, dc, lc, tc)
+	}
+	if flagged {
+		b.WriteString(exclusionFootnote)
 	}
 	return b.String()
 }
@@ -273,65 +316,116 @@ func (g *Grid) Table1() string {
 // ShapeReport checks the qualitative claims of §V against the grid and
 // returns one line per claim with a pass/fail verdict. These are the
 // "shape" assertions of the reproduction: who wins and by roughly what
-// factor, not absolute numbers.
+// factor, not absolute numbers. Claims whose inputs are absent — a
+// protocol filtered out, or every trial's metric undefined — render an
+// [n/a] verdict instead of a vacuous PASS or FAIL.
 func (g *Grid) ShapeReport() string {
-	avg := func(p scenario.ProtocolName, get func(scenario.Result) float64) float64 {
+	// avg averages a metric over every cell the grid actually has; ok is
+	// false only when the protocol has no defined values at all. A grid
+	// missing some cells (a partial re-analysis, a filtered sweep) must
+	// average what is there: the old early-return zeroed the whole
+	// protocol on the first missing cell and flipped verdicts.
+	avg := func(p scenario.ProtocolName, get func(scenario.Result) float64) (float64, bool) {
 		var s metrics.Series
 		for _, pf := range PauseFractions {
 			ts, ok := g.cells[point{p, pf}]
 			if !ok {
-				return 0
+				continue
 			}
 			for _, r := range ts.Results {
 				s.Add(get(r))
 			}
 		}
-		return s.Mean()
+		return s.Mean(), len(s.Values) > 0
 	}
-	deliv := func(p scenario.ProtocolName) float64 {
+	deliv := func(p scenario.ProtocolName) (float64, bool) {
 		return avg(p, func(r scenario.Result) float64 { return r.DeliveryRatio })
 	}
-	load := func(p scenario.ProtocolName) float64 {
+	load := func(p scenario.ProtocolName) (float64, bool) {
 		return avg(p, func(r scenario.Result) float64 { return r.NetworkLoad })
 	}
-	seq := func(p scenario.ProtocolName) float64 {
+	seq := func(p scenario.ProtocolName) (float64, bool) {
 		return avg(p, func(r scenario.Result) float64 { return r.AvgSeqno })
+	}
+
+	srpDeliv, okSRPDeliv := deliv(scenario.SRP)
+	srpLoad, okSRPLoad := load(scenario.SRP)
+	ldrLoad, okLDRLoad := load(scenario.LDR)
+	aodvLoad, okAODVLoad := load(scenario.AODV)
+	olsrLoad, okOLSRLoad := load(scenario.OLSR)
+	srpSeq, okSRPSeq := seq(scenario.SRP)
+	ldrSeq, okLDRSeq := seq(scenario.LDR)
+	aodvSeq, okAODVSeq := seq(scenario.AODV)
+	dsrDeliv, okDSRDeliv := deliv(scenario.DSR)
+
+	// num renders a claim operand; an undefined one (protocol filtered
+	// out, every trial NaN) reads "-", never a 0.00 that looks measured.
+	num := func(v float64, ok bool, prec int) string {
+		if !ok {
+			return "-"
+		}
+		return fmt.Sprintf("%.*f", prec, v)
 	}
 
 	type claim struct {
 		text string
 		ok   bool
+		na   bool
 	}
 	claims := []claim{
-		{"SRP delivery ratio >= every other protocol", true},
-		{fmt.Sprintf("SRP network load (%.2f) below LDR (%.2f), AODV (%.2f), OLSR (%.2f)",
-			load(scenario.SRP), load(scenario.LDR), load(scenario.AODV), load(scenario.OLSR)),
-			load(scenario.SRP) < load(scenario.LDR) &&
-				load(scenario.SRP) < load(scenario.AODV) &&
-				load(scenario.SRP) < load(scenario.OLSR)},
-		{fmt.Sprintf("SRP seqno identically 0 (got %.3f)", seq(scenario.SRP)), seq(scenario.SRP) == 0},
-		{fmt.Sprintf("AODV seqno (%.1f) > LDR seqno (%.1f) > SRP seqno (%.1f)",
-			seq(scenario.AODV), seq(scenario.LDR), seq(scenario.SRP)),
-			seq(scenario.AODV) > seq(scenario.LDR) && seq(scenario.LDR) >= seq(scenario.SRP)},
-		{fmt.Sprintf("DSR delivery (%.2f) lowest of all protocols", deliv(scenario.DSR)), true},
+		{"SRP delivery ratio >= every other protocol", true, !okSRPDeliv},
+		{fmt.Sprintf("SRP network load (%s) below LDR (%s), AODV (%s), OLSR (%s)",
+			num(srpLoad, okSRPLoad, 2), num(ldrLoad, okLDRLoad, 2),
+			num(aodvLoad, okAODVLoad, 2), num(olsrLoad, okOLSRLoad, 2)),
+			srpLoad < ldrLoad && srpLoad < aodvLoad && srpLoad < olsrLoad,
+			!(okSRPLoad && okLDRLoad && okAODVLoad && okOLSRLoad)},
+		{fmt.Sprintf("SRP seqno identically 0 (got %s)", num(srpSeq, okSRPSeq, 3)),
+			srpSeq == 0, !okSRPSeq},
+		{fmt.Sprintf("AODV seqno (%s) > LDR seqno (%s) > SRP seqno (%s)",
+			num(aodvSeq, okAODVSeq, 1), num(ldrSeq, okLDRSeq, 1), num(srpSeq, okSRPSeq, 1)),
+			aodvSeq > ldrSeq && ldrSeq >= srpSeq,
+			!(okAODVSeq && okLDRSeq && okSRPSeq)},
+		{fmt.Sprintf("DSR delivery (%s) lowest of all protocols", num(dsrDeliv, okDSRDeliv, 2)),
+			true, !okDSRDeliv},
 	}
+	srpRivals, dsrRivals := false, false
 	for _, p := range g.Protos {
-		if p == scenario.SRP {
+		d, ok := deliv(p)
+		if !ok {
 			continue
 		}
-		if deliv(p) > deliv(scenario.SRP) {
-			claims[0].ok = false
+		if p != scenario.SRP {
+			srpRivals = true
+			if d > srpDeliv {
+				claims[0].ok = false
+			}
 		}
-		if p != scenario.DSR && deliv(p) < deliv(scenario.DSR) {
-			claims[4].ok = false
+		// SRP competes in the "DSR lowest" claim like everyone else: if
+		// a divergent reproduction drags SRP below DSR, that is exactly
+		// the verdict flip this check exists to catch.
+		if p != scenario.DSR {
+			dsrRivals = true
+			if d < dsrDeliv {
+				claims[4].ok = false
+			}
 		}
+	}
+	// A comparison claim with nothing to compare against is not a PASS.
+	if !srpRivals {
+		claims[0].na = true
+	}
+	if !dsrRivals {
+		claims[4].na = true
 	}
 
 	var b strings.Builder
 	b.WriteString("Shape checks (paper §V claims):\n")
 	for _, c := range claims {
 		verdict := "PASS"
-		if !c.ok {
+		switch {
+		case c.na:
+			verdict = "n/a"
+		case !c.ok:
 			verdict = "FAIL"
 		}
 		fmt.Fprintf(&b, "  [%s] %s\n", verdict, c.text)
@@ -339,7 +433,47 @@ func (g *Grid) ShapeReport() string {
 	return b.String()
 }
 
-// Report renders everything: Table I, all figures, and the shape checks.
+// LatencyPercentileTable renders the delivered-packet latency tail
+// alongside Fig. 6's mean±CI: one row per pause time, one p50/p95/p99
+// column per protocol (seconds), computed from the per-trial latency
+// histograms merged per grid cell. Because histogram merging is exact,
+// the offline aggregator (cmd/slranalyze) reproduces this table bit for
+// bit from sweep JSONL.
+func (g *Grid) LatencyPercentileTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Data latency percentiles (s): p50/p95/p99 vs pause time (%d nodes, %d flows, %s scale)\n",
+		g.Scale.Nodes, g.Scale.Flows, g.Scale.Name)
+	fmt.Fprintf(&b, "%-8s", "pause")
+	for _, p := range g.Protos {
+		fmt.Fprintf(&b, "%-20s", p)
+	}
+	b.WriteString("\n")
+	for _, pf := range PauseFractions {
+		fmt.Fprintf(&b, "%-8s", g.Scale.PauseLabel(pf))
+		for _, p := range g.Protos {
+			ts, ok := g.cells[point{p, pf}]
+			if !ok {
+				fmt.Fprintf(&b, "%-20s", "-")
+				continue
+			}
+			var h metrics.Hist
+			for i := range ts.Results {
+				h.Merge(&ts.Results[i].LatencyHist)
+			}
+			if h.N == 0 {
+				fmt.Fprintf(&b, "%-20s", "-")
+				continue
+			}
+			p50, p95, p99 := h.PercentilesSec()
+			fmt.Fprintf(&b, "%-20s", fmt.Sprintf("%.3f/%.3f/%.3f", p50, p95, p99))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Report renders everything: Table I, all figures, the latency
+// percentiles, and the shape checks.
 func (g *Grid) Report() string {
 	var b strings.Builder
 	b.WriteString(g.Table1())
@@ -348,6 +482,8 @@ func (g *Grid) Report() string {
 		b.WriteString(g.FigureTable(m))
 		b.WriteString("\n")
 	}
+	b.WriteString(g.LatencyPercentileTable())
+	b.WriteString("\n")
 	b.WriteString(g.ShapeReport())
 	return b.String()
 }
@@ -364,8 +500,22 @@ func TrialReport(name string, ts scenario.TrialSet) string {
 	hops := ts.Series(func(r scenario.Result) float64 { return r.MeanHops })
 	fmt.Fprintf(&b, "%s: %s, %d trials\n", name, ts.Protocol, len(ts.Results))
 	fmt.Fprintf(&b, "  delivery ratio  %.3f±%.3f\n", deliv.Mean(), deliv.CI())
-	fmt.Fprintf(&b, "  network load    %.3f±%.3f\n", load.Mean(), load.CI())
+	fmt.Fprintf(&b, "  network load    %.3f±%.3f", load.Mean(), load.CI())
+	if load.NaNs > 0 {
+		// Zero-delivery trials have no defined load ratio; flag the
+		// exclusion instead of folding a raw count into the mean.
+		fmt.Fprintf(&b, "  (n/a in %d of %d trials)", load.NaNs, len(ts.Results))
+	}
+	b.WriteString("\n")
 	fmt.Fprintf(&b, "  latency (s)     %.3f±%.3f\n", lat.Mean(), lat.CI())
+	var lh metrics.Hist
+	for i := range ts.Results {
+		lh.Merge(&ts.Results[i].LatencyHist)
+	}
+	if lh.N > 0 {
+		p50, p95, p99 := lh.PercentilesSec()
+		fmt.Fprintf(&b, "  latency tail    p50 %.3f / p95 %.3f / p99 %.3f\n", p50, p95, p99)
+	}
 	fmt.Fprintf(&b, "  MAC drops/node  %.1f±%.1f\n", drops.Mean(), drops.CI())
 	fmt.Fprintf(&b, "  mean hops       %.2f±%.2f\n", hops.Mean(), hops.CI())
 	return b.String()
@@ -379,24 +529,14 @@ func SortedPauses() []float64 {
 }
 
 // JSONReport is the machine-readable form of a grid, one record per run.
+// Runs are the same runner.Record the JSONL/CSV emitters stream — trial
+// index, traffic counters, sorted drop reasons, histograms and all — so
+// the two machine-readable outputs agree field for field and both feed
+// cmd/slranalyze.
 type JSONReport struct {
-	Scale  string      `json:"scale"`
-	Protos []string    `json:"protocols"`
-	Runs   []JSONPoint `json:"runs"`
-}
-
-// JSONPoint is one simulation run's record.
-type JSONPoint struct {
-	Protocol      string  `json:"protocol"`
-	PauseSeconds  float64 `json:"pause_seconds"`
-	Seed          int64   `json:"seed"`
-	DeliveryRatio float64 `json:"delivery_ratio"`
-	NetworkLoad   float64 `json:"network_load"`
-	LatencySec    float64 `json:"latency_sec"`
-	MACDrops      float64 `json:"mac_drops_per_node"`
-	AvgSeqno      float64 `json:"avg_seqno"`
-	MeanHops      float64 `json:"mean_hops"`
-	MaxDenom      uint32  `json:"max_denom,omitempty"`
+	Scale  string          `json:"scale"`
+	Protos []string        `json:"protocols"`
+	Runs   []runner.Record `json:"runs"`
 }
 
 // JSON flattens the grid for external tooling (plotting the figures).
@@ -411,19 +551,11 @@ func (g *Grid) JSON() JSONReport {
 			if !ok {
 				continue
 			}
-			for _, r := range ts.Results {
-				rep.Runs = append(rep.Runs, JSONPoint{
-					Protocol:      string(r.Protocol),
-					PauseSeconds:  r.Pause.Seconds(),
-					Seed:          r.Seed,
-					DeliveryRatio: r.DeliveryRatio,
-					NetworkLoad:   r.NetworkLoad,
-					LatencySec:    r.Latency,
-					MACDrops:      r.MACDrops,
-					AvgSeqno:      r.AvgSeqno,
-					MeanHops:      r.MeanHops,
-					MaxDenom:      r.MaxDenom,
-				})
+			for i, r := range ts.Results {
+				// Results sit in trial (seed) order, so the slice index
+				// is the trial number the runner stamped at flatten time.
+				rep.Runs = append(rep.Runs, runner.NewRecord(
+					runner.Job{Trial: i, PauseFrac: pf}, r))
 			}
 		}
 	}

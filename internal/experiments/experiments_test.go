@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"slr/internal/geo"
+	"slr/internal/runner"
 	"slr/internal/scenario"
 )
 
@@ -115,7 +116,15 @@ func TestJSONReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(blob), "delivery_ratio") {
-		t.Fatal("json missing fields")
+	// Grid.JSON and the runner's JSONL stream are the same Record type:
+	// trial number, traffic counters, and sorted drop reasons included,
+	// so the two machine-readable outputs agree.
+	for _, want := range []string{"delivery_ratio", `"trial"`, `"data_sent"`, `"data_recv"`, `"control_tx"`, `"schema"`} {
+		if !strings.Contains(string(blob), want) {
+			t.Fatalf("json missing %s:\n%s", want, blob)
+		}
+	}
+	if rep.Runs[0].Trial != 0 || rep.Runs[0].Schema != runner.RecordSchema {
+		t.Fatalf("run record header = %+v", rep.Runs[0])
 	}
 }

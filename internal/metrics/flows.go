@@ -1,0 +1,56 @@
+package metrics
+
+import "slr/internal/sim"
+
+// FlowStat is the per-flow ledger of one traffic flow: how much it
+// offered, how much arrived, and when deliveries started and stopped.
+// The traffic generator numbers flows from 1; flow 0 means "no flow"
+// (packets injected outside the workload) and is tracked only in the
+// run totals.
+type FlowStat struct {
+	// Flow is the generator-assigned flow id (1-based).
+	Flow uint32
+	// Sent counts packets the flow's source originated.
+	Sent uint64
+	// Recv counts packets delivered at the flow's destination.
+	Recv uint64
+	// FirstRecv and LastRecv are the virtual times of the first and last
+	// delivery; both are zero while Recv is zero.
+	FirstRecv sim.Time
+	LastRecv  sim.Time
+}
+
+// flowAt returns the ledger slot for flow, growing the index as new flows
+// appear. Flow ids are assigned sequentially by the traffic generator, so
+// the index is a dense slice: growth is amortized over flow creations
+// (dozens per run), never per packet.
+func (c *Collector) flowAt(flow uint32) *FlowStat {
+	i := int(flow) - 1
+	if i >= len(c.flows) {
+		if i >= cap(c.flows) {
+			grown := make([]FlowStat, i+1, 2*(i+1))
+			copy(grown, c.flows)
+			c.flows = grown
+		} else {
+			c.flows = c.flows[:i+1]
+		}
+	}
+	fs := &c.flows[i]
+	fs.Flow = flow
+	return fs
+}
+
+// Flows returns a copy of the per-flow ledgers in flow-id order, skipping
+// flows that never carried a packet.
+func (c *Collector) Flows() []FlowStat {
+	out := make([]FlowStat, 0, len(c.flows))
+	for i := range c.flows {
+		if fs := &c.flows[i]; fs.Sent > 0 || fs.Recv > 0 {
+			out = append(out, *fs)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

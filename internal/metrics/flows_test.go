@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPerFlowAccounting(t *testing.T) {
+	c := NewCollector()
+	// Flow 2 appears before flow 1 finishes; flow 0 stays out of the
+	// ledger; flow 3 sends but never delivers.
+	c.Sent(1)
+	c.Sent(1)
+	c.Sent(2)
+	c.Sent(0)
+	c.Sent(3)
+	c.Delivered(1, 10*time.Second, 100*time.Millisecond, 2)
+	c.Delivered(2, 11*time.Second, 50*time.Millisecond, 1)
+	c.Delivered(1, 20*time.Second, 200*time.Millisecond, 3)
+	c.Delivered(0, 21*time.Second, 10*time.Millisecond, 1)
+
+	if c.DataSent != 5 || c.DataRecv != 4 {
+		t.Fatalf("totals: sent=%d recv=%d", c.DataSent, c.DataRecv)
+	}
+	flows := c.Flows()
+	if len(flows) != 3 {
+		t.Fatalf("flows = %+v, want 3 entries", flows)
+	}
+	f1, f2, f3 := flows[0], flows[1], flows[2]
+	if f1.Flow != 1 || f1.Sent != 2 || f1.Recv != 2 ||
+		f1.FirstRecv != 10*time.Second || f1.LastRecv != 20*time.Second {
+		t.Errorf("flow 1 = %+v", f1)
+	}
+	if f2.Flow != 2 || f2.Sent != 1 || f2.Recv != 1 ||
+		f2.FirstRecv != 11*time.Second || f2.LastRecv != 11*time.Second {
+		t.Errorf("flow 2 = %+v", f2)
+	}
+	if f3.Flow != 3 || f3.Sent != 1 || f3.Recv != 0 || f3.FirstRecv != 0 || f3.LastRecv != 0 {
+		t.Errorf("flow 3 = %+v", f3)
+	}
+
+	// Per-flow counts reconcile with run totals minus out-of-workload
+	// (flow 0) traffic.
+	var sent, recv uint64
+	for _, f := range flows {
+		sent += f.Sent
+		recv += f.Recv
+	}
+	if sent != c.DataSent-1 || recv != c.DataRecv-1 {
+		t.Errorf("ledger sums sent=%d recv=%d, totals %d/%d", sent, recv, c.DataSent, c.DataRecv)
+	}
+}
+
+func TestFlowsSparseIDs(t *testing.T) {
+	c := NewCollector()
+	// A gap in flow ids (ids are dense in practice, but the index must
+	// not invent phantom flows for the gap).
+	c.Sent(5)
+	c.Delivered(5, time.Second, time.Millisecond, 1)
+	flows := c.Flows()
+	if len(flows) != 1 || flows[0].Flow != 5 {
+		t.Fatalf("flows = %+v, want single flow 5", flows)
+	}
+}

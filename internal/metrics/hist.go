@@ -1,0 +1,134 @@
+package metrics
+
+import "math/bits"
+
+// HistBuckets is the fixed bucket count of a Hist: bucket 0 holds exact
+// zeros and bucket i (1 <= i <= 64) holds values in [2^(i-1), 2^i), so any
+// uint64 maps to exactly one bucket and the array never grows.
+const HistBuckets = 65
+
+// Hist is a fixed-size base-2 histogram for non-negative integer samples
+// (latency in microseconds, hop counts). Observing a sample touches one
+// array slot and two counters — no allocation, no branching on capacity —
+// so the per-packet hot path stays allocation-free. Two histograms built
+// from the same multiset of samples are identical regardless of
+// observation or merge order, which makes offline aggregation (merging
+// per-trial histograms from JSONL) deterministic.
+//
+// Quantiles are reported as exact bucket upper bounds (2^i - 1), never
+// interpolated: the answer depends only on bucket counts, so an offline
+// merge reproduces the in-process value bit for bit.
+type Hist struct {
+	// N counts observed samples.
+	N uint64
+	// Sum accumulates the raw samples (for the exact mean; Sum is not
+	// recoverable from the buckets alone and is serialized alongside them).
+	Sum uint64
+	// Counts holds per-bucket sample counts.
+	Counts [HistBuckets]uint64
+}
+
+// Observe records one sample.
+func (h *Hist) Observe(v uint64) {
+	h.N++
+	h.Sum += v
+	h.Counts[bits.Len64(v)]++
+}
+
+// Merge adds o's samples into h. Merging is commutative and associative.
+func (h *Hist) Merge(o *Hist) {
+	h.N += o.N
+	h.Sum += o.Sum
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+}
+
+// BucketBound returns the inclusive upper bound of bucket i: 0 for bucket
+// 0, 2^i - 1 for the rest (saturating at the maximum uint64).
+func BucketBound(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// sample (0 < q <= 1), i.e. the smallest bucket bound b such that at least
+// ceil(q*N) samples are <= b. An empty histogram reports 0.
+func (h *Hist) Quantile(q float64) uint64 {
+	if h.N == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.N))
+	if float64(rank) < q*float64(h.N) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(HistBuckets - 1)
+}
+
+// USToSeconds converts a microsecond quantity (a latency-histogram
+// bucket bound, a sum) to seconds — the one conversion between
+// Collector.LatencyHist's unit and the reports'.
+func USToSeconds(us uint64) float64 { return float64(us) / 1e6 }
+
+// PercentilesSec returns the standard latency-tail summary of a
+// microsecond histogram — the exact p50/p95/p99 bucket bounds in seconds
+// — so every report (live and offline) derives the tail from one place.
+func (h *Hist) PercentilesSec() (p50, p95, p99 float64) {
+	return USToSeconds(h.Quantile(0.50)), USToSeconds(h.Quantile(0.95)), USToSeconds(h.Quantile(0.99))
+}
+
+// HistBucket is one non-empty bucket in the serialized (sparse) form.
+type HistBucket struct {
+	// B is the bucket index (0..64): bucket 0 holds exact zeros, bucket
+	// B >= 1 covers [2^(B-1), 2^B).
+	B int `json:"b"`
+	// C is the sample count in the bucket.
+	C uint64 `json:"c"`
+}
+
+// Buckets returns the non-empty buckets in ascending index order: the
+// deterministic serialized form (identical histograms serialize to
+// identical bytes).
+func (h *Hist) Buckets() []HistBucket {
+	if h.N == 0 {
+		return nil
+	}
+	var out []HistBucket
+	for i, c := range h.Counts {
+		if c != 0 {
+			out = append(out, HistBucket{B: i, C: c})
+		}
+	}
+	return out
+}
+
+// HistFromBuckets reconstructs a histogram from its serialized form. sum
+// restores the exact-mean accumulator (0 when the source did not carry
+// one). Out-of-range bucket indices are ignored.
+func HistFromBuckets(buckets []HistBucket, sum uint64) Hist {
+	var h Hist
+	h.Sum = sum
+	for _, b := range buckets {
+		if b.B < 0 || b.B >= HistBuckets {
+			continue
+		}
+		h.Counts[b.B] += b.C
+		h.N += b.C
+	}
+	return h
+}

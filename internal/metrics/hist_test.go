@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestHistBucketBounds(t *testing.T) {
+	h := &Hist{}
+	// Each sample must land in the bucket whose bound is the smallest
+	// power-of-two upper bound: 0 -> bucket 0, 1 -> bucket 1 ([1,2)),
+	// 2,3 -> bucket 2, 4..7 -> bucket 3, ...
+	for _, tc := range []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1<<63 - 1, 63}, {1 << 63, 64}, {^uint64(0), 64},
+	} {
+		before := h.Counts[tc.bucket]
+		h.Observe(tc.v)
+		if h.Counts[tc.bucket] != before+1 {
+			t.Errorf("Observe(%d): bucket %d not incremented", tc.v, tc.bucket)
+		}
+		if tc.v > 0 && BucketBound(tc.bucket) < tc.v {
+			t.Errorf("BucketBound(%d) = %d < sample %d", tc.bucket, BucketBound(tc.bucket), tc.v)
+		}
+	}
+	if h.N != 12 {
+		t.Errorf("N = %d, want 12", h.N)
+	}
+}
+
+func TestHistQuantileExactBounds(t *testing.T) {
+	h := &Hist{}
+	// 100 samples: 50 of value 3 (bucket 2, bound 3), 45 of value 100
+	// (bucket 7, bound 127), 5 of value 5000 (bucket 13, bound 8191).
+	for i := 0; i < 50; i++ {
+		h.Observe(3)
+	}
+	for i := 0; i < 45; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(5000)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want uint64
+	}{
+		{0.50, 3}, {0.51, 127}, {0.95, 127}, {0.96, 8191}, {0.99, 8191}, {1, 8191},
+	} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if (&Hist{}).Quantile(0.99) != 0 {
+		t.Error("empty histogram quantile must be 0")
+	}
+}
+
+// TestHistMergeDeterminism verifies the offline-aggregation contract: any
+// split of a sample stream into per-trial histograms, merged in any
+// order, equals the histogram of the whole stream.
+func TestHistMergeDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]uint64, 5000)
+	for i := range samples {
+		samples[i] = uint64(rng.Int63n(1 << uint(rng.Intn(40))))
+	}
+	var whole Hist
+	parts := make([]Hist, 7)
+	for i, v := range samples {
+		whole.Observe(v)
+		parts[i%len(parts)].Observe(v)
+	}
+	mergeAll := func(order []int) Hist {
+		var m Hist
+		for _, i := range order {
+			m.Merge(&parts[i])
+		}
+		return m
+	}
+	fwd := mergeAll([]int{0, 1, 2, 3, 4, 5, 6})
+	rev := mergeAll([]int{6, 5, 4, 3, 2, 1, 0})
+	if !reflect.DeepEqual(fwd, whole) || !reflect.DeepEqual(rev, whole) {
+		t.Fatal("merged histograms differ from whole-stream histogram")
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if fwd.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("Quantile(%v) differs after merge", q)
+		}
+	}
+}
+
+func TestHistSerializationRoundTrip(t *testing.T) {
+	var h Hist
+	for _, v := range []uint64{0, 1, 1, 900, 900, 900, 1 << 40} {
+		h.Observe(v)
+	}
+	buckets := h.Buckets()
+	// Sparse form: ascending bucket indices, non-empty only.
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i-1].B >= buckets[i].B {
+			t.Fatalf("buckets not ascending: %v", buckets)
+		}
+	}
+	back := HistFromBuckets(buckets, h.Sum)
+	if !reflect.DeepEqual(back, h) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, h)
+	}
+	if (&Hist{}).Buckets() != nil {
+		t.Error("empty histogram must serialize to nil")
+	}
+	// Hostile input: out-of-range indices ignored, not a panic.
+	hostile := HistFromBuckets([]HistBucket{{B: -1, C: 5}, {B: 99, C: 5}, {B: 2, C: 1}}, 0)
+	if hostile.N != 1 {
+		t.Errorf("hostile buckets: N = %d, want 1", hostile.N)
+	}
+}
+
+// TestDeliveredPathAllocFree pins the tentpole's hot-path contract: once a
+// flow exists, recording deliveries (histograms included) allocates
+// nothing.
+func TestDeliveredPathAllocFree(t *testing.T) {
+	c := NewCollector()
+	c.Sent(1)
+	c.Delivered(1, time.Second, 10*time.Millisecond, 2) // flow ledger slot exists now
+	now := 2 * time.Second
+	if avg := testing.AllocsPerRun(1000, func() {
+		c.Sent(1)
+		c.Delivered(1, now, 10*time.Millisecond, 2)
+		now += time.Millisecond
+	}); avg != 0 {
+		t.Errorf("Sent+Delivered allocates %v per op, want 0", avg)
+	}
+}

@@ -9,10 +9,11 @@ import (
 func TestCollectorRatios(t *testing.T) {
 	c := NewCollector()
 	for i := 0; i < 10; i++ {
-		c.Sent()
+		c.Sent(1)
 	}
 	for i := 0; i < 8; i++ {
-		c.Delivered(time.Duration(i+1)*100*time.Millisecond, 3)
+		lat := time.Duration(i+1) * 100 * time.Millisecond
+		c.Delivered(1, time.Duration(i)*time.Second+lat, lat, 3)
 	}
 	c.Control(64)
 	c.Control(64)
@@ -44,12 +45,24 @@ func TestCollectorEmpty(t *testing.T) {
 	}
 }
 
+// TestNetworkLoadNoDeliveries pins the zero-delivery sentinel: a run that
+// sent control traffic but delivered nothing has no per-packet ratio, and
+// the old raw-ControlTx fallback silently mixed a count into Table-I
+// averages.
 func TestNetworkLoadNoDeliveries(t *testing.T) {
 	c := NewCollector()
 	c.Control(10)
 	c.Control(10)
-	if got := c.NetworkLoad(); got != 2 {
-		t.Errorf("NetworkLoad with zero deliveries = %v, want raw count 2", got)
+	if got := c.NetworkLoad(); !math.IsNaN(got) {
+		t.Errorf("NetworkLoad with zero deliveries = %v, want NaN sentinel", got)
+	}
+	// The sentinel is excluded (and counted) by Series, not averaged.
+	var s Series
+	s.Add(1.5)
+	s.Add(c.NetworkLoad())
+	s.Add(2.5)
+	if s.Mean() != 2 || s.NaNs != 1 || len(s.Values) != 2 {
+		t.Errorf("Series after NaN: mean=%v NaNs=%d values=%v", s.Mean(), s.NaNs, s.Values)
 	}
 }
 
@@ -99,6 +112,55 @@ func TestCI95(t *testing.T) {
 	want = 1.96 * StdDev(big) / 10
 	if got := CI95(big); math.Abs(got-want) > 1e-9 {
 		t.Errorf("CI95 large-n = %v, want %v", got, want)
+	}
+}
+
+// TestCI95TTableBoundary pins the Student-t table handoff: n=31 (df=30)
+// is the last entry read from the table, n=32 (df=31) the first normal
+// approximation. An off-by-one here would read past the table or apply
+// 1.96 a row early.
+func TestCI95TTableBoundary(t *testing.T) {
+	mk := func(n int) []float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i % 7)
+		}
+		return xs
+	}
+	xs31 := mk(31)
+	want31 := 2.042 * StdDev(xs31) / math.Sqrt(31) // last t-table row (df=30)
+	if got := CI95(xs31); math.Abs(got-want31) > 1e-12 {
+		t.Errorf("CI95(n=31) = %v, want t=2.042 giving %v", got, want31)
+	}
+	xs32 := mk(32)
+	want32 := 1.96 * StdDev(xs32) / math.Sqrt(32) // df=31: normal approximation
+	if got := CI95(xs32); math.Abs(got-want32) > 1e-12 {
+		t.Errorf("CI95(n=32) = %v, want t=1.96 giving %v", got, want32)
+	}
+}
+
+// TestSeriesOverlapDegenerate covers n<2 series, whose CI collapses to 0:
+// the interval is a point, so overlap degrades to exact agreement.
+func TestSeriesOverlapDegenerate(t *testing.T) {
+	single := func(v float64) *Series { s := &Series{}; s.Add(v); return s }
+	if !single(3).Overlaps(single(3)) {
+		t.Error("identical singletons must overlap")
+	}
+	if single(3).Overlaps(single(4)) {
+		t.Error("distinct singletons must not overlap")
+	}
+	empty := &Series{}
+	if !empty.Overlaps(empty) {
+		t.Error("two empty series (both point-intervals at 0) must overlap")
+	}
+	wide := &Series{}
+	wide.Add(-5)
+	wide.Add(5) // mean 0, wide CI straddling a singleton at 1
+	if !wide.Overlaps(single(1)) || !single(1).Overlaps(wide) {
+		t.Error("singleton inside a wide interval must overlap (both directions)")
+	}
+	if wide.Overlaps(single(100)) {
+		t.Error("singleton far outside a wide interval must not overlap")
 	}
 }
 

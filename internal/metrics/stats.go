@@ -52,13 +52,24 @@ func CI95(xs []float64) float64 {
 	return t * StdDev(xs) / math.Sqrt(float64(n))
 }
 
-// Series is a set of trial measurements for one data point.
+// Series is a set of trial measurements for one data point. Undefined
+// measurements (NaN, e.g. Collector.NetworkLoad's zero-delivery sentinel)
+// are excluded from the aggregates and counted in NaNs, so one broken
+// trial flags the data point instead of silently skewing its mean.
 type Series struct {
 	Values []float64
+	// NaNs counts measurements excluded because they were NaN.
+	NaNs int
 }
 
-// Add appends a measurement.
-func (s *Series) Add(v float64) { s.Values = append(s.Values, v) }
+// Add appends a measurement; NaN is counted in NaNs and otherwise ignored.
+func (s *Series) Add(v float64) {
+	if math.IsNaN(v) {
+		s.NaNs++
+		return
+	}
+	s.Values = append(s.Values, v)
+}
 
 // Mean returns the series mean.
 func (s *Series) Mean() float64 { return Mean(s.Values) }

@@ -27,7 +27,11 @@ const DefaultTTL = 64
 
 // DataPacket is an application (CBR) packet traveling the network.
 type DataPacket struct {
-	UID     uint64
+	UID uint64
+	// Flow is the traffic generator's flow id (1-based); 0 means the
+	// packet was injected outside the workload (tests, examples). The
+	// metrics collector keys its per-flow ledger on it.
+	Flow    uint32
 	Src     NodeID
 	Dst     NodeID
 	Size    int // payload bytes (512 in the paper's workload)
@@ -149,7 +153,7 @@ func (n *Node) Metrics() *metrics.Collector { return n.mx }
 
 // SendData hands an application packet to the routing protocol.
 func (n *Node) SendData(pkt *DataPacket) {
-	n.mx.Sent()
+	n.mx.Sent(pkt.Flow)
 	n.proto.OriginateData(pkt)
 }
 
@@ -204,7 +208,8 @@ func (n *Node) DeliverLocal(pkt *DataPacket) {
 		return
 	}
 	n.delivered[pkt.UID] = struct{}{}
-	n.mx.Delivered(n.sim.Now()-pkt.Created, pkt.Hops)
+	now := n.sim.Now()
+	n.mx.Delivered(pkt.Flow, now, now-pkt.Created, pkt.Hops)
 }
 
 // DropData records a routing-layer drop of pkt.

@@ -5,11 +5,15 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
+	"slr/internal/metrics"
 	"slr/internal/scenario"
+	"slr/internal/sim"
 )
 
 // Emitter is a streaming sink for completed trials. The runner serializes
@@ -19,28 +23,75 @@ type Emitter interface {
 	Flush() error
 }
 
-// Record is the flat per-trial form written by the JSONL and CSV emitters.
+// RecordSchema is the version stamped into every emitted Record. The
+// schema is append-only: version 2 added "schema", the latency
+// percentiles, the latency/hop histograms, and the per-flow ledger after
+// the version-1 fields, and made "network_load" null for zero-delivery
+// runs (see scenario.Result.NetworkLoad). Version-1 records are simply
+// records without the "schema" key; readers treat a missing version as 1
+// and a missing "network_load" value as NaN.
+const RecordSchema = 2
+
+// Record is the flat per-trial form written by the JSONL and CSV emitters
+// and read back by cmd/slranalyze. Version-1 fields keep their exact
+// serialization (order, names, formatting) so existing JSONL consumers and
+// byte-level diffs keep working; new fields only ever append.
 type Record struct {
-	Protocol      string  `json:"protocol"`
-	PauseSeconds  float64 `json:"pause_seconds"`
-	Trial         int     `json:"trial"`
-	Seed          int64   `json:"seed"`
+	Protocol     string  `json:"protocol"`
+	PauseSeconds float64 `json:"pause_seconds"`
+	Trial        int     `json:"trial"`
+	Seed         int64   `json:"seed"`
+	// DeliveryRatio is delivered/sent.
 	DeliveryRatio float64 `json:"delivery_ratio"`
-	NetworkLoad   float64 `json:"network_load"`
-	LatencySec    float64 `json:"latency_sec"`
-	MACDrops      float64 `json:"mac_drops_per_node"`
-	AvgSeqno      float64 `json:"avg_seqno"`
-	MeanHops      float64 `json:"mean_hops"`
-	DataSent      uint64  `json:"data_sent"`
-	DataRecv      uint64  `json:"data_recv"`
-	ControlTx     uint64  `json:"control_tx"`
-	Collisions    uint64  `json:"collisions"`
-	MaxDenom      uint32  `json:"max_denom,omitempty"`
+	// NetworkLoad is control transmissions per delivered packet; nil
+	// (serialized as null) when the run delivered nothing, the JSON form
+	// of the NaN sentinel (JSON has no NaN literal).
+	NetworkLoad *float64 `json:"network_load"`
+	LatencySec  float64  `json:"latency_sec"`
+	MACDrops    float64  `json:"mac_drops_per_node"`
+	AvgSeqno    float64  `json:"avg_seqno"`
+	MeanHops    float64  `json:"mean_hops"`
+	DataSent    uint64   `json:"data_sent"`
+	DataRecv    uint64   `json:"data_recv"`
+	ControlTx   uint64   `json:"control_tx"`
+	Collisions  uint64   `json:"collisions"`
+	MaxDenom    uint32   `json:"max_denom,omitempty"`
 	// DropReasons is the routing-layer drop breakdown, sorted by reason
 	// so the serialized form is byte-stable across processes (Go
 	// randomizes map iteration; a map field here would emit rows that
 	// differ run to run and defeat output diffing).
 	DropReasons []ReasonCount `json:"drop_reasons,omitempty"`
+
+	// Version-2 fields (appended; see RecordSchema).
+
+	// Schema is the record version, RecordSchema at write time.
+	Schema int `json:"schema"`
+	// LatencyP50/P95/P99 are exact histogram bucket-bound percentiles of
+	// delivered-packet latency, in seconds.
+	LatencyP50 float64 `json:"latency_p50_sec"`
+	LatencyP95 float64 `json:"latency_p95_sec"`
+	LatencyP99 float64 `json:"latency_p99_sec"`
+	// LatencyHist is the sparse latency histogram (µs, log2 buckets) and
+	// LatencySumUS its exact-mean accumulator; merging these across trials
+	// reproduces in-process percentile aggregation bit for bit.
+	LatencyHist  []metrics.HistBucket `json:"latency_hist_us,omitempty"`
+	LatencySumUS uint64               `json:"latency_sum_us,omitempty"`
+	// HopsHist is the sparse hop-count histogram with its accumulator.
+	HopsHist []metrics.HistBucket `json:"hops_hist,omitempty"`
+	HopsSum  uint64               `json:"hops_sum,omitempty"`
+	// Flows is the per-flow ledger in flow-id order.
+	Flows []FlowRecord `json:"flows,omitempty"`
+}
+
+// FlowRecord is one traffic flow's ledger in a Record.
+type FlowRecord struct {
+	Flow uint32 `json:"flow"`
+	Sent uint64 `json:"sent"`
+	Recv uint64 `json:"recv"`
+	// FirstRecvSec/LastRecvSec are the virtual times (seconds) of the
+	// flow's first and last delivery; omitted while Recv is zero.
+	FirstRecvSec float64 `json:"first_recv_sec,omitempty"`
+	LastRecvSec  float64 `json:"last_recv_sec,omitempty"`
 }
 
 // ReasonCount is one drop-reason tally in a Record.
@@ -62,15 +113,32 @@ func sortedDropReasons(m map[string]uint64) []ReasonCount {
 	return out
 }
 
+// flowRecords flattens the per-flow ledger.
+func flowRecords(flows []metrics.FlowStat) []FlowRecord {
+	if len(flows) == 0 {
+		return nil
+	}
+	out := make([]FlowRecord, len(flows))
+	for i, fs := range flows {
+		out[i] = FlowRecord{
+			Flow:         fs.Flow,
+			Sent:         fs.Sent,
+			Recv:         fs.Recv,
+			FirstRecvSec: fs.FirstRecv.Seconds(),
+			LastRecvSec:  fs.LastRecv.Seconds(),
+		}
+	}
+	return out
+}
+
 // NewRecord flattens one trial.
 func NewRecord(j Job, r scenario.Result) Record {
-	return Record{
+	rec := Record{
 		Protocol:      string(r.Protocol),
 		PauseSeconds:  r.Pause.Seconds(),
 		Trial:         j.Trial,
 		Seed:          r.Seed,
 		DeliveryRatio: r.DeliveryRatio,
-		NetworkLoad:   r.NetworkLoad,
 		LatencySec:    r.Latency,
 		MACDrops:      r.MACDrops,
 		AvgSeqno:      r.AvgSeqno,
@@ -81,7 +149,79 @@ func NewRecord(j Job, r scenario.Result) Record {
 		Collisions:    r.Collisions,
 		MaxDenom:      r.MaxDenom,
 		DropReasons:   sortedDropReasons(r.DropReasons),
+		Schema:        RecordSchema,
+		LatencyP50:    r.LatencyP50,
+		LatencyP95:    r.LatencyP95,
+		LatencyP99:    r.LatencyP99,
+		LatencyHist:   r.LatencyHist.Buckets(),
+		LatencySumUS:  r.LatencyHist.Sum,
+		HopsHist:      r.HopHist.Buckets(),
+		HopsSum:       r.HopHist.Sum,
+		Flows:         flowRecords(r.Flows),
 	}
+	if !math.IsNaN(r.NetworkLoad) {
+		v := r.NetworkLoad
+		rec.NetworkLoad = &v
+	}
+	return rec
+}
+
+// Result reconstructs the scenario.Result a Record was flattened from, the
+// inverse of NewRecord used by the offline aggregator (cmd/slranalyze) to
+// rebuild tables from sweep JSONL without re-simulating. Fields the Record
+// does not carry (loop checks, control breakdown, MAC drop split) stay
+// zero; flow delivery times round-trip through seconds.
+func (r Record) Result() scenario.Result {
+	res := scenario.Result{
+		Protocol:      scenario.ProtocolName(r.Protocol),
+		Pause:         sim.Time(r.PauseSeconds * float64(time.Second)),
+		Seed:          r.Seed,
+		DeliveryRatio: r.DeliveryRatio,
+		NetworkLoad:   math.NaN(),
+		Latency:       r.LatencySec,
+		MACDrops:      r.MACDrops,
+		AvgSeqno:      r.AvgSeqno,
+		MeanHops:      r.MeanHops,
+		DataSent:      r.DataSent,
+		DataRecv:      r.DataRecv,
+		ControlTx:     r.ControlTx,
+		Collisions:    r.Collisions,
+		MaxDenom:      r.MaxDenom,
+		LatencyP50:    r.LatencyP50,
+		LatencyP95:    r.LatencyP95,
+		LatencyP99:    r.LatencyP99,
+		LatencyHist:   metrics.HistFromBuckets(r.LatencyHist, r.LatencySumUS),
+		HopHist:       metrics.HistFromBuckets(r.HopsHist, r.HopsSum),
+	}
+	if r.NetworkLoad != nil {
+		res.NetworkLoad = *r.NetworkLoad
+	}
+	// Version-1 writers had no NaN sentinel: their zero-delivery records
+	// carry the raw ControlTx count in network_load (the bug the sentinel
+	// replaced). Normalize on read so archived sweeps analyze with the
+	// same exclusion semantics as fresh ones.
+	if r.Schema < 2 && r.DataRecv == 0 && r.ControlTx > 0 {
+		res.NetworkLoad = math.NaN()
+	}
+	if len(r.DropReasons) > 0 {
+		res.DropReasons = make(map[string]uint64, len(r.DropReasons))
+		for _, rc := range r.DropReasons {
+			res.DropReasons[rc.Reason] = rc.Count
+		}
+	}
+	if len(r.Flows) > 0 {
+		res.Flows = make([]metrics.FlowStat, len(r.Flows))
+		for i, fr := range r.Flows {
+			res.Flows[i] = metrics.FlowStat{
+				Flow:      fr.Flow,
+				Sent:      fr.Sent,
+				Recv:      fr.Recv,
+				FirstRecv: sim.Time(fr.FirstRecvSec * float64(time.Second)),
+				LastRecv:  sim.Time(fr.LastRecvSec * float64(time.Second)),
+			}
+		}
+	}
+	return res
 }
 
 // JSONLEmitter streams one JSON object per line per completed trial.
@@ -104,12 +244,32 @@ func (e *JSONLEmitter) Emit(j Job, r scenario.Result) error {
 // Flush flushes buffered lines.
 func (e *JSONLEmitter) Flush() error { return e.bw.Flush() }
 
-// csvHeader lists the CSV columns, matching Record field order.
+// ReadRecords decodes a JSONL stream of Records (blank lines skipped).
+func ReadRecords(r io.Reader) ([]Record, error) {
+	var out []Record
+	dec := json.NewDecoder(r)
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// csvHeader lists the CSV columns, matching Record field order. The
+// version-1 columns keep their positions; version-2 columns append (the
+// sparse histograms and per-flow ledger stay JSONL-only — a flow list does
+// not flatten into a cell — so CSV carries the percentile summary and the
+// flow count).
 var csvHeader = []string{
 	"protocol", "pause_seconds", "trial", "seed",
 	"delivery_ratio", "network_load", "latency_sec", "mac_drops_per_node",
 	"avg_seqno", "mean_hops", "data_sent", "data_recv", "control_tx",
 	"collisions", "max_denom", "drop_reasons",
+	"latency_p50_sec", "latency_p95_sec", "latency_p99_sec", "flows",
 }
 
 // CSVEmitter streams one CSV row per completed trial, with a header row
@@ -124,17 +284,29 @@ func NewCSV(w io.Writer) *CSVEmitter {
 	return &CSVEmitter{w: csv.NewWriter(w)}
 }
 
+// writeHeader writes the header row once.
+func (e *CSVEmitter) writeHeader() error {
+	if e.header {
+		return nil
+	}
+	e.header = true
+	return e.w.Write(csvHeader)
+}
+
 // Emit writes one trial as a CSV row.
 func (e *CSVEmitter) Emit(j Job, r scenario.Result) error {
-	if !e.header {
-		e.header = true
-		if err := e.w.Write(csvHeader); err != nil {
-			return err
-		}
+	if err := e.writeHeader(); err != nil {
+		return err
 	}
 	rec := NewRecord(j, r)
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	// A zero-delivery run has no network-load ratio; the cell reads "NaN"
+	// (strconv's rendering of the sentinel), never a raw control count.
+	load := f(math.NaN())
+	if rec.NetworkLoad != nil {
+		load = f(*rec.NetworkLoad)
+	}
 	// Drop reasons render as "reason=count;..." in reason order, one
 	// stable cell regardless of map iteration order.
 	var reasons strings.Builder
@@ -149,15 +321,21 @@ func (e *CSVEmitter) Emit(j Job, r scenario.Result) error {
 	return e.w.Write([]string{
 		rec.Protocol, f(rec.PauseSeconds), strconv.Itoa(rec.Trial),
 		strconv.FormatInt(rec.Seed, 10),
-		f(rec.DeliveryRatio), f(rec.NetworkLoad), f(rec.LatencySec), f(rec.MACDrops),
+		f(rec.DeliveryRatio), load, f(rec.LatencySec), f(rec.MACDrops),
 		f(rec.AvgSeqno), f(rec.MeanHops), u(rec.DataSent), u(rec.DataRecv),
 		u(rec.ControlTx), u(rec.Collisions), strconv.FormatUint(uint64(rec.MaxDenom), 10),
 		reasons.String(),
+		f(rec.LatencyP50), f(rec.LatencyP95), f(rec.LatencyP99),
+		strconv.Itoa(len(rec.Flows)),
 	})
 }
 
-// Flush flushes buffered rows.
+// Flush flushes buffered rows. An empty sweep still gets the header row,
+// so the output is always a parseable CSV, never a zero-byte file.
 func (e *CSVEmitter) Flush() error {
+	if err := e.writeHeader(); err != nil {
+		return err
+	}
 	e.w.Flush()
 	return e.w.Error()
 }

@@ -134,6 +134,19 @@ type Result struct {
 	// RREQTx/RREPTx/RERRTx break down control traffic for protocols that
 	// report it (SRP).
 	RREQTx, RREPTx, RERRTx uint64
+
+	// LatencyHist is the delivered-packet end-to-end latency histogram in
+	// microseconds; LatencyP50/P95/P99 are its exact bucket-bound
+	// percentiles in seconds (the latency tail Fig. 6's mean hides).
+	LatencyHist metrics.Hist
+	LatencyP50  float64
+	LatencyP95  float64
+	LatencyP99  float64
+	// HopHist is the delivered-packet hop-count histogram.
+	HopHist metrics.Hist
+	// Flows is the per-flow ledger (sent/recv/first-last delivery), in
+	// flow-id order.
+	Flows []metrics.FlowStat
 }
 
 // seqnoReporter is implemented by SRP, LDR and AODV (Fig. 7's protocols).
@@ -234,6 +247,10 @@ func Run(p Params) Result {
 	res.DataRecv = mx.DataRecv
 	res.ControlTx = mx.ControlTx
 	res.Collisions = ch.Collisions()
+	res.LatencyHist = mx.LatencyHist
+	res.LatencyP50, res.LatencyP95, res.LatencyP99 = mx.LatencyHist.PercentilesSec()
+	res.HopHist = mx.HopHist
+	res.Flows = mx.Flows()
 
 	var drops uint64
 	for _, n := range nodes {

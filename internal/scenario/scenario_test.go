@@ -125,3 +125,44 @@ func TestUnknownProtocolPanics(t *testing.T) {
 	Run(Params{Protocol: "bogus", Nodes: 2, Terrain: geo.Terrain{Width: 100, Height: 100},
 		Range: 100, Duration: time.Second, Traffic: traffic.DefaultParams()})
 }
+
+// TestFlowAndHistogramAccounting verifies the streaming metrics pipeline
+// end to end: a run's per-flow ledger reconciles with its totals, and the
+// latency/hop histograms carry exactly the delivered packets.
+func TestFlowAndHistogramAccounting(t *testing.T) {
+	r := Run(smallParams(SRP, 0, 5))
+	if len(r.Flows) == 0 {
+		t.Fatal("no per-flow stats recorded")
+	}
+	var sent, recv uint64
+	lastFlow := uint32(0)
+	for _, f := range r.Flows {
+		if f.Flow <= lastFlow {
+			t.Fatalf("flows not in ascending id order: %+v", r.Flows)
+		}
+		lastFlow = f.Flow
+		if f.Recv > f.Sent {
+			t.Errorf("flow %d delivered more than it sent: %+v", f.Flow, f)
+		}
+		if f.Recv > 0 && f.LastRecv < f.FirstRecv {
+			t.Errorf("flow %d delivery times inverted: %+v", f.Flow, f)
+		}
+		sent += f.Sent
+		recv += f.Recv
+	}
+	// Every workload packet belongs to exactly one flow.
+	if sent != r.DataSent || recv != r.DataRecv {
+		t.Fatalf("flow ledger sums %d/%d != run totals %d/%d", sent, recv, r.DataSent, r.DataRecv)
+	}
+	if r.LatencyHist.N != r.DataRecv || r.HopHist.N != r.DataRecv {
+		t.Fatalf("histogram N (%d, %d) != delivered %d", r.LatencyHist.N, r.HopHist.N, r.DataRecv)
+	}
+	if !(r.LatencyP50 > 0 && r.LatencyP50 <= r.LatencyP95 && r.LatencyP95 <= r.LatencyP99) {
+		t.Fatalf("percentiles not ordered: p50=%v p95=%v p99=%v", r.LatencyP50, r.LatencyP95, r.LatencyP99)
+	}
+	// Bucket-bound percentiles bound the mean from the right direction:
+	// p99 must not sit below the mean of its own samples' histogram.
+	if r.LatencyP99 < r.Latency/2 {
+		t.Fatalf("p99 %v implausibly below mean %v", r.LatencyP99, r.Latency)
+	}
+}

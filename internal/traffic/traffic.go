@@ -47,8 +47,13 @@ type Generator struct {
 	nodes []Sender
 	p     Params
 	uid   uint64
-	end   sim.Time
-	flows int // live flows, for introspection
+	// flowSeq numbers flows from 1 across the whole run; every packet
+	// carries its flow's id so the metrics collector can keep a per-flow
+	// ledger (flow 0 is reserved for packets injected outside the
+	// workload).
+	flowSeq uint32
+	end     sim.Time
+	flows   int // live flows, for introspection
 }
 
 // NewGenerator returns a generator over nodes; traffic stops at end.
@@ -95,6 +100,8 @@ func (g *Generator) startFlow() {
 		stop = g.end
 	}
 	g.flows++
+	g.flowSeq++
+	flow := g.flowSeq
 	pacer, err := NewPacer(g.p)
 	if err != nil {
 		panic(err) // NewGenerator validated the model; unreachable
@@ -110,6 +117,7 @@ func (g *Generator) startFlow() {
 		g.uid++
 		src.SendData(&netstack.DataPacket{
 			UID:     g.uid,
+			Flow:    flow,
 			Src:     src.ID(),
 			Dst:     dst.ID(),
 			Size:    g.p.PacketSize,
