@@ -38,7 +38,9 @@ vet:
 	$(GO) vet ./...
 
 # Regenerate the paper's Table I and Figures 3-7 on the work-stealing
-# runner. SCALE=full for the paper's exact setup (hours of CPU).
+# runner. SCALE=full for the paper's exact setup (hours of CPU). -force:
+# re-running the target deliberately regenerates the results files (the
+# binary otherwise refuses to clobber a non-empty sweep output).
 sweep:
-	$(GO) run ./cmd/experiments -scale $(SCALE) -workers $(WORKERS) \
+	$(GO) run ./cmd/experiments -scale $(SCALE) -workers $(WORKERS) -force \
 		-jsonl results-$(SCALE).jsonl -csv results-$(SCALE).csv

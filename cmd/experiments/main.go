@@ -14,10 +14,20 @@
 // (repeatable) overrides protocol constants on top of the spec's
 // protocol_params.
 //
+// Sweeps shard and resume: -shard i/n runs a deterministic 1/n slice of
+// the flattened job grid so n processes (or machines) split the work, and
+// -resume salvages an interrupted -jsonl stream — truncating any partial
+// tail line — and appends only the trials whose (protocol, pause, trial,
+// seed) identity key is not already present. Merge shard outputs with
+// cmd/slranalyze. An existing non-empty -jsonl/-csv file is never
+// overwritten unless -resume or -force says so.
+//
 // Example:
 //
 //	experiments -scale mid -exp all
 //	experiments -scale full -exp fig5 -trials 10
+//	experiments -scale full -shard 1/4 -jsonl shard1.jsonl   # x4 machines
+//	experiments -scale full -resume -jsonl shard1.jsonl      # after a crash
 //	experiments -spec examples/scenarios/manhattan-500.json
 //	experiments -spec paper-default -trials 3
 package main
@@ -56,11 +66,21 @@ func run(args []string) error {
 		jsonOut   = fs.String("json", "", "also write the raw grid as JSON to this file")
 		jsonlOut  = fs.String("jsonl", "", "stream per-trial results as JSON lines to this file")
 		csvOut    = fs.String("csv", "", "stream per-trial results as CSV to this file")
+		resume    = fs.Bool("resume", false, "resume an interrupted -jsonl sweep: salvage its complete records, skip their jobs, append only the missing trials")
+		force     = fs.Bool("force", false, "overwrite an existing non-empty -jsonl/-csv output")
 	)
+	var shard runner.ShardSpec
+	fs.Var(&shard, "shard", "run only shard `i/n` (1-based) of the flattened job list; concatenate the shards' JSONL and merge with slranalyze")
 	protoParams := routing.ParamsFlag{}
 	fs.Var(protoParams, "pparam", "with -spec: protocol parameter override `name=value` (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *jsonlOut == "" {
+		return fmt.Errorf("-resume needs -jsonl: the JSONL stream is the checkpoint it salvages")
+	}
+	if *resume && *csvOut != "" {
+		return fmt.Errorf("-resume cannot continue a CSV stream (records are not read back from CSV); resume with -jsonl alone")
 	}
 	if len(protoParams) > 0 && *specArg == "" {
 		return fmt.Errorf("-pparam requires -spec (the paper grid runs every protocol at its published constants)")
@@ -97,12 +117,12 @@ func run(args []string) error {
 				return err
 			}
 		}
-		emitters, closeEmitters, err := openEmitters(*jsonlOut, *csvOut)
+		emitters, salvaged, closeEmitters, err := openEmitters(*jsonlOut, *csvOut, *resume, *force)
 		if err != nil {
 			return err
 		}
 		defer closeEmitters()
-		return runSpec(s, p, *trials, *seed, seedSet, *workers, *quiet, emitters)
+		return runSpec(s, p, *trials, *seed, seedSet, *workers, *quiet, shard, salvaged, emitters)
 	}
 
 	protos := scenario.AllProtocols
@@ -121,12 +141,24 @@ func run(args []string) error {
 		}
 	}
 
-	emitters, closeEmitters, err := openEmitters(*jsonlOut, *csvOut)
+	if *jsonOut != "" {
+		// The -json report is rewritten whole after the sweep; refuse a
+		// clobber now, before hours of compute, not at write time. A
+		// resumed sweep regenerates the report by design, so -resume
+		// authorizes the rewrite like -force does.
+		if err := runner.CheckClobber(*jsonOut, *force || *resume); err != nil {
+			return err
+		}
+	}
+	emitters, salvaged, closeEmitters, err := openEmitters(*jsonlOut, *csvOut, *resume, *force)
 	if err != nil {
 		return err
 	}
 	defer closeEmitters()
-	opts := experiments.SweepOptions{Workers: *workers, Emitters: emitters}
+	opts := experiments.SweepOptions{
+		Workers: *workers, Emitters: emitters,
+		Shard: shard, SkipDone: runner.KeySet(salvaged),
+	}
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}
@@ -134,11 +166,36 @@ func run(args []string) error {
 	fmt.Fprintf(os.Stderr, "sweeping %s scale: %d nodes, %d flows, %v, %d trials x %d pauses x %d protocols\n",
 		scale.Name, scale.Nodes, scale.Flows, scale.Duration, scale.Trials,
 		len(experiments.PauseFractions), len(protos))
+	if shard.Count > 1 {
+		fmt.Fprintf(os.Stderr, "shard %s: running a 1/%d slice; merge every shard's JSONL with slranalyze for the full grid\n",
+			shard, shard.Count)
+	}
 	start := time.Now()
 	// An emitter failure (e.g. disk full under -jsonl) must not discard a
 	// fully computed grid: print the tables, then report the error.
 	grid, sweepErr := experiments.SweepOpts(scale, protos, *seed, opts)
 	fmt.Fprintf(os.Stderr, "sweep finished in %v\n\n", time.Since(start).Round(time.Second))
+
+	if *resume && len(salvaged) > 0 {
+		// The tables should cover the whole sweep, not just the trials this
+		// process re-ran: merge the salvaged records with the fresh ones the
+		// same way slranalyze merges shard files (GridFromRecords dedups on
+		// the identity key, though SkipDone already made the sets disjoint).
+		// Reconstructed tables are byte-identical to live ones (see
+		// cmd/slranalyze's tests).
+		merged, leftover := experiments.GridFromRecords(scale, append(salvaged, grid.JSON().Runs...))
+		if len(leftover) > 0 {
+			fmt.Fprintf(os.Stderr, "%d salvaged records match no %s-scale grid cell (resumed with a different -scale?); left out of the tables\n",
+				len(leftover), scale.Name)
+		}
+		grid = merged
+		if missing := grid.MissingCells(); len(missing) > 0 {
+			fmt.Fprintf(os.Stderr, "grid still missing %d cells after resume (different -seed or -shard?):\n", len(missing))
+			for _, m := range missing {
+				fmt.Fprintln(os.Stderr, "  "+m)
+			}
+		}
+	}
 
 	switch *exp {
 	case "all":
@@ -164,41 +221,47 @@ func run(args []string) error {
 	return nil
 }
 
-// openEmitters creates the requested per-trial stream files. Callers
-// invoke it only after every flag and spec has validated, so a typo
-// elsewhere never truncates an existing results file.
-func openEmitters(jsonlPath, csvPath string) ([]runner.Emitter, func(), error) {
+// openEmitters creates (or, under -resume, reopens) the requested
+// per-trial stream files and returns any records salvaged from a resumed
+// JSONL. Callers invoke it only after every flag and spec has validated,
+// and an existing non-empty output is never truncated unless -force: a
+// typo elsewhere must not clobber an existing sweep's results.
+func openEmitters(jsonlPath, csvPath string, resume, force bool) ([]runner.Emitter, []runner.Record, func(), error) {
 	var emitters []runner.Emitter
+	var salvaged []runner.Record
 	var files []*os.File
 	closeAll := func() {
 		for _, f := range files {
 			f.Close()
 		}
 	}
-	for _, stream := range []struct {
-		path string
-		mk   func(w *os.File) runner.Emitter
-	}{
-		{jsonlPath, func(w *os.File) runner.Emitter { return runner.NewJSONL(w) }},
-		{csvPath, func(w *os.File) runner.Emitter { return runner.NewCSV(w) }},
-	} {
-		if stream.path == "" {
-			continue
-		}
-		f, err := os.Create(stream.path)
+	if jsonlPath != "" {
+		var f *os.File
+		var err error
+		salvaged, f, err = runner.OpenJSONLOutput(jsonlPath, resume, force, os.Stderr)
 		if err != nil {
-			closeAll()
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		files = append(files, f)
-		emitters = append(emitters, stream.mk(f))
+		emitters = append(emitters, runner.NewJSONL(f))
 	}
-	return emitters, closeAll, nil
+	if csvPath != "" {
+		f, err := runner.CreateOutput(csvPath, force)
+		if err != nil {
+			closeAll()
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+		emitters = append(emitters, runner.NewCSV(f))
+	}
+	return emitters, salvaged, closeAll, nil
 }
 
 // runSpec runs the trials of one resolved scenario spec on the
-// work-stealing runner and prints the trial summary.
-func runSpec(s *spec.ScenarioSpec, p scenario.Params, trials int, seed int64, seedSet bool, workers int, quiet bool, emitters []runner.Emitter) error {
+// work-stealing runner and prints the trial summary. A shard runs only its
+// slice of the trial list; salvaged records from a resumed JSONL skip
+// their jobs and fold back into the printed summary.
+func runSpec(s *spec.ScenarioSpec, p scenario.Params, trials int, seed int64, seedSet bool, workers int, quiet bool, shard runner.ShardSpec, salvaged []runner.Record, emitters []runner.Emitter) error {
 	if seedSet {
 		p.Seed = seed
 	}
@@ -212,14 +275,35 @@ func runSpec(s *spec.ScenarioSpec, p scenario.Params, trials int, seed int64, se
 	fmt.Fprintf(os.Stderr, "spec %s: %s, %d nodes, %.0fx%.0f m, %v, mobility=%s traffic=%s propagation=%s, %d trials\n",
 		name, p.Protocol, p.Nodes, p.Terrain.Width, p.Terrain.Height, p.Duration,
 		s.Mobility.Model, orDefault(s.Traffic.Model, "cbr"), orDefault(s.Radio.Propagation, "unit-disk"), trials)
+	jobs := runner.TrialJobs(p, trials)
+	jobs = shard.Select(jobs)
+	if len(salvaged) > 0 {
+		jobs = runner.ResumeJobs(jobs, salvaged, os.Stderr)
+	}
 	opts := runner.Options{Workers: workers, Emitters: emitters}
 	if !quiet {
 		opts.Progress = os.Stderr
 	}
 	start := time.Now()
-	ts, err := runner.Trials(p, trials, opts)
+	results, err := runner.Run(jobs, opts)
 	fmt.Fprintf(os.Stderr, "finished in %v\n\n", time.Since(start).Round(time.Millisecond))
-	fmt.Print(experiments.TrialReport(name, ts))
+	if len(salvaged) > 0 {
+		// Fold the salvaged trials back in so the summary covers the whole
+		// trial set, not just the jobs this process re-ran.
+		recs := append([]runner.Record{}, salvaged...)
+		for i, j := range jobs {
+			recs = append(recs, runner.NewRecord(j, results[i]))
+		}
+		for i, ts := range experiments.Groups(recs) {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(experiments.TrialReport(name, ts))
+		}
+	} else {
+		ts := scenario.TrialSet{Protocol: p.Protocol, Pause: p.Pause, Results: results}
+		fmt.Print(experiments.TrialReport(name, ts))
+	}
 	if err != nil {
 		return fmt.Errorf("per-trial streaming failed (summary above is complete): %w", err)
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -75,6 +76,82 @@ func TestReproducesSweepByteIdentically(t *testing.T) {
 	}
 }
 
+// TestShardUnionByteIdentical is the acceptance gate of sharded sweeps:
+// split the same grid across 2 and then 4 shard processes, merge the
+// shards' JSONL through slranalyze, and require output byte-identical to
+// the single-process sweep's analysis — no duplicates, no missing cells,
+// no stderr complaints.
+func TestShardUnionByteIdentical(t *testing.T) {
+	protos := []scenario.ProtocolName{scenario.SRP, scenario.OLSR}
+	dir := t.TempDir()
+	sweepTo := func(path string, shard runner.ShardSpec) {
+		t.Helper()
+		var buf bytes.Buffer
+		_, err := experiments.SweepOpts(experiments.Small, protos, 1, experiments.SweepOptions{
+			Shard:    shard,
+			Emitters: []runner.Emitter{runner.NewJSONL(&buf)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	analyze := func(args []string) (string, string) {
+		t.Helper()
+		var out, errw bytes.Buffer
+		if err := run(args, strings.NewReader(""), &out, &errw); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		return out.String(), errw.String()
+	}
+
+	single := filepath.Join(dir, "single.jsonl")
+	sweepTo(single, runner.ShardSpec{})
+	want, errw := analyze([]string{"-in", single, "-scale", "small"})
+	if errw != "" {
+		t.Fatalf("single-process analysis wrote stderr:\n%s", errw)
+	}
+
+	for _, shards := range []int{2, 4} {
+		args := []string{"-scale", "small"}
+		for i := 1; i <= shards; i++ {
+			path := filepath.Join(dir, fmt.Sprintf("shard%d-of-%d.jsonl", i, shards))
+			sweepTo(path, runner.ShardSpec{Index: i, Count: shards})
+			args = append(args, "-in", path)
+		}
+		got, errw := analyze(args)
+		if got != want {
+			t.Errorf("%d-shard merge differs from single-process analysis:\n--- merged ---\n%s--- single ---\n%s",
+				shards, got, want)
+		}
+		if errw != "" {
+			t.Errorf("%d-shard merge wrote stderr (dups? missing cells?):\n%s", shards, errw)
+		}
+	}
+
+	// Feeding one shard twice alongside the rest must dedup (with a stderr
+	// note), not double that shard's weight in every mean.
+	args := []string{"-scale", "small",
+		"-in", filepath.Join(dir, "shard1-of-2.jsonl"),
+		"-in", filepath.Join(dir, "shard1-of-2.jsonl"),
+		"-in", filepath.Join(dir, "shard2-of-2.jsonl")}
+	got, errw := analyze(args)
+	if got != want {
+		t.Errorf("double-fed shard changed the analysis:\n%s", got)
+	}
+	if !strings.Contains(errw, "duplicate records dropped") {
+		t.Errorf("double-fed shard not reported:\n%s", errw)
+	}
+
+	// A lost shard: the analysis proceeds but the holes are named.
+	_, errw = analyze([]string{"-scale", "small", "-in", filepath.Join(dir, "shard1-of-2.jsonl")})
+	if !strings.Contains(errw, "cells deviate") {
+		t.Errorf("missing shard not reported:\n%s", errw)
+	}
+}
+
 // TestTrialsReportFromStdin covers the scale-free grouping path on a
 // hand-built JSONL stream fed through stdin, out of trial order.
 func TestTrialsReportFromStdin(t *testing.T) {
@@ -106,5 +183,10 @@ func TestBadInputs(t *testing.T) {
 	}
 	if err := run(nil, strings.NewReader(""), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
 		t.Error("empty input accepted")
+	}
+	// A doubled "-" would silently read a drained stdin the second time.
+	if err := run([]string{"-in", "-", "-in", "-"},
+		strings.NewReader(`{"protocol":"SRP","pause_seconds":0}`+"\n"), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("duplicate stdin input accepted")
 	}
 }

@@ -8,12 +8,18 @@
 // -pparam name=value (repeatable) overrides one protocol constant using
 // the same vocabulary as the spec's "protocol_params" section.
 //
+// -jsonl streams one record per trial, the same schema the sweep binary
+// writes; -shard i/n runs a deterministic 1/n slice of the trial list,
+// and -resume continues an interrupted -jsonl, re-running only missing
+// trials. Existing non-empty output needs -resume or -force.
+//
 // Example:
 //
 //	slrsim -protocol SRP -nodes 100 -pause 0 -flows 30 -duration 900s -seed 1
 //	slrsim -spec examples/scenarios/manhattan-500.json -trials 1
 //	slrsim -spec paper-default -protocol AODV
 //	slrsim -protocol AODV -pparam rreq_retries=4 -pparam ttl_0=35
+//	slrsim -spec paper-default -trials 10 -shard 2/2 -jsonl shard2.jsonl
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -58,7 +65,12 @@ func run(args []string) error {
 		check     = fs.Bool("check", false, "verify loop-freedom invariant during the run")
 		trials    = fs.Int("trials", 1, "independent trials (seeds seed..seed+trials-1)")
 		specArg   = fs.String("spec", "", "scenario spec (path or built-in name) as the baseline; explicit flags override it")
+		jsonlOut  = fs.String("jsonl", "", "stream per-trial results as JSON lines to this file")
+		resume    = fs.Bool("resume", false, "resume an interrupted -jsonl run: skip trials already recorded, append the rest")
+		force     = fs.Bool("force", false, "overwrite an existing non-empty -jsonl output")
 	)
+	var shard runner.ShardSpec
+	fs.Var(&shard, "shard", "run only shard `i/n` (1-based) of the trial list")
 	protoParams := routing.ParamsFlag{}
 	fs.Var(protoParams, "pparam", "protocol parameter override `name=value` (repeatable); keys follow the spec's protocol_params vocabulary")
 	if err := fs.Parse(args); err != nil {
@@ -157,11 +169,69 @@ func run(args []string) error {
 		return err
 	}
 
-	ts, err := runner.Trials(p, *trials, runner.Options{})
-	if err != nil {
-		return err
+	if *resume && *jsonlOut == "" {
+		return fmt.Errorf("-resume needs -jsonl: the JSONL stream is the checkpoint it salvages")
 	}
-	for _, r := range ts.Results {
+	jobs := runner.TrialJobs(p, *trials)
+	jobs = shard.Select(jobs)
+	var emitters []runner.Emitter
+	var salvaged []runner.Record
+	if *jsonlOut != "" {
+		if *resume {
+			// slrsim runs one configuration; salvaged records from another
+			// (a different -protocol or -pause) can only mean the wrong
+			// file. Refuse BEFORE OpenJSONLOutput repairs or truncates the
+			// tail — a refused file must stay byte-for-byte untouched.
+			// (cmd/experiments' spec mode instead splits mixed groups.)
+			if err := checkResumable(*jsonlOut, p, *trials); err != nil {
+				return err
+			}
+		}
+		recs, f, err := runner.OpenJSONLOutput(*jsonlOut, *resume, *force, os.Stderr)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		salvaged = recs
+		if *resume {
+			jobs = runner.ResumeJobs(jobs, salvaged, os.Stderr)
+		}
+		emitters = append(emitters, runner.NewJSONL(f))
+	}
+	// An emitter failure (e.g. disk full under -jsonl) must not discard
+	// computed trials: print the metrics, then report the error.
+	results, emitErr := runner.Run(jobs, runner.Options{Emitters: emitters})
+	var salvagedAt []bool // parallel to results after the fold
+	if len(salvaged) > 0 {
+		// Fold the salvaged trials back in, seed (= trial) order, so the
+		// printed metrics cover the whole trial set, not just the jobs
+		// this process re-ran. A hand-concatenated file can repeat a
+		// trial; dedup like every other merge path. Provenance rides along
+		// by position, not seed — a shifted -seed resume can give a fresh
+		// trial the same seed value as a salvaged one.
+		salvaged, _ = runner.DedupRecords(salvaged)
+		type trial struct {
+			res      scenario.Result
+			salvaged bool
+		}
+		combined := make([]trial, 0, len(salvaged)+len(results))
+		for _, rec := range salvaged {
+			combined = append(combined, trial{rec.Result(), true})
+		}
+		for _, r := range results {
+			combined = append(combined, trial{r, false})
+		}
+		// Stable so equal seeds keep a deterministic print order.
+		sort.SliceStable(combined, func(i, j int) bool { return combined[i].res.Seed < combined[j].res.Seed })
+		results = make([]scenario.Result, len(combined))
+		salvagedAt = make([]bool, len(combined))
+		for i, t := range combined {
+			results[i] = t.res
+			salvagedAt[i] = t.salvaged
+		}
+	}
+	ts := scenario.TrialSet{Protocol: p.Protocol, Pause: p.Pause, Results: results}
+	for i, r := range ts.Results {
 		fmt.Printf("protocol=%s seed=%d pause=%v\n", r.Protocol, r.Seed, r.Pause)
 		fmt.Printf("  delivery ratio  %.4f  (%d/%d)\n", r.DeliveryRatio, r.DataRecv, r.DataSent)
 		fmt.Printf("  network load    %.4f  (%d control packets)\n", r.NetworkLoad, r.ControlTx)
@@ -173,24 +243,62 @@ func run(args []string) error {
 			fmt.Printf("  max denominator %d\n", r.MaxDenom)
 		}
 		if p.CheckInvariants {
+			if i < len(salvagedAt) && salvagedAt[i] {
+				// Records carry no loop-check counters: a salvaged trial
+				// was not re-checked, and must not read as checked-clean.
+				fmt.Printf("  loop checks     n/a (salvaged trial, not re-checked)\n")
+				continue
+			}
 			fmt.Printf("  loop checks     %d (%d violations)\n", r.LoopChecks, len(r.LoopErrors))
 			for _, e := range r.LoopErrors {
 				fmt.Printf("    VIOLATION %s\n", e)
 			}
 		}
 	}
-	if *trials > 1 {
+	if len(ts.Results) > 1 {
+		n := len(ts.Results)
 		deliv := ts.Series(func(r scenario.Result) float64 { return r.DeliveryRatio })
 		load := ts.Series(func(r scenario.Result) float64 { return r.NetworkLoad })
 		lat := ts.Series(func(r scenario.Result) float64 { return r.Latency })
 		fmt.Printf("mean over %d trials: deliv %.4f±%.4f  load %.4f±%.4f  latency %.4f±%.4f",
-			*trials, deliv.Mean(), deliv.CI(), load.Mean(), load.CI(), lat.Mean(), lat.CI())
+			n, deliv.Mean(), deliv.CI(), load.Mean(), load.CI(), lat.Mean(), lat.CI())
 		if load.NaNs > 0 {
 			// Zero-delivery trials have no load ratio; say the sample
 			// shrank instead of printing a mean that looks measured.
-			fmt.Printf("  (load n/a in %d of %d trials)", load.NaNs, *trials)
+			fmt.Printf("  (load n/a in %d of %d trials)", load.NaNs, n)
 		}
 		fmt.Println()
+	}
+	if emitErr != nil {
+		return fmt.Errorf("per-trial streaming failed (metrics above are complete): %w", emitErr)
+	}
+	return nil
+}
+
+// checkResumable reads the file without modifying it and refuses a resume
+// whose salvageable records come from a different configuration than p's
+// trial list: another protocol or pause, or seeds outside [p.Seed,
+// p.Seed+trials). slrsim runs exactly one configuration, so such records
+// can only mean the wrong file or the wrong flags. A missing file is a
+// cold start; salvage damage is left for ResumeJSONL's own refuse/repair
+// logic. The extra read-and-parse before ResumeJSONL re-reads the file is
+// the price of refusing BEFORE anything is truncated or repaired.
+func checkResumable(path string, p scenario.Params, trials int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	recs, _, _ := runner.SalvageRecords(f)
+	for _, rec := range recs {
+		if rec.Protocol != string(p.Protocol) || rec.PauseSeconds != p.Pause.Seconds() {
+			return fmt.Errorf("%s holds a %s pause=%gs record, but this run is %s pause=%gs; not resumable with these flags",
+				path, rec.Protocol, rec.PauseSeconds, p.Protocol, p.Pause.Seconds())
+		}
+		if rec.Seed < p.Seed || rec.Seed >= p.Seed+int64(trials) {
+			return fmt.Errorf("%s holds a seed=%d record, but this run covers seeds %d..%d; not resumable with these flags",
+				path, rec.Seed, p.Seed, p.Seed+int64(trials)-1)
+		}
 	}
 	return nil
 }

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -68,5 +71,82 @@ func TestRunSpecWithFlagOverrides(t *testing.T) {
 func TestRunSpecUnknown(t *testing.T) {
 	if err := run([]string{"-spec", "no-such-spec"}); err == nil {
 		t.Fatal("unknown spec accepted")
+	}
+}
+
+// TestRunJSONLShardResume drives the slrsim streaming path: -jsonl
+// refuses to clobber, -shard writes only its slice, and -resume completes
+// a truncated stream without re-running salvaged trials.
+func TestRunJSONLShardResume(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{
+		"-protocol", "SRP", "-nodes", "8", "-width", "500", "-height", "250",
+		"-duration", "5s", "-flows", "2", "-trials", "2",
+	}
+	out := filepath.Join(dir, "out.jsonl")
+	if err := run(append(base, "-jsonl", out)); err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Count(golden, []byte("\n")) != 2 {
+		t.Fatalf("want 2 records:\n%s", golden)
+	}
+
+	if err := run(append(base, "-jsonl", out)); err == nil || !strings.Contains(err.Error(), "-force") {
+		t.Fatalf("clobber not refused: %v", err)
+	}
+	if err := run(append(base, "-jsonl", out, "-force")); err != nil {
+		t.Fatalf("-force: %v", err)
+	}
+	if err := run(append(base, "-resume")); err == nil {
+		t.Fatal("-resume without -jsonl accepted")
+	}
+
+	shard := filepath.Join(dir, "shard2.jsonl")
+	if err := run(append(base, "-shard", "2/2", "-jsonl", shard)); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(shard); bytes.Count(b, []byte("\n")) != 1 {
+		t.Fatalf("shard 2/2 of 2 trials should hold exactly 1 record:\n%s", b)
+	}
+
+	// A salvaged file from a different configuration must be refused, not
+	// silently averaged into this run's summary — and refused before any
+	// repair touches it, so the refused file stays byte-identical.
+	preRefuse, _ := os.ReadFile(out)
+	mismatch := append([]string{}, base...)
+	mismatch[1] = "AODV"
+	if err := run(append(mismatch, "-resume", "-jsonl", out)); err == nil || !strings.Contains(err.Error(), "not resumable") {
+		t.Fatalf("cross-protocol resume: %v", err)
+	}
+	if postRefuse, _ := os.ReadFile(out); !bytes.Equal(postRefuse, preRefuse) {
+		t.Fatal("refused cross-protocol resume modified the file")
+	}
+
+	// So must a resume whose seed range no longer covers the file's
+	// records (slrsim is single-configuration; that can only be a mixup).
+	if err := run(append(base, "-seed", "9", "-resume", "-jsonl", out)); err == nil || !strings.Contains(err.Error(), "not resumable") {
+		t.Fatalf("shifted-seed resume: %v", err)
+	}
+
+	// Truncate mid-second-record and resume: the salvaged first line must
+	// survive untouched and the file end up with both trials exactly once.
+	cut := bytes.IndexByte(golden, '\n') + 1
+	trunc := filepath.Join(dir, "trunc.jsonl")
+	if err := os.WriteFile(trunc, golden[:cut+10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(base, "-resume", "-jsonl", trunc)); err != nil {
+		t.Fatal(err)
+	}
+	resumed, _ := os.ReadFile(trunc)
+	if !bytes.HasPrefix(resumed, golden[:cut]) {
+		t.Fatalf("resume rewrote the salvaged record:\n%s", resumed)
+	}
+	if bytes.Count(resumed, []byte("\n")) != 2 {
+		t.Fatalf("resumed file should hold exactly 2 records:\n%s", resumed)
 	}
 }

@@ -18,7 +18,17 @@
 // internal/runner flattens the whole (protocol x pause x trial) grid into
 // one job queue consumed by a work-stealing worker pool, streaming
 // per-trial JSONL/CSV results as they complete. Identical seeds give
-// identical results whatever the worker count.
+// identical results whatever the worker count — which is what lets a
+// sweep span processes and crashes: -shard i/n runs a disjoint
+// round-robin slice of the flattened jobs on each of n machines, -resume
+// salvages the complete records of an interrupted JSONL (truncating a
+// half-written tail) and re-runs only the trials whose identity key
+// (protocol, pause, trial, seed) is absent, and cmd/slranalyze merges
+// any number of shard files — de-duplicated on that key, short cells
+// reported — into analysis output byte-identical to a single-process
+// sweep. A failing emitter is disabled at its first error so the sweep
+// finishes on the healthy sinks, and non-empty outputs are never
+// clobbered without -resume or -force.
 //
 // Workloads are declarative: internal/spec loads versioned JSON scenario
 // files (see examples/scenarios/) that select every model by name from a

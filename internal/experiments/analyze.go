@@ -59,12 +59,19 @@ func trialSet(proto scenario.ProtocolName, pause sim.Time, recs []runner.Record)
 // duration maps each record's pause seconds back to the grid's pause
 // fraction, and its node/flow counts label the tables.
 //
+// Records may be the concatenation of several files — shard outputs, a
+// resumed file plus its pre-crash predecessor: trials that repeat an
+// identity key are dropped (first occurrence wins; determinism makes the
+// copies identical), and Grid.MissingCells afterwards names any cells the
+// merge left short.
+//
 // Every rendered table is byte-identical to the one the live Sweep
 // printed, whatever order the records arrived in (see sortTrials). The
 // second return value holds records whose pause time matches no pause
 // fraction at this scale (wrong -scale, or a single-spec run): they are
 // left out of the grid, never silently folded into the wrong cell.
 func GridFromRecords(s Scale, recs []runner.Record) (*Grid, []runner.Record) {
+	recs, _ = runner.DedupRecords(recs)
 	// Pause seconds survive the float64→JSON→float64 round trip exactly
 	// (the encoder emits the shortest representation that parses back to
 	// the same value), so fractions match by equality, not tolerance.
@@ -89,7 +96,10 @@ func GridFromRecords(s Scale, recs []runner.Record) (*Grid, []runner.Record) {
 	seen := make(map[scenario.ProtocolName]bool)
 	for pt, cellRecs := range byPoint {
 		sortTrials(cellRecs)
-		g.cells[pt] = trialSet(pt.proto, sim.Time(pt.pause*float64(s.Duration)), cellRecs)
+		pause := sim.Time(pt.pause * float64(s.Duration))
+		for _, rec := range cellRecs {
+			g.addResult(pt, rec.Trial, pt.proto, pause, rec.Result())
+		}
 		seen[pt.proto] = true
 	}
 	for p := range seen {
@@ -102,8 +112,11 @@ func GridFromRecords(s Scale, recs []runner.Record) (*Grid, []runner.Record) {
 // Groups splits records into per-(protocol, pause) trial sets for
 // analyses that need no grid geometry (single-spec runs, ad-hoc pause
 // times). Sets come back in protocol order (see protoLess) and ascending
-// pause, trials in trial/seed order within each set.
+// pause, trials in trial/seed order within each set. Like GridFromRecords
+// it accepts concatenated shard/resume streams: repeated identity keys
+// are dropped, first occurrence wins.
 func Groups(recs []runner.Record) []scenario.TrialSet {
+	recs, _ = runner.DedupRecords(recs)
 	type key struct {
 		proto scenario.ProtocolName
 		pause float64

@@ -189,6 +189,92 @@ func TestGridFromRecordsReconstruction(t *testing.T) {
 	}
 }
 
+// TestGridFromRecordsDedupsShardOverlap verifies a double-fed shard (the
+// same file concatenated twice, or an overlapping resume) collapses to one
+// copy of each trial on the identity key instead of doubling every CI's
+// sample.
+func TestGridFromRecordsDedupsShardOverlap(t *testing.T) {
+	s := Small
+	pauseSec := (sim.Time(PauseFractions[0] * float64(s.Duration))).Seconds()
+	load := 1.5
+	mk := func(trial int, seed int64) runner.Record {
+		return runner.Record{
+			Protocol: "SRP", PauseSeconds: pauseSec, Trial: trial, Seed: seed,
+			DeliveryRatio: 0.9, NetworkLoad: &load, Schema: runner.RecordSchema,
+		}
+	}
+	recs := []runner.Record{mk(0, 1), mk(1, 2), mk(0, 1), mk(1, 2), mk(0, 1)}
+	g, leftover := GridFromRecords(s, recs)
+	if len(leftover) != 0 {
+		t.Fatalf("leftover = %+v", leftover)
+	}
+	if cell := g.Cell(scenario.SRP, PauseFractions[0]); len(cell.Results) != 2 {
+		t.Fatalf("duplicated records inflated the cell to %d trials, want 2", len(cell.Results))
+	}
+
+	groups := Groups(recs)
+	if len(groups) != 1 || len(groups[0].Results) != 2 {
+		t.Fatalf("Groups did not dedup: %+v", groups)
+	}
+}
+
+// TestMissingCells verifies the merge check names exactly the holes a
+// lost shard leaves and stays quiet on a complete grid.
+func TestMissingCells(t *testing.T) {
+	g := fullGrid(Small)
+	if missing := g.MissingCells(); len(missing) != 0 {
+		t.Fatalf("complete grid reports missing cells: %v", missing)
+	}
+	pt := point{scenario.AODV, PauseFractions[1]}
+	ts := g.cells[pt]
+	ts.Results = ts.Results[:1]
+	g.cells[pt] = ts
+	delete(g.cells, point{scenario.OLSR, PauseFractions[0]})
+	missing := g.MissingCells()
+	if len(missing) != 2 {
+		t.Fatalf("missing = %v, want 2 entries", missing)
+	}
+	wantAODV := "AODV pause=" + g.Scale.PauseLabel(PauseFractions[1]) + "s: 1/2 trials"
+	if missing[0] != wantAODV || missing[1] != "OLSR pause=0s: 0/2 trials" {
+		t.Fatalf("missing = %v, want [%q, %q]", missing, wantAODV, "OLSR pause=0s: 0/2 trials")
+	}
+
+	// An over-full cell — records merged from sweeps with different seeds
+	// carry distinct identity keys, so they pile up instead of
+	// deduplicating — is an anomaly too, not a quietly tightened CI.
+	g = fullGrid(Small)
+	pt = point{scenario.SRP, PauseFractions[0]}
+	ts = g.cells[pt]
+	ts.Results = append(ts.Results, cellResult(scenario.SRP, 99, 0.9, 1, 0))
+	g.cells[pt] = ts
+	excess := g.MissingCells()
+	if len(excess) != 1 || excess[0] != "SRP pause=0s: 3/2 trials (excess: mixed sweeps?)" {
+		t.Fatalf("excess = %v", excess)
+	}
+}
+
+// TestGridJSONPartialCellTrialNumbers verifies JSON() stamps the real
+// trial numbers on a partial (sharded/resumed) grid — the trial is part of
+// the record identity key, so defaulting to the slice index would forge
+// records that never ran and break cross-file dedup.
+func TestGridJSONPartialCellTrialNumbers(t *testing.T) {
+	s := Small
+	pauseSec := (sim.Time(PauseFractions[0] * float64(s.Duration))).Seconds()
+	load := 1.0
+	rec := runner.Record{
+		Protocol: "SRP", PauseSeconds: pauseSec, Trial: 1, Seed: 2,
+		DeliveryRatio: 0.9, NetworkLoad: &load, Schema: runner.RecordSchema,
+	}
+	g, _ := GridFromRecords(s, []runner.Record{rec})
+	runs := g.JSON().Runs
+	if len(runs) != 1 || runs[0].Trial != 1 {
+		t.Fatalf("partial-cell JSON runs = %+v, want the real trial number 1", runs)
+	}
+	if runs[0].Key() != rec.Key() {
+		t.Fatalf("identity key changed through Grid.JSON: %+v vs %+v", runs[0].Key(), rec.Key())
+	}
+}
+
 // TestLatencyPercentileTable verifies the new table merges per-trial
 // histograms and renders bucket-bound percentiles.
 func TestLatencyPercentileTable(t *testing.T) {

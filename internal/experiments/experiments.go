@@ -106,6 +106,25 @@ type Grid struct {
 	Scale  Scale
 	Protos []scenario.ProtocolName
 	cells  map[point]scenario.TrialSet
+	// trials holds each cell's trial numbers, parallel to its Results. A
+	// full single-process sweep makes it redundant (slice index == trial),
+	// but a sharded or resumed run fills cells partially, and JSON() must
+	// stamp the real trial number — it is part of the record identity key.
+	trials map[point][]int
+}
+
+// addResult appends one trial to its cell, tracking its trial number.
+func (g *Grid) addResult(pt point, trial int, proto scenario.ProtocolName, pause sim.Time, r scenario.Result) {
+	ts, ok := g.cells[pt]
+	if !ok {
+		ts = scenario.TrialSet{Protocol: proto, Pause: pause}
+	}
+	ts.Results = append(ts.Results, r)
+	g.cells[pt] = ts
+	if g.trials == nil {
+		g.trials = make(map[point][]int)
+	}
+	g.trials[pt] = append(g.trials[pt], trial)
 }
 
 // SweepOptions configures a sweep beyond its grid coordinates.
@@ -117,6 +136,14 @@ type SweepOptions struct {
 	Progress io.Writer
 	// Emitters stream every completed trial (JSONL/CSV) as it finishes.
 	Emitters []runner.Emitter
+	// Shard restricts the sweep to one deterministic slice of the
+	// flattened job grid (see runner.ShardSpec) so cooperating processes
+	// split the work; the zero value runs everything.
+	Shard runner.ShardSpec
+	// SkipDone drops jobs whose identity key is present before anything
+	// runs — the resume path feeds it runner.KeySet of the records
+	// salvaged from an interrupted sweep's JSONL.
+	SkipDone map[runner.Key]bool
 }
 
 // Sweep runs the whole grid across all CPUs. Progress lines go to w (pass
@@ -134,15 +161,26 @@ func Sweep(s Scale, protos []scenario.ProtocolName, seed int64, w io.Writer) *Gr
 // Results are identical to running every point through the serial
 // scenario.RunTrials. The error is the first emitter failure, if any; the
 // grid is complete either way.
+//
+// With opts.Shard or opts.SkipDone set, only the selected slice of the
+// grid runs and the returned Grid holds just those trials; merge the
+// emitted JSONL shards through GridFromRecords (cmd/slranalyze) to
+// reconstruct the full grid.
 func SweepOpts(s Scale, protos []scenario.ProtocolName, seed int64, opts SweepOptions) (*Grid, error) {
 	g := &Grid{Scale: s, Protos: protos, cells: make(map[point]scenario.TrialSet)}
 	jobs := runner.GridJobs(protos, PauseFractions, s.Trials, seed, s.Params)
+	jobs = opts.Shard.Select(jobs)
+	jobs = runner.SkipCompleted(jobs, opts.SkipDone)
 
-	// Per-point completion tracking for the progress lines.
+	// Per-point completion tracking for the progress lines; a shard or a
+	// resume runs fewer trials per point than the scale's nominal count.
 	remaining := make(map[point]int, len(protos)*len(PauseFractions))
+	total := make(map[point]int, len(remaining))
 	sums := make(map[point]float64, len(remaining))
 	for _, j := range jobs {
-		remaining[point{j.Params.Protocol, j.PauseFrac}]++
+		pt := point{j.Params.Protocol, j.PauseFrac}
+		remaining[pt]++
+		total[pt]++
 	}
 	start := time.Now()
 	onResult := func(j runner.Job, r scenario.Result) {
@@ -154,7 +192,7 @@ func SweepOpts(s Scale, protos []scenario.ProtocolName, seed int64, opts SweepOp
 		remaining[pt]--
 		if remaining[pt] == 0 {
 			fmt.Fprintf(opts.Progress, "%-4s pause=%4ss deliv=%.3f (%d trials, %v elapsed)\n",
-				pt.proto, s.PauseLabel(pt.pause), sums[pt]/float64(s.Trials), s.Trials,
+				pt.proto, s.PauseLabel(pt.pause), sums[pt]/float64(total[pt]), total[pt],
 				time.Since(start).Round(time.Millisecond))
 		}
 	}
@@ -169,13 +207,7 @@ func SweepOpts(s Scale, protos []scenario.ProtocolName, seed int64, opts SweepOp
 	// in seed order.
 	for i, j := range jobs {
 		pt := point{j.Params.Protocol, j.PauseFrac}
-		ts, ok := g.cells[pt]
-		if !ok {
-			ts = scenario.TrialSet{Protocol: j.Params.Protocol, Pause: j.Params.Pause,
-				Results: make([]scenario.Result, 0, s.Trials)}
-		}
-		ts.Results = append(ts.Results, results[i])
-		g.cells[pt] = ts
+		g.addResult(pt, j.Trial, j.Params.Protocol, j.Params.Pause, results[i])
 	}
 	return g, err
 }
@@ -547,17 +579,53 @@ func (g *Grid) JSON() JSONReport {
 	}
 	for _, proto := range g.Protos {
 		for _, pf := range PauseFractions {
-			ts, ok := g.cells[point{proto, pf}]
+			pt := point{proto, pf}
+			ts, ok := g.cells[pt]
 			if !ok {
 				continue
 			}
 			for i, r := range ts.Results {
-				// Results sit in trial (seed) order, so the slice index
-				// is the trial number the runner stamped at flatten time.
+				// A full sweep's results sit in trial (seed) order, so the
+				// slice index is the trial number; partial cells (a shard,
+				// a resume) carry their real trial numbers in g.trials —
+				// the trial is part of the record identity key, so a
+				// default of i would forge keys that never ran.
+				trial := i
+				if nums := g.trials[pt]; i < len(nums) {
+					trial = nums[i]
+				}
 				rep.Runs = append(rep.Runs, runner.NewRecord(
-					runner.Job{Trial: i, PauseFrac: pf}, r))
+					runner.Job{Trial: trial, PauseFrac: pf}, r))
 			}
 		}
 	}
 	return rep
+}
+
+// MissingCells lists the grid cells whose trial count deviates from what
+// the scale expects, one human-readable line per anomaly — the merge
+// check for sharded sweeps: a complete union of shards reports none, a
+// lost shard or an unfinished resume names exactly the holes, and an
+// over-full cell (more trials than the scale has seeds for) flags records
+// merged from different sweeps — distinct seeds give distinct identity
+// keys, so mixing a -seed 2 shard into a -seed 1 sweep doubles cells
+// instead of deduplicating, silently tightening every CI. Protocols are
+// judged against the grid's own protocol set (a deliberately filtered
+// analysis is not "missing" the filtered protocols).
+func (g *Grid) MissingCells() []string {
+	var out []string
+	for _, p := range g.Protos {
+		for _, pf := range PauseFractions {
+			n := len(g.cells[point{p, pf}].Results)
+			switch {
+			case n < g.Scale.Trials:
+				out = append(out, fmt.Sprintf("%s pause=%ss: %d/%d trials",
+					p, g.Scale.PauseLabel(pf), n, g.Scale.Trials))
+			case n > g.Scale.Trials:
+				out = append(out, fmt.Sprintf("%s pause=%ss: %d/%d trials (excess: mixed sweeps?)",
+					p, g.Scale.PauseLabel(pf), n, g.Scale.Trials))
+			}
+		}
+	}
+	return out
 }

@@ -162,10 +162,11 @@ func TestByteIdenticalReplayAcrossWorkers(t *testing.T) {
 			const trials = 4
 			serial := jsonlBytes(t, scenario.RunTrials(p, trials))
 			for _, workers := range []int{1, 4} {
-				ts, err := runner.Trials(p, trials, runner.Options{Workers: workers})
+				results, err := runner.Run(runner.TrialJobs(p, trials), runner.Options{Workers: workers})
 				if err != nil {
 					t.Fatal(err)
 				}
+				ts := scenario.TrialSet{Protocol: p.Protocol, Pause: p.Pause, Results: results}
 				if got := jsonlBytes(t, ts); !bytes.Equal(got, serial) {
 					t.Fatalf("workers=%d records differ from serial reference:\n%s\nvs\n%s",
 						workers, got, serial)

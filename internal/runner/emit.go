@@ -244,19 +244,15 @@ func (e *JSONLEmitter) Emit(j Job, r scenario.Result) error {
 // Flush flushes buffered lines.
 func (e *JSONLEmitter) Flush() error { return e.bw.Flush() }
 
-// ReadRecords decodes a JSONL stream of Records (blank lines skipped).
+// ReadRecords decodes a JSONL stream of Records, one newline-terminated
+// record per line (blank lines skipped). On damaged input it returns the
+// complete records before the damage along with the error — the same
+// salvage semantics every reader shares (see SalvageRecords); strict
+// callers treat any error as fatal, salvage-aware ones (cmd/slranalyze,
+// the resume path) analyze what came back.
 func ReadRecords(r io.Reader) ([]Record, error) {
-	var out []Record
-	dec := json.NewDecoder(r)
-	for {
-		var rec Record
-		if err := dec.Decode(&rec); err == io.EOF {
-			return out, nil
-		} else if err != nil {
-			return out, err
-		}
-		out = append(out, rec)
-	}
+	recs, _, err := SalvageRecords(r)
+	return recs, err
 }
 
 // csvHeader lists the CSV columns, matching Record field order. The

@@ -1,0 +1,315 @@
+package runner
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ErrTruncatedTail marks a salvage error caused by a final line cut off
+// before its newline — the signature a killed writer leaves, as opposed to
+// a complete line that is not a record at all (which suggests the file was
+// never sweep JSONL).
+var ErrTruncatedTail = errors.New("truncated tail")
+
+// ErrMissingNewline marks the narrower kill artifact of a final record
+// whose bytes all arrived but whose terminating newline did not. The
+// record itself is whole and usable for analysis (SalvageRecords returns
+// it); only appending is unsafe until the newline is restored, which
+// ResumeJSONL repairs in place instead of re-running the trial.
+var ErrMissingNewline = errors.New("final record missing its newline")
+
+// Key identifies one trial across processes: the (protocol, pause, trial,
+// seed) coordinates that are fixed at flatten time and serialized into
+// every Record. Because trials are deterministic, two records with the
+// same Key hold the same measurements, so the key is what sharded sweeps
+// de-duplicate on and what resume uses to skip already-completed jobs.
+//
+// Pause is in seconds, exactly as serialized: float64 values survive the
+// JSON round trip bit for bit (the encoder emits the shortest
+// representation that parses back to the same value), so keys built from a
+// Job and from its re-read Record always compare equal.
+type Key struct {
+	Protocol string
+	Pause    float64
+	Trial    int
+	Seed     int64
+}
+
+// Key returns the job's identity key.
+func (j Job) Key() Key {
+	return Key{
+		Protocol: string(j.Params.Protocol),
+		Pause:    j.Params.Pause.Seconds(),
+		Trial:    j.Trial,
+		Seed:     j.Params.Seed,
+	}
+}
+
+// Key returns the record's identity key.
+func (r Record) Key() Key {
+	return Key{Protocol: r.Protocol, Pause: r.PauseSeconds, Trial: r.Trial, Seed: r.Seed}
+}
+
+// KeySet collects the identity keys of completed records.
+func KeySet(recs []Record) map[Key]bool {
+	if len(recs) == 0 {
+		return nil
+	}
+	done := make(map[Key]bool, len(recs))
+	for _, rec := range recs {
+		done[rec.Key()] = true
+	}
+	return done
+}
+
+// SkipCompleted drops jobs whose identity key is in done — the resume
+// filter: feed it the keys salvaged from an existing JSONL output and only
+// the missing trials run.
+func SkipCompleted(jobs []Job, done map[Key]bool) []Job {
+	if len(done) == 0 {
+		return jobs
+	}
+	out := make([]Job, 0, len(jobs))
+	for _, j := range jobs {
+		if !done[j.Key()] {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// DedupRecords drops records whose identity key was already seen, keeping
+// the first occurrence, and reports how many were dropped. Merging shard
+// outputs or a resumed file with its own partial predecessor can repeat a
+// trial; determinism makes the copies identical, so keeping the first is
+// lossless.
+// Dedup runs on every merge path (often redundantly, as a cheap
+// invariant), so the no-duplicates case returns the input slice as is.
+func DedupRecords(recs []Record) ([]Record, int) {
+	seen := make(map[Key]bool, len(recs))
+	out := recs
+	dropped := 0
+	for i, rec := range recs {
+		k := rec.Key()
+		if seen[k] {
+			if dropped == 0 {
+				out = append([]Record(nil), recs[:i]...)
+			}
+			dropped++
+			continue
+		}
+		seen[k] = true
+		if dropped > 0 {
+			out = append(out, rec)
+		}
+	}
+	return out, dropped
+}
+
+// SalvageRecords reads a JSONL stream of Records, tolerating the damage a
+// killed or failing writer leaves behind. It returns every usable record
+// (one parseable JSON object per line; blank lines skipped), the byte
+// offset just past the last newline-terminated record — the safe point
+// for appending — and an error describing the first damage: a line cut
+// off mid-record (ErrTruncatedTail), a final record missing only its
+// newline (ErrMissingNewline; the record IS returned, it just cannot be
+// appended after as-is), a line that is no record at all, or an I/O
+// failure. A nil error means the stream was clean JSONL to EOF.
+func SalvageRecords(r io.Reader) (recs []Record, clean int64, err error) {
+	br := bufio.NewReader(r)
+	for {
+		line, rerr := br.ReadBytes('\n')
+		complete := rerr == nil
+		if rerr != nil && rerr != io.EOF {
+			return recs, clean, rerr
+		}
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) > 0 {
+			var rec Record
+			if uerr := json.Unmarshal(trimmed, &rec); uerr != nil {
+				if complete {
+					return recs, clean, fmt.Errorf("line after %d complete records: %w", len(recs), uerr)
+				}
+				if trimmed[0] != '{' {
+					// Every record starts with '{', so any cut-off record's
+					// remnant does too; an unterminated tail that does not
+					// is foreign content (a notes file, binary junk), not a
+					// killed writer — refuse rather than truncate it away.
+					return recs, clean, fmt.Errorf("unterminated line is no record prefix after %d complete records", len(recs))
+				}
+				return recs, clean, fmt.Errorf("%w: record cut off after %d complete records", ErrTruncatedTail, len(recs))
+			}
+			if rec.Protocol == "" {
+				// Any JSON object unmarshals into a Record; one without the
+				// mandatory protocol field is some other file's line, and
+				// "salvaging" it would let resume append sweep records into
+				// an unrelated JSONL file. The line having parsed in full
+				// proves it is foreign content, not a cut-off record — even
+				// when the final newline is missing — so this is never the
+				// killed-writer signature.
+				return recs, clean, fmt.Errorf("line after %d complete records: JSON object is not a sweep record (no protocol field)", len(recs))
+			}
+			if !complete {
+				recs = append(recs, rec)
+				return recs, clean, fmt.Errorf("%w after %d newline-terminated records (writer killed between record and newline)", ErrMissingNewline, len(recs)-1)
+			}
+			recs = append(recs, rec)
+		}
+		if complete {
+			clean += int64(len(line))
+			continue
+		}
+		return recs, clean, nil // clean EOF (any trailing whitespace is harmless)
+	}
+}
+
+// ResumeJSONL opens a JSONL output for resumption: it salvages the
+// complete records already present, truncates away any partial tail a
+// killed writer left (dropped reports how many bytes), and returns the
+// file positioned so the next write appends a fresh record. A missing file
+// starts an empty sweep. The caller owns closing f.
+//
+// Feed the records' KeySet to SkipCompleted and attach NewJSONL(f) to the
+// runner: only the missing trials run, and the file converges to the same
+// set of records a never-interrupted sweep would have written.
+func ResumeJSONL(path string) (recs []Record, f *os.File, dropped int64, err error) {
+	f, err = os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err == nil {
+		_, err = f.Seek(0, io.SeekStart)
+	}
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	recs, clean, serr := SalvageRecords(f)
+	switch {
+	case serr == nil || errors.Is(serr, ErrTruncatedTail):
+		// Clean file, or a tail cut off mid-record: truncate to the last
+		// newline-terminated record and re-run the cut-off trial.
+	case errors.Is(serr, ErrMissingNewline):
+		// The final record is whole — only its terminator was lost. Write
+		// the newline back instead of discarding a deterministic trial.
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			f.Close()
+			return nil, nil, 0, err
+		}
+		if _, err := f.WriteString("\n"); err != nil {
+			f.Close()
+			return nil, nil, 0, err
+		}
+		return recs, f, 0, nil
+	default:
+		// Damage without a killed-writer signature — a complete line that
+		// is no record — is not what resume repairs: the file is either not
+		// a sweep output at all (a CSV, a log) or a sweep with garbage
+		// spliced mid-file, where truncating at the damage would destroy
+		// every good record after it. Refuse and leave the file untouched.
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("%s: %v; not a resumable JSONL sweep (fix or remove the damaged line first)", path, serr)
+	}
+	if clean < size {
+		if err := f.Truncate(clean); err != nil {
+			f.Close()
+			return nil, nil, 0, err
+		}
+	}
+	if _, err := f.Seek(clean, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	return recs, f, size - clean, nil
+}
+
+// ErrWouldClobber marks a CheckClobber refusal, so callers can
+// distinguish "the file has data" from I/O errors when adding hints.
+var ErrWouldClobber = errors.New("refusing to overwrite")
+
+// CheckClobber returns an ErrWouldClobber error if path holds data and
+// force is not set — the guard behind every results output: overwriting
+// hours of sweep output because a flag pointed at the wrong path should
+// be an explicit decision, not a silent truncation. Callers that rewrite
+// the file late (e.g. a -json report written after the sweep) call this
+// up front so the refusal lands before any compute is spent.
+func CheckClobber(path string, force bool) error {
+	if !force {
+		if fi, err := os.Stat(path); err == nil && fi.Size() > 0 {
+			return fmt.Errorf("%w: %s already holds %d bytes; use -force to overwrite", ErrWouldClobber, path, fi.Size())
+		}
+	}
+	return nil
+}
+
+// CreateOutput creates a results file behind the CheckClobber guard.
+func CreateOutput(path string, force bool) (*os.File, error) {
+	if err := CheckClobber(path, force); err != nil {
+		return nil, err
+	}
+	return os.Create(path)
+}
+
+// ResumeJobs is the one resume filter both CLIs run: it drops the jobs
+// whose identity key the salvaged records already cover and reports the
+// split to w (stderr), so the binaries cannot drift on skip semantics or
+// messaging. Salvaged records that match no job of this run mean the
+// flags drifted from the ones that wrote the file (a different -seed,
+// -trials, or -shard): every trial still re-runs and appends, but the
+// file and any folded summary then mix two sweeps, so that is warned, not
+// silent.
+func ResumeJobs(jobs []Job, salvaged []Record, w io.Writer) []Job {
+	salvaged, _ = DedupRecords(salvaged)
+	done := KeySet(salvaged)
+	before := len(jobs)
+	jobs = SkipCompleted(jobs, done)
+	skipped := before - len(jobs)
+	fmt.Fprintf(w, "resume: %d of %d jobs already complete, running %d\n",
+		skipped, before, len(jobs))
+	if skipped < len(done) {
+		fmt.Fprintf(w, "resume: warning: %d salvaged records match no job of this run (different -seed, -trials, or -shard than the file was written with?); the output now mixes sweeps\n",
+			len(done)-skipped)
+	}
+	return jobs
+}
+
+// OpenJSONLOutput is the one way the CLIs open a -jsonl stream: with
+// resume it salvages the file via ResumeJSONL and reports what it found
+// to w (stderr), otherwise it creates the file through the CreateOutput
+// clobber guard. Keeping both binaries on this helper keeps their
+// failure semantics and messaging from drifting apart.
+//
+// Resume trusts the identity key alone: records carry no topology or
+// traffic fingerprint, so resuming with different scenario parameters
+// (node count, duration, ...) but the same key coordinates would silently
+// accept the old records as done. Resume a file only with the flags that
+// produced it.
+func OpenJSONLOutput(path string, resume, force bool, w io.Writer) ([]Record, *os.File, error) {
+	if !resume {
+		f, err := CreateOutput(path, force)
+		if errors.Is(err, ErrWouldClobber) {
+			// Only on a JSONL clobber refusal is -resume an alternative:
+			// the stream can be continued, where CSV and report outputs
+			// can only be overwritten. Other errors (bad directory,
+			// permissions) would hit -resume all the same.
+			err = fmt.Errorf("%w (or -resume to continue the sweep)", err)
+		}
+		return nil, f, err
+	}
+	recs, f, dropped, err := ResumeJSONL(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Fprintf(w, "resume %s: %d complete records salvaged", path, len(recs))
+	if dropped > 0 {
+		fmt.Fprintf(w, " (%d bytes of truncated tail dropped)", dropped)
+	}
+	fmt.Fprintln(w)
+	return recs, f, nil
+}

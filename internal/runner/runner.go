@@ -82,7 +82,10 @@ type Options struct {
 	// Progress receives one line per completed trial; nil is silent.
 	Progress io.Writer
 	// Emitters receive every completed trial in completion order. Calls
-	// are serialized by the runner; emitters need no internal locking.
+	// are serialized by the runner; emitters need no internal locking. An
+	// emitter that returns an error is disabled — no further Emit or Flush
+	// calls — while the sweep finishes on the healthy sinks; Run returns
+	// the first error.
 	Emitters []Emitter
 	// OnResult, if set, observes every completed trial in completion
 	// order, serialized like Emitters.
@@ -169,12 +172,26 @@ func steal(spans []span, self int, unclaimed *atomic.Int64) (int, bool) {
 // Run executes every job and returns results in job order. Worker count,
 // stealing, and completion order never affect the results, only the
 // wall-clock time and the order sinks observe trials. The returned error
-// is the first Emitter error, if any; results are complete either way.
+// is the first Emitter error, if any; results are complete either way. A
+// failed emitter (full disk, closed pipe) is disabled after its first
+// error instead of being hammered with every remaining trial — which
+// would interleave partial lines into the very file a resume later needs
+// to salvage — and the other emitters keep streaming.
 func Run(jobs []Job, opts Options) ([]scenario.Result, error) {
 	n := len(jobs)
 	results := make([]scenario.Result, n)
 	if n == 0 {
-		return results, nil
+		// Zero jobs is a real outcome now that shard slices and resume
+		// filters feed Run: emitters still get their Flush so an empty
+		// sweep leaves a parseable artifact (e.g. the CSV header row),
+		// never a zero-byte file.
+		var sinkErr error
+		for _, e := range opts.Emitters {
+			if err := e.Flush(); err != nil && sinkErr == nil {
+				sinkErr = err
+			}
+		}
+		return results, sinkErr
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -195,6 +212,7 @@ func Run(jobs []Job, opts Options) ([]scenario.Result, error) {
 		unclaimed atomic.Int64
 		sinkMu    sync.Mutex
 		sinkErr   error
+		failed    = make([]bool, len(opts.Emitters))
 		start     = time.Now()
 	)
 	unclaimed.Store(int64(n))
@@ -205,9 +223,15 @@ func Run(jobs []Job, opts Options) ([]scenario.Result, error) {
 		}
 		sinkMu.Lock()
 		defer sinkMu.Unlock()
-		for _, e := range opts.Emitters {
-			if err := e.Emit(jobs[i], results[i]); err != nil && sinkErr == nil {
-				sinkErr = err
+		for ei, e := range opts.Emitters {
+			if failed[ei] {
+				continue
+			}
+			if err := e.Emit(jobs[i], results[i]); err != nil {
+				failed[ei] = true
+				if sinkErr == nil {
+					sinkErr = err
+				}
 			}
 		}
 		if opts.OnResult != nil {
@@ -241,18 +265,13 @@ func Run(jobs []Job, opts Options) ([]scenario.Result, error) {
 	}
 	wg.Wait()
 
-	for _, e := range opts.Emitters {
+	for ei, e := range opts.Emitters {
+		if failed[ei] {
+			continue
+		}
 		if err := e.Flush(); err != nil && sinkErr == nil {
 			sinkErr = err
 		}
 	}
 	return results, sinkErr
-}
-
-// Trials runs `trials` independent runs of p (seeds p.Seed, p.Seed+1, ...)
-// with work stealing and returns them in seed order: the parallel
-// equivalent of scenario.RunTrials.
-func Trials(p scenario.Params, trials int, opts Options) (scenario.TrialSet, error) {
-	results, err := Run(TrialJobs(p, trials), opts)
-	return scenario.TrialSet{Protocol: p.Protocol, Pause: p.Pause, Results: results}, err
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"reflect"
 	"strings"
 	"sync/atomic"
@@ -75,13 +76,13 @@ func TestRunnerMatchesSerial(t *testing.T) {
 		const trials = 5
 		serial := scenario.RunTrials(p, trials)
 		for _, workers := range []int{1, 2, 7} {
-			ts, err := Trials(p, trials, Options{Workers: workers})
+			results, err := Run(TrialJobs(p, trials), Options{Workers: workers})
 			if err != nil {
 				t.Fatalf("%s workers=%d: %v", proto, workers, err)
 			}
-			if !reflect.DeepEqual(serial.Results, ts.Results) {
+			if !reflect.DeepEqual(serial.Results, results) {
 				t.Fatalf("%s workers=%d: results diverge from serial path\nserial: %+v\nrunner: %+v",
-					proto, workers, serial.Results, ts.Results)
+					proto, workers, serial.Results, results)
 			}
 		}
 	}
@@ -107,6 +108,15 @@ func TestRunEmptyJobList(t *testing.T) {
 	results, err := Run(nil, Options{})
 	if err != nil || len(results) != 0 {
 		t.Fatalf("Run(nil) = %v, %v", results, err)
+	}
+	// A zero-job run (an out-of-range shard slice, a fully-resumed file)
+	// still flushes emitters: the CSV gets its header row, not 0 bytes.
+	var buf bytes.Buffer
+	if _, err := Run(nil, Options{Emitters: []Emitter{NewCSV(&buf)}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "protocol,") {
+		t.Fatalf("empty run left an unflushed CSV: %q", buf.String())
 	}
 }
 
@@ -162,6 +172,57 @@ func TestSinksObserveEveryTrial(t *testing.T) {
 	}
 	if rows[0][0] != "protocol" || len(rows[0]) != len(csvHeader) {
 		t.Fatalf("csv header = %v", rows[0])
+	}
+}
+
+// countingEmitter fails every Emit after `failAt` calls and records how
+// often the runner keeps knocking.
+type countingEmitter struct {
+	emits, flushes int
+	failAt         int
+}
+
+func (e *countingEmitter) Emit(Job, scenario.Result) error {
+	e.emits++
+	if e.failAt > 0 && e.emits >= e.failAt {
+		return errors.New("sink broke")
+	}
+	return nil
+}
+
+func (e *countingEmitter) Flush() error {
+	e.flushes++
+	return nil
+}
+
+// TestEmitterDisabledAfterFirstError is the failure-path regression test:
+// a broken sink (full disk, closed pipe) must be abandoned after its first
+// error — not hammered with every remaining trial, interleaving partial
+// lines — while healthy sinks keep streaming and the sweep completes.
+func TestEmitterDisabledAfterFirstError(t *testing.T) {
+	jobs := TrialJobs(tinyParams(scenario.SRP, 70), 4)
+	broken := &countingEmitter{failAt: 2}
+	healthy := &countingEmitter{}
+	results, err := Run(jobs, Options{
+		Workers:  2,
+		Emitters: []Emitter{broken, healthy},
+	})
+	if err == nil || err.Error() != "sink broke" {
+		t.Fatalf("Run error = %v, want the sink's first error", err)
+	}
+	if broken.emits != 2 {
+		t.Fatalf("broken emitter saw %d Emit calls after failing on its 2nd, want exactly 2", broken.emits)
+	}
+	if broken.flushes != 0 {
+		t.Fatalf("broken emitter was flushed %d times after failing", broken.flushes)
+	}
+	if healthy.emits != len(jobs) || healthy.flushes != 1 {
+		t.Fatalf("healthy emitter saw %d emits / %d flushes, want %d / 1", healthy.emits, healthy.flushes, len(jobs))
+	}
+	for i, r := range results {
+		if r.DataSent == 0 {
+			t.Fatalf("results[%d] looks unrun despite emitter failure: %+v", i, r)
+		}
 	}
 }
 

@@ -1,0 +1,79 @@
+package runner
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ShardSpec selects one deterministic slice of a flattened job list so N
+// cooperating processes (or machines) can split a sweep: shard i of n keeps
+// the jobs at positions i-1, i-1+n, i-1+2n, ... Round-robin by position —
+// not contiguous blocks — so every shard sees the same mix of protocols and
+// pause times and the shards finish in comparable wall-clock time.
+//
+// Because every job carries fully seeded Params fixed at flatten time, the
+// union of the n shards' results is record-for-record identical (up to
+// completion order) to a single-process sweep of the same grid; see
+// cmd/slranalyze for merging the shards' JSONL back into one analysis.
+//
+// The zero value selects everything. ShardSpec implements flag.Value, so
+// CLIs bind it directly: -shard 2/4.
+type ShardSpec struct {
+	Index int // 1-based shard number, 1 <= Index <= Count
+	Count int // total shards; 0 means unsharded
+}
+
+// ParseShard parses "i/n" (1-based, e.g. "2/4").
+func ParseShard(s string) (ShardSpec, error) {
+	i, n, ok := strings.Cut(s, "/")
+	if !ok {
+		return ShardSpec{}, fmt.Errorf("shard %q: want i/n, e.g. 2/4", s)
+	}
+	idx, err := strconv.Atoi(strings.TrimSpace(i))
+	if err != nil {
+		return ShardSpec{}, fmt.Errorf("shard %q: bad index: %v", s, err)
+	}
+	cnt, err := strconv.Atoi(strings.TrimSpace(n))
+	if err != nil {
+		return ShardSpec{}, fmt.Errorf("shard %q: bad count: %v", s, err)
+	}
+	if cnt < 1 || idx < 1 || idx > cnt {
+		return ShardSpec{}, fmt.Errorf("shard %q: want 1 <= i <= n", s)
+	}
+	return ShardSpec{Index: idx, Count: cnt}, nil
+}
+
+// String renders the spec back to its flag form ("" when unsharded).
+func (s ShardSpec) String() string {
+	if s.Count == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}
+
+// Set implements flag.Value.
+func (s *ShardSpec) Set(v string) error {
+	parsed, err := ParseShard(v)
+	if err != nil {
+		return err
+	}
+	*s = parsed
+	return nil
+}
+
+// Select returns this shard's slice of jobs, by flattened position. The
+// zero spec — and any spec without a valid 1-based index, which
+// ParseShard would never produce — returns jobs unchanged rather than
+// panicking; shards of the same count are disjoint and their union is the
+// full list.
+func (s ShardSpec) Select(jobs []Job) []Job {
+	if s.Count <= 1 || s.Index < 1 || s.Index > s.Count {
+		return jobs
+	}
+	out := make([]Job, 0, (len(jobs)+s.Count-1)/s.Count)
+	for i := s.Index - 1; i < len(jobs); i += s.Count {
+		out = append(out, jobs[i])
+	}
+	return out
+}

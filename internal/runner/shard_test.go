@@ -1,0 +1,82 @@
+package runner
+
+import (
+	"testing"
+
+	"slr/internal/scenario"
+)
+
+func TestParseShard(t *testing.T) {
+	for _, tc := range []struct {
+		in        string
+		want      ShardSpec
+		wantError bool
+	}{
+		{"1/1", ShardSpec{1, 1}, false},
+		{"2/4", ShardSpec{2, 4}, false},
+		{" 3 / 3 ", ShardSpec{3, 3}, false},
+		{"0/4", ShardSpec{}, true},
+		{"5/4", ShardSpec{}, true},
+		{"1/0", ShardSpec{}, true},
+		{"-1/-1", ShardSpec{}, true},
+		{"2", ShardSpec{}, true},
+		{"a/b", ShardSpec{}, true},
+		{"", ShardSpec{}, true},
+	} {
+		got, err := ParseShard(tc.in)
+		if (err != nil) != tc.wantError || got != tc.want {
+			t.Errorf("ParseShard(%q) = %+v, %v; want %+v, error=%v", tc.in, got, err, tc.want, tc.wantError)
+		}
+	}
+	// flag.Value round trip.
+	var s ShardSpec
+	if err := s.Set("2/4"); err != nil || s.String() != "2/4" {
+		t.Errorf("Set/String round trip: %+v, %v", s, err)
+	}
+	if (ShardSpec{}).String() != "" {
+		t.Errorf("zero value should render empty")
+	}
+}
+
+// TestShardSelectPartition verifies the shards of any count are disjoint,
+// cover every job, and preserve flatten order — the property that makes
+// the union of shard outputs record-for-record equal to one process's.
+func TestShardSelectPartition(t *testing.T) {
+	jobs := TrialJobs(tinyParams(scenario.SRP, 100), 11)
+	if got := (ShardSpec{}).Select(jobs); len(got) != len(jobs) {
+		t.Fatalf("zero spec selected %d of %d jobs", len(got), len(jobs))
+	}
+	if got := (ShardSpec{1, 1}).Select(jobs); len(got) != len(jobs) {
+		t.Fatalf("1/1 selected %d of %d jobs", len(got), len(jobs))
+	}
+	for _, count := range []int{2, 3, 4, 11, 16} {
+		claimed := map[int]int{}
+		for idx := 1; idx <= count; idx++ {
+			part := ShardSpec{idx, count}.Select(jobs)
+			last := -1
+			for _, j := range part {
+				claimed[j.Index]++
+				if j.Index <= last {
+					t.Fatalf("shard %d/%d out of order: %d after %d", idx, count, j.Index, last)
+				}
+				last = j.Index
+			}
+		}
+		for i := range jobs {
+			if claimed[i] != 1 {
+				t.Fatalf("count=%d: job %d claimed %d times", count, i, claimed[i])
+			}
+		}
+	}
+	// More shards than jobs: the extras are empty, the union still covers.
+	if got := (ShardSpec{16, 16}).Select(jobs[:4]); len(got) != 0 {
+		t.Fatalf("shard 16/16 of 4 jobs = %d jobs, want 0", len(got))
+	}
+	// A hand-built spec with no valid index (ParseShard would reject it)
+	// selects everything instead of panicking on jobs[-1].
+	for _, s := range []ShardSpec{{0, 2}, {3, 2}, {-1, 2}} {
+		if got := s.Select(jobs); len(got) != len(jobs) {
+			t.Fatalf("invalid spec %+v selected %d of %d jobs", s, len(got), len(jobs))
+		}
+	}
+}

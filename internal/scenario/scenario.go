@@ -341,8 +341,8 @@ func (ts *TrialSet) Series(metric func(Result) float64) *metrics.Series {
 //
 // RunTrials is the serial reference path: the work-stealing scheduler in
 // internal/runner must produce byte-identical results for the same seeds,
-// and its regression tests compare against this loop. Use runner.Trials to
-// saturate all cores.
+// and its regression tests compare against this loop. Use
+// runner.Run(runner.TrialJobs(p, trials), opts) to saturate all cores.
 func RunTrials(p Params, trials int) TrialSet {
 	results := make([]Result, trials)
 	for i := range results {
