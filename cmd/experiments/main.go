@@ -42,6 +42,7 @@ import (
 	"slr/internal/experiments"
 	"slr/internal/routing"
 	"slr/internal/runner"
+	"slr/internal/runner/sweepcli"
 	"slr/internal/scenario"
 	"slr/internal/spec"
 )
@@ -64,23 +65,15 @@ func run(args []string) error {
 		quiet     = fs.Bool("quiet", false, "suppress per-run progress output")
 		workers   = fs.Int("workers", 0, "worker goroutines for the sweep (0 = all CPUs)")
 		jsonOut   = fs.String("json", "", "also write the raw grid as JSON to this file")
-		jsonlOut  = fs.String("jsonl", "", "stream per-trial results as JSON lines to this file")
-		csvOut    = fs.String("csv", "", "stream per-trial results as CSV to this file")
-		resume    = fs.Bool("resume", false, "resume an interrupted -jsonl sweep: salvage its complete records, skip their jobs, append only the missing trials")
-		force     = fs.Bool("force", false, "overwrite an existing non-empty -jsonl/-csv output")
 	)
-	var shard runner.ShardSpec
-	fs.Var(&shard, "shard", "run only shard `i/n` (1-based) of the flattened job list; concatenate the shards' JSONL and merge with slranalyze")
+	cli := sweepcli.Register(fs, true)
 	protoParams := routing.ParamsFlag{}
 	fs.Var(protoParams, "pparam", "with -spec: protocol parameter override `name=value` (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *resume && *jsonlOut == "" {
-		return fmt.Errorf("-resume needs -jsonl: the JSONL stream is the checkpoint it salvages")
-	}
-	if *resume && *csvOut != "" {
-		return fmt.Errorf("-resume cannot continue a CSV stream (records are not read back from CSV); resume with -jsonl alone")
+	if err := cli.Validate(); err != nil {
+		return err
 	}
 	if len(protoParams) > 0 && *specArg == "" {
 		return fmt.Errorf("-pparam requires -spec (the paper grid runs every protocol at its published constants)")
@@ -117,12 +110,12 @@ func run(args []string) error {
 				return err
 			}
 		}
-		emitters, salvaged, closeEmitters, err := openEmitters(*jsonlOut, *csvOut, *resume, *force)
+		out, err := cli.Open(os.Stderr)
 		if err != nil {
 			return err
 		}
-		defer closeEmitters()
-		return runSpec(s, p, *trials, *seed, seedSet, *workers, *quiet, shard, salvaged, emitters)
+		defer out.Close()
+		return runSpec(s, p, *trials, *seed, seedSet, *workers, *quiet, cli, out)
 	}
 
 	protos := scenario.AllProtocols
@@ -146,18 +139,18 @@ func run(args []string) error {
 		// clobber now, before hours of compute, not at write time. A
 		// resumed sweep regenerates the report by design, so -resume
 		// authorizes the rewrite like -force does.
-		if err := runner.CheckClobber(*jsonOut, *force || *resume); err != nil {
+		if err := runner.CheckClobber(*jsonOut, cli.Force || cli.Resume); err != nil {
 			return err
 		}
 	}
-	emitters, salvaged, closeEmitters, err := openEmitters(*jsonlOut, *csvOut, *resume, *force)
+	out, err := cli.Open(os.Stderr)
 	if err != nil {
 		return err
 	}
-	defer closeEmitters()
+	defer out.Close()
 	opts := experiments.SweepOptions{
-		Workers: *workers, Emitters: emitters,
-		Shard: shard, SkipDone: runner.KeySet(salvaged),
+		Workers: *workers, Emitters: out.Emitters,
+		Shard: cli.Shard, SkipDone: runner.KeySet(out.Salvaged),
 	}
 	if !*quiet {
 		opts.Progress = os.Stderr
@@ -166,9 +159,9 @@ func run(args []string) error {
 	fmt.Fprintf(os.Stderr, "sweeping %s scale: %d nodes, %d flows, %v, %d trials x %d pauses x %d protocols\n",
 		scale.Name, scale.Nodes, scale.Flows, scale.Duration, scale.Trials,
 		len(experiments.PauseFractions), len(protos))
-	if shard.Count > 1 {
+	if cli.Shard.Count > 1 {
 		fmt.Fprintf(os.Stderr, "shard %s: running a 1/%d slice; merge every shard's JSONL with slranalyze for the full grid\n",
-			shard, shard.Count)
+			cli.Shard, cli.Shard.Count)
 	}
 	start := time.Now()
 	// An emitter failure (e.g. disk full under -jsonl) must not discard a
@@ -176,14 +169,14 @@ func run(args []string) error {
 	grid, sweepErr := experiments.SweepOpts(scale, protos, *seed, opts)
 	fmt.Fprintf(os.Stderr, "sweep finished in %v\n\n", time.Since(start).Round(time.Second))
 
-	if *resume && len(salvaged) > 0 {
+	if cli.Resume && len(out.Salvaged) > 0 {
 		// The tables should cover the whole sweep, not just the trials this
-		// process re-ran: merge the salvaged records with the fresh ones the
-		// same way slranalyze merges shard files (GridFromRecords dedups on
-		// the identity key, though SkipDone already made the sets disjoint).
-		// Reconstructed tables are byte-identical to live ones (see
-		// cmd/slranalyze's tests).
-		merged, leftover := experiments.GridFromRecords(scale, append(salvaged, grid.JSON().Runs...))
+		// process re-ran: merge the salvaged records with the fresh ones
+		// through the shared merge entry point, exactly as slranalyze
+		// merges shard files (dedup on the identity key, though SkipDone
+		// already made the sets disjoint). Reconstructed tables are
+		// byte-identical to live ones (see cmd/slranalyze's tests).
+		merged, leftover := experiments.MergeRecords(append(out.Salvaged, grid.JSON().Runs...)).Grid(scale)
 		if len(leftover) > 0 {
 			fmt.Fprintf(os.Stderr, "%d salvaged records match no %s-scale grid cell (resumed with a different -scale?); left out of the tables\n",
 				len(leftover), scale.Name)
@@ -221,47 +214,11 @@ func run(args []string) error {
 	return nil
 }
 
-// openEmitters creates (or, under -resume, reopens) the requested
-// per-trial stream files and returns any records salvaged from a resumed
-// JSONL. Callers invoke it only after every flag and spec has validated,
-// and an existing non-empty output is never truncated unless -force: a
-// typo elsewhere must not clobber an existing sweep's results.
-func openEmitters(jsonlPath, csvPath string, resume, force bool) ([]runner.Emitter, []runner.Record, func(), error) {
-	var emitters []runner.Emitter
-	var salvaged []runner.Record
-	var files []*os.File
-	closeAll := func() {
-		for _, f := range files {
-			f.Close()
-		}
-	}
-	if jsonlPath != "" {
-		var f *os.File
-		var err error
-		salvaged, f, err = runner.OpenJSONLOutput(jsonlPath, resume, force, os.Stderr)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		files = append(files, f)
-		emitters = append(emitters, runner.NewJSONL(f))
-	}
-	if csvPath != "" {
-		f, err := runner.CreateOutput(csvPath, force)
-		if err != nil {
-			closeAll()
-			return nil, nil, nil, err
-		}
-		files = append(files, f)
-		emitters = append(emitters, runner.NewCSV(f))
-	}
-	return emitters, salvaged, closeAll, nil
-}
-
 // runSpec runs the trials of one resolved scenario spec on the
 // work-stealing runner and prints the trial summary. A shard runs only its
 // slice of the trial list; salvaged records from a resumed JSONL skip
 // their jobs and fold back into the printed summary.
-func runSpec(s *spec.ScenarioSpec, p scenario.Params, trials int, seed int64, seedSet bool, workers int, quiet bool, shard runner.ShardSpec, salvaged []runner.Record, emitters []runner.Emitter) error {
+func runSpec(s *spec.ScenarioSpec, p scenario.Params, trials int, seed int64, seedSet bool, workers int, quiet bool, cli *sweepcli.Flags, out *sweepcli.Outputs) error {
 	if seedSet {
 		p.Seed = seed
 	}
@@ -275,22 +232,18 @@ func runSpec(s *spec.ScenarioSpec, p scenario.Params, trials int, seed int64, se
 	fmt.Fprintf(os.Stderr, "spec %s: %s, %d nodes, %.0fx%.0f m, %v, mobility=%s traffic=%s propagation=%s, %d trials\n",
 		name, p.Protocol, p.Nodes, p.Terrain.Width, p.Terrain.Height, p.Duration,
 		s.Mobility.Model, orDefault(s.Traffic.Model, "cbr"), orDefault(s.Radio.Propagation, "unit-disk"), trials)
-	jobs := runner.TrialJobs(p, trials)
-	jobs = shard.Select(jobs)
-	if len(salvaged) > 0 {
-		jobs = runner.ResumeJobs(jobs, salvaged, os.Stderr)
-	}
-	opts := runner.Options{Workers: workers, Emitters: emitters}
+	jobs := cli.Jobs(runner.TrialJobs(p, trials), out, os.Stderr)
+	opts := runner.Options{Workers: workers, Emitters: out.Emitters}
 	if !quiet {
 		opts.Progress = os.Stderr
 	}
 	start := time.Now()
 	results, err := runner.Run(jobs, opts)
 	fmt.Fprintf(os.Stderr, "finished in %v\n\n", time.Since(start).Round(time.Millisecond))
-	if len(salvaged) > 0 {
+	if len(out.Salvaged) > 0 {
 		// Fold the salvaged trials back in so the summary covers the whole
 		// trial set, not just the jobs this process re-ran.
-		recs := append([]runner.Record{}, salvaged...)
+		recs := append([]runner.Record{}, out.Salvaged...)
 		for i, j := range jobs {
 			recs = append(recs, runner.NewRecord(j, results[i]))
 		}

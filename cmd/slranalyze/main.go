@@ -117,14 +117,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return fmt.Errorf("no records to analyze (after filters)")
 	}
 
+	// One merge for every report shape: grouping, ordering, and dedup all
+	// come from the shared entry point, so this output stays byte-identical
+	// to the live sweep's and to the coordinator's /v1/report.
+	merged := experiments.MergeRecords(recs)
+
 	if *report == "trials" {
-		for i, ts := range experiments.Groups(recs) {
-			if i > 0 {
-				fmt.Fprintln(stdout)
-			}
-			name := fmt.Sprintf("%s pause=%.0fs", ts.Protocol, ts.Pause.Seconds())
-			fmt.Fprint(stdout, experiments.TrialReport(name, ts))
-		}
+		fmt.Fprint(stdout, merged.TrialsReport())
 		return nil
 	}
 
@@ -137,7 +136,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		// check expects what actually ran, not the scale's default.
 		scale.Trials = *trials
 	}
-	grid, leftover := experiments.GridFromRecords(scale, recs)
+	grid, leftover := merged.Grid(scale)
 	if len(leftover) > 0 {
 		fmt.Fprintf(stderr, "slranalyze: %d of %d records match no %s-scale pause time (wrong -scale? try -report trials); analyzing the rest\n",
 			len(leftover), len(recs), scale.Name)

@@ -13,6 +13,11 @@
 // and -resume continues an interrupted -jsonl, re-running only missing
 // trials. Existing non-empty output needs -resume or -force.
 //
+// -worker URL turns the binary into a pull worker for an slrserve
+// coordinator: it leases job batches over /v1, runs them on all local
+// CPUs, and POSTs the records back until the sweep is done. Jobs arrive
+// fully parameterized, so no scenario flag combines with -worker.
+//
 // Example:
 //
 //	slrsim -protocol SRP -nodes 100 -pause 0 -flows 30 -duration 900s -seed 1
@@ -20,6 +25,7 @@
 //	slrsim -spec paper-default -protocol AODV
 //	slrsim -protocol AODV -pparam rreq_retries=4 -pparam ttl_0=35
 //	slrsim -spec paper-default -trials 10 -shard 2/2 -jsonl shard2.jsonl
+//	slrsim -worker http://sweep-host:8356 -batch 4
 package main
 
 import (
@@ -35,8 +41,10 @@ import (
 	"slr/internal/mobility"
 	"slr/internal/routing"
 	"slr/internal/runner"
+	"slr/internal/runner/sweepcli"
 	"slr/internal/scenario"
 	"slr/internal/spec"
+	"slr/internal/sweepd"
 	"slr/internal/traffic"
 )
 
@@ -65,12 +73,14 @@ func run(args []string) error {
 		check     = fs.Bool("check", false, "verify loop-freedom invariant during the run")
 		trials    = fs.Int("trials", 1, "independent trials (seeds seed..seed+trials-1)")
 		specArg   = fs.String("spec", "", "scenario spec (path or built-in name) as the baseline; explicit flags override it")
-		jsonlOut  = fs.String("jsonl", "", "stream per-trial results as JSON lines to this file")
-		resume    = fs.Bool("resume", false, "resume an interrupted -jsonl run: skip trials already recorded, append the rest")
-		force     = fs.Bool("force", false, "overwrite an existing non-empty -jsonl output")
+
+		workerURL  = fs.String("worker", "", "run as a pull worker for the slrserve coordinator at this base `URL`; jobs arrive fully parameterized, so scenario flags do not apply")
+		workerID   = fs.String("worker-id", "", "with -worker: identity reported to the coordinator (default hostname-pid)")
+		batch      = fs.Int("batch", 1, "with -worker: jobs leased per pull")
+		poll       = fs.Duration("poll", 2*time.Second, "with -worker: wait between pulls while every pending job is leased elsewhere")
+		crashLease = fs.Bool("crash-after-lease", false, "with -worker: lease one batch, then exit 137 without acknowledging it (crash injection for lease-expiry tests)")
 	)
-	var shard runner.ShardSpec
-	fs.Var(&shard, "shard", "run only shard `i/n` (1-based) of the trial list")
+	cli := sweepcli.Register(fs, false)
 	protoParams := routing.ParamsFlag{}
 	fs.Var(protoParams, "pparam", "protocol parameter override `name=value` (repeatable); keys follow the spec's protocol_params vocabulary")
 	if err := fs.Parse(args); err != nil {
@@ -78,6 +88,26 @@ func run(args []string) error {
 	}
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if *workerURL != "" {
+		// Worker mode runs whatever the coordinator leases; a scenario or
+		// output flag on the same command line means confusion, not intent.
+		workerFlags := map[string]bool{
+			"worker": true, "worker-id": true, "batch": true, "poll": true,
+			"crash-after-lease": true,
+		}
+		var conflict []string
+		for name := range set {
+			if !workerFlags[name] {
+				conflict = append(conflict, "-"+name)
+			}
+		}
+		if len(conflict) > 0 {
+			sort.Strings(conflict)
+			return fmt.Errorf("-worker mode pulls fully parameterized jobs from the coordinator; %s cannot apply", strings.Join(conflict, " "))
+		}
+		return runWorker(*workerURL, *workerID, *batch, *poll, *crashLease)
+	}
 
 	proto := scenario.ProtocolName(strings.ToUpper(*protoName))
 	if err := routing.Validate(routing.Spec{Name: string(proto)}); err != nil {
@@ -169,38 +199,29 @@ func run(args []string) error {
 		return err
 	}
 
-	if *resume && *jsonlOut == "" {
-		return fmt.Errorf("-resume needs -jsonl: the JSONL stream is the checkpoint it salvages")
+	if err := cli.Validate(); err != nil {
+		return err
 	}
-	jobs := runner.TrialJobs(p, *trials)
-	jobs = shard.Select(jobs)
-	var emitters []runner.Emitter
-	var salvaged []runner.Record
-	if *jsonlOut != "" {
-		if *resume {
-			// slrsim runs one configuration; salvaged records from another
-			// (a different -protocol or -pause) can only mean the wrong
-			// file. Refuse BEFORE OpenJSONLOutput repairs or truncates the
-			// tail — a refused file must stay byte-for-byte untouched.
-			// (cmd/experiments' spec mode instead splits mixed groups.)
-			if err := checkResumable(*jsonlOut, p, *trials); err != nil {
-				return err
-			}
-		}
-		recs, f, err := runner.OpenJSONLOutput(*jsonlOut, *resume, *force, os.Stderr)
-		if err != nil {
+	if cli.Resume {
+		// slrsim runs one configuration; salvaged records from another
+		// (a different -protocol or -pause) can only mean the wrong
+		// file. Refuse BEFORE OpenJSONLOutput repairs or truncates the
+		// tail — a refused file must stay byte-for-byte untouched.
+		// (cmd/experiments' spec mode instead splits mixed groups.)
+		if err := checkResumable(cli.JSONL, p, *trials); err != nil {
 			return err
 		}
-		defer f.Close()
-		salvaged = recs
-		if *resume {
-			jobs = runner.ResumeJobs(jobs, salvaged, os.Stderr)
-		}
-		emitters = append(emitters, runner.NewJSONL(f))
 	}
+	out, err := cli.Open(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	salvaged := out.Salvaged
+	jobs := cli.Jobs(runner.TrialJobs(p, *trials), out, os.Stderr)
 	// An emitter failure (e.g. disk full under -jsonl) must not discard
 	// computed trials: print the metrics, then report the error.
-	results, emitErr := runner.Run(jobs, runner.Options{Emitters: emitters})
+	results, emitErr := runner.Run(jobs, runner.Options{Emitters: out.Emitters})
 	var salvagedAt []bool // parallel to results after the fold
 	if len(salvaged) > 0 {
 		// Fold the salvaged trials back in, seed (= trial) order, so the
@@ -273,6 +294,30 @@ func run(args []string) error {
 		return fmt.Errorf("per-trial streaming failed (metrics above are complete): %w", emitErr)
 	}
 	return nil
+}
+
+// runWorker pulls and runs leased job batches from an slrserve
+// coordinator until the sweep is done. crash injects the lease-expiry
+// failure the coordinator must tolerate: lease a batch, then die with the
+// kill -9 exit status without acknowledging anything.
+func runWorker(url, id string, batch int, poll time.Duration, crash bool) error {
+	if id == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w := &sweepd.Worker{URL: url, ID: id, Batch: batch, Poll: poll, Progress: os.Stderr}
+	if crash {
+		w.OnLease = func(jobs []runner.Job) error {
+			fmt.Fprintf(os.Stderr, "%s: leased %d jobs, exiting 137 without acknowledging (crash injection)\n", id, len(jobs))
+			os.Exit(137)
+			return nil
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%s: pulling from %s (batch %d)\n", id, url, batch)
+	return w.Run()
 }
 
 // checkResumable reads the file without modifying it and refuses a resume

@@ -2,10 +2,18 @@ package main
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"slr/internal/geo"
+	"slr/internal/runner"
+	"slr/internal/scenario"
+	"slr/internal/sweepd"
+	"slr/internal/traffic"
 )
 
 func TestRunSmallScenario(t *testing.T) {
@@ -148,5 +156,40 @@ func TestRunJSONLShardResume(t *testing.T) {
 	}
 	if bytes.Count(resumed, []byte("\n")) != 2 {
 		t.Fatalf("resumed file should hold exactly 2 records:\n%s", resumed)
+	}
+}
+
+// TestWorkerModeRejectsScenarioFlags: jobs in -worker mode come fully
+// parameterized from the coordinator, so combining -worker with scenario
+// or output flags is a mixup, named flag by flag.
+func TestWorkerModeRejectsScenarioFlags(t *testing.T) {
+	err := run([]string{"-worker", "http://localhost:1", "-protocol", "AODV", "-jsonl", "x.jsonl"})
+	if err == nil || !strings.Contains(err.Error(), "-jsonl") || !strings.Contains(err.Error(), "-protocol") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestWorkerModeDrainsCoordinator runs the real -worker code path
+// against an in-process coordinator and checks the sweep completes.
+func TestWorkerModeDrainsCoordinator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	p := scenario.DefaultParams(scenario.SRP, 0, 1)
+	p.Nodes = 10
+	p.Terrain = geo.Terrain{Width: 500, Height: 250}
+	p.Duration = 5 * time.Second
+	p.Traffic = traffic.Params{Flows: 2, PacketSize: 256, Rate: 4, MeanLife: 10 * time.Second}
+	c, err := sweepd.New(runner.TrialJobs(p, 2), sweepd.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(sweepd.NewHandler(c))
+	defer srv.Close()
+	if err := run([]string{"-worker", srv.URL, "-worker-id", "t", "-batch", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Status(); !st.SweepDone {
+		t.Fatalf("sweep not done after worker exit: %+v", st)
 	}
 }

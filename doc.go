@@ -30,6 +30,20 @@
 // finishes on the healthy sinks, and non-empty outputs are never
 // clobbered without -resume or -force.
 //
+// The same determinism powers sweep-as-a-service: cmd/slrserve is an
+// HTTP/JSON coordinator (internal/sweepd) that owns a sweep's flattened
+// job list and leases identity-keyed job batches to pulling slrsim
+// -worker processes over a versioned /v1 API whose payloads are exactly
+// runner.Job and runner.Record — lease out (POST /v1/lease),
+// acknowledge results as JSONL (POST /v1/records, salvage-validated and
+// de-duplicated on the identity key), watch progress (GET /v1/status),
+// and read the live merged analysis (GET /v1/report). A worker killed
+// mid-batch loses nothing: its lease times out and the jobs return to
+// the pool; every accepted record is checkpointed to the daemon's
+// -jsonl file, which -resume salvages after a coordinator crash. The
+// finished service's report and checkpoint are byte-identical to a
+// single-process sweep of the same flags.
+//
 // Workloads are declarative: internal/spec loads versioned JSON scenario
 // files (see examples/scenarios/) that select every model by name from a
 // registry — routing protocols (SRP, LDR, AODV, DSR, OLSR via

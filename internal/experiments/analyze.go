@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"slr/internal/runner"
@@ -31,8 +33,8 @@ func protoLess(a, b scenario.ProtocolName) bool {
 
 // sortTrials restores the in-process sweep's per-cell ordering — trial
 // number (the seed order), ties broken by seed — on a completion-ordered
-// record stream. Both GridFromRecords and Groups order cells with it, so
-// the byte-identity contract holds for every report shape.
+// record stream. MergeRecords orders every group with it, so the
+// byte-identity contract holds for every report shape.
 func sortTrials(recs []runner.Record) {
 	sort.SliceStable(recs, func(a, b int) bool {
 		if recs[a].Trial != recs[b].Trial {
@@ -42,81 +44,47 @@ func sortTrials(recs []runner.Record) {
 	})
 }
 
-// trialSet converts trial-ordered records into one cell's TrialSet.
-func trialSet(proto scenario.ProtocolName, pause sim.Time, recs []runner.Record) scenario.TrialSet {
-	ts := scenario.TrialSet{Protocol: proto, Pause: pause}
-	for _, rec := range recs {
+// mergeGroup is one (protocol, pause) cell of a Merged record set.
+type mergeGroup struct {
+	proto scenario.ProtocolName
+	pause float64 // seconds, exactly as serialized
+	recs  []runner.Record
+}
+
+// trialSet converts the group's trial-ordered records into a TrialSet.
+func (g mergeGroup) trialSet() scenario.TrialSet {
+	ts := scenario.TrialSet{Protocol: g.proto, Pause: sim.Time(g.pause * float64(time.Second))}
+	for _, rec := range g.recs {
 		ts.Results = append(ts.Results, rec.Result())
 	}
 	return ts
 }
 
-// GridFromRecords reconstructs a sweep Grid from streamed per-trial
-// records (a -jsonl file, a JSONReport's runs), so Table I, the figure
-// tables, the latency percentiles, and the shape report can be
-// regenerated offline — grouping, CIs, and histogram merges included —
-// without re-simulating. The scale must be the one the sweep ran at: its
-// duration maps each record's pause seconds back to the grid's pause
-// fraction, and its node/flow counts label the tables.
+// Merged is a record stream folded into per-(protocol, pause) groups: the
+// one record-merge entry point behind every analysis of streamed trials.
+// cmd/slranalyze's shard merge, the resumed CLI runs that fold salvaged
+// records back into their tables, and the sweep coordinator's live report
+// endpoint (internal/sweepd) all build a Merged first, so grouping,
+// ordering, and dedup semantics cannot drift between them.
 //
-// Records may be the concatenation of several files — shard outputs, a
-// resumed file plus its pre-crash predecessor: trials that repeat an
-// identity key are dropped (first occurrence wins; determinism makes the
-// copies identical), and Grid.MissingCells afterwards names any cells the
-// merge left short.
-//
-// Every rendered table is byte-identical to the one the live Sweep
-// printed, whatever order the records arrived in (see sortTrials). The
-// second return value holds records whose pause time matches no pause
-// fraction at this scale (wrong -scale, or a single-spec run): they are
-// left out of the grid, never silently folded into the wrong cell.
-func GridFromRecords(s Scale, recs []runner.Record) (*Grid, []runner.Record) {
-	recs, _ = runner.DedupRecords(recs)
-	// Pause seconds survive the float64→JSON→float64 round trip exactly
-	// (the encoder emits the shortest representation that parses back to
-	// the same value), so fractions match by equality, not tolerance.
-	fracOf := make(map[float64]float64, len(PauseFractions))
-	for _, pf := range PauseFractions {
-		fracOf[(sim.Time(pf * float64(s.Duration))).Seconds()] = pf
-	}
-
-	byPoint := make(map[point][]runner.Record)
-	var leftover []runner.Record
-	for _, rec := range recs {
-		pf, ok := fracOf[rec.PauseSeconds]
-		if !ok {
-			leftover = append(leftover, rec)
-			continue
-		}
-		pt := point{scenario.ProtocolName(rec.Protocol), pf}
-		byPoint[pt] = append(byPoint[pt], rec)
-	}
-
-	g := &Grid{Scale: s, cells: make(map[point]scenario.TrialSet, len(byPoint))}
-	seen := make(map[scenario.ProtocolName]bool)
-	for pt, cellRecs := range byPoint {
-		sortTrials(cellRecs)
-		pause := sim.Time(pt.pause * float64(s.Duration))
-		for _, rec := range cellRecs {
-			g.addResult(pt, rec.Trial, pt.proto, pause, rec.Result())
-		}
-		seen[pt.proto] = true
-	}
-	for p := range seen {
-		g.Protos = append(g.Protos, p)
-	}
-	sort.Slice(g.Protos, func(i, j int) bool { return protoLess(g.Protos[i], g.Protos[j]) })
-	return g, leftover
+// Construction dedups on the canonical identity key (first occurrence
+// wins; determinism makes the copies identical) and orders groups by
+// protocol (paper order, then name) and ascending pause, trials in
+// trial/seed order within each group — the in-process sweep's ordering,
+// whatever order the records arrived in.
+type Merged struct {
+	// Duplicates counts the records dropped by identity-key dedup —
+	// nonzero when shard files overlap or a file was fed twice.
+	Duplicates int
+	groups     []mergeGroup
 }
 
-// Groups splits records into per-(protocol, pause) trial sets for
-// analyses that need no grid geometry (single-spec runs, ad-hoc pause
-// times). Sets come back in protocol order (see protoLess) and ascending
-// pause, trials in trial/seed order within each set. Like GridFromRecords
-// it accepts concatenated shard/resume streams: repeated identity keys
-// are dropped, first occurrence wins.
-func Groups(recs []runner.Record) []scenario.TrialSet {
-	recs, _ = runner.DedupRecords(recs)
+// MergeRecords folds records — possibly the concatenation of several
+// files: shard outputs, a resumed file plus its pre-crash predecessor, a
+// coordinator's checkpoint — into their merged, deterministically ordered
+// groups.
+func MergeRecords(recs []runner.Record) *Merged {
+	recs, dups := runner.DedupRecords(recs)
 	type key struct {
 		proto scenario.ProtocolName
 		pause float64
@@ -136,10 +104,97 @@ func Groups(recs []runner.Record) []scenario.TrialSet {
 		}
 		return keys[i].pause < keys[j].pause
 	})
-	out := make([]scenario.TrialSet, 0, len(keys))
+	m := &Merged{Duplicates: dups}
 	for _, k := range keys {
 		sortTrials(byKey[k])
-		out = append(out, trialSet(k.proto, sim.Time(k.pause*float64(time.Second)), byKey[k]))
+		m.groups = append(m.groups, mergeGroup{proto: k.proto, pause: k.pause, recs: byKey[k]})
+	}
+	return m
+}
+
+// TrialSets returns the groups as per-(protocol, pause) trial sets for
+// analyses that need no grid geometry (single-spec runs, ad-hoc pause
+// times).
+func (m *Merged) TrialSets() []scenario.TrialSet {
+	out := make([]scenario.TrialSet, 0, len(m.groups))
+	for _, g := range m.groups {
+		out = append(out, g.trialSet())
 	}
 	return out
+}
+
+// Grid maps the groups onto the sweep grid of scale s, so Table I, the
+// figure tables, the latency percentiles, and the shape report can be
+// regenerated offline — grouping, CIs, and histogram merges included —
+// without re-simulating. The scale must be the one the sweep ran at: its
+// duration maps each group's pause seconds back to the grid's pause
+// fraction, and its node/flow counts label the tables.
+//
+// Every rendered table is byte-identical to the one the live Sweep
+// printed. The second return value holds records whose pause time matches
+// no pause fraction at this scale (wrong -scale, or a single-spec run):
+// they are left out of the grid, never silently folded into the wrong
+// cell. Grid.MissingCells afterwards names any cells the merge left
+// short.
+func (m *Merged) Grid(s Scale) (*Grid, []runner.Record) {
+	// Pause seconds survive the float64→JSON→float64 round trip exactly
+	// (the encoder emits the shortest representation that parses back to
+	// the same value), so fractions match by equality, not tolerance.
+	fracOf := make(map[float64]float64, len(PauseFractions))
+	for _, pf := range PauseFractions {
+		fracOf[(sim.Time(pf * float64(s.Duration))).Seconds()] = pf
+	}
+
+	g := &Grid{Scale: s, cells: make(map[point]scenario.TrialSet, len(m.groups))}
+	var leftover []runner.Record
+	seen := make(map[scenario.ProtocolName]bool)
+	for _, grp := range m.groups {
+		pf, ok := fracOf[grp.pause]
+		if !ok {
+			leftover = append(leftover, grp.recs...)
+			continue
+		}
+		pt := point{grp.proto, pf}
+		pause := sim.Time(pf * float64(s.Duration))
+		for _, rec := range grp.recs {
+			g.addResult(pt, rec.Trial, pt.proto, pause, rec.Result())
+		}
+		seen[grp.proto] = true
+	}
+	for p := range seen {
+		g.Protos = append(g.Protos, p)
+	}
+	sort.Slice(g.Protos, func(i, j int) bool { return protoLess(g.Protos[i], g.Protos[j]) })
+	return g, leftover
+}
+
+// TrialsReport renders every group's trial summary, one TrialReport per
+// group separated by blank lines — the "-report trials" text of
+// cmd/slranalyze and the trials view of the coordinator's /v1/report
+// endpoint, byte-identical between the two by construction.
+func (m *Merged) TrialsReport() string {
+	var b strings.Builder
+	for i, g := range m.groups {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		ts := g.trialSet()
+		name := fmt.Sprintf("%s pause=%.0fs", ts.Protocol, ts.Pause.Seconds())
+		b.WriteString(TrialReport(name, ts))
+	}
+	return b.String()
+}
+
+// GridFromRecords reconstructs a sweep Grid from streamed per-trial
+// records (a -jsonl file, a JSONReport's runs); it is
+// MergeRecords(recs).Grid(s), kept for callers that need no other view.
+func GridFromRecords(s Scale, recs []runner.Record) (*Grid, []runner.Record) {
+	return MergeRecords(recs).Grid(s)
+}
+
+// Groups splits records into per-(protocol, pause) trial sets; it is
+// MergeRecords(recs).TrialSets(), kept for callers that need no other
+// view.
+func Groups(recs []runner.Record) []scenario.TrialSet {
+	return MergeRecords(recs).TrialSets()
 }

@@ -140,10 +140,11 @@ type SweepOptions struct {
 	// flattened job grid (see runner.ShardSpec) so cooperating processes
 	// split the work; the zero value runs everything.
 	Shard runner.ShardSpec
-	// SkipDone drops jobs whose identity key is present before anything
-	// runs — the resume path feeds it runner.KeySet of the records
-	// salvaged from an interrupted sweep's JSONL.
-	SkipDone map[runner.Key]bool
+	// SkipDone drops jobs whose canonical identity key (runner.Key.String)
+	// is present before anything runs — the resume path feeds it
+	// runner.KeySet of the records salvaged from an interrupted sweep's
+	// JSONL.
+	SkipDone map[string]bool
 }
 
 // Sweep runs the whole grid across all CPUs. Progress lines go to w (pass

@@ -23,94 +23,6 @@ var ErrTruncatedTail = errors.New("truncated tail")
 // ResumeJSONL repairs in place instead of re-running the trial.
 var ErrMissingNewline = errors.New("final record missing its newline")
 
-// Key identifies one trial across processes: the (protocol, pause, trial,
-// seed) coordinates that are fixed at flatten time and serialized into
-// every Record. Because trials are deterministic, two records with the
-// same Key hold the same measurements, so the key is what sharded sweeps
-// de-duplicate on and what resume uses to skip already-completed jobs.
-//
-// Pause is in seconds, exactly as serialized: float64 values survive the
-// JSON round trip bit for bit (the encoder emits the shortest
-// representation that parses back to the same value), so keys built from a
-// Job and from its re-read Record always compare equal.
-type Key struct {
-	Protocol string
-	Pause    float64
-	Trial    int
-	Seed     int64
-}
-
-// Key returns the job's identity key.
-func (j Job) Key() Key {
-	return Key{
-		Protocol: string(j.Params.Protocol),
-		Pause:    j.Params.Pause.Seconds(),
-		Trial:    j.Trial,
-		Seed:     j.Params.Seed,
-	}
-}
-
-// Key returns the record's identity key.
-func (r Record) Key() Key {
-	return Key{Protocol: r.Protocol, Pause: r.PauseSeconds, Trial: r.Trial, Seed: r.Seed}
-}
-
-// KeySet collects the identity keys of completed records.
-func KeySet(recs []Record) map[Key]bool {
-	if len(recs) == 0 {
-		return nil
-	}
-	done := make(map[Key]bool, len(recs))
-	for _, rec := range recs {
-		done[rec.Key()] = true
-	}
-	return done
-}
-
-// SkipCompleted drops jobs whose identity key is in done — the resume
-// filter: feed it the keys salvaged from an existing JSONL output and only
-// the missing trials run.
-func SkipCompleted(jobs []Job, done map[Key]bool) []Job {
-	if len(done) == 0 {
-		return jobs
-	}
-	out := make([]Job, 0, len(jobs))
-	for _, j := range jobs {
-		if !done[j.Key()] {
-			out = append(out, j)
-		}
-	}
-	return out
-}
-
-// DedupRecords drops records whose identity key was already seen, keeping
-// the first occurrence, and reports how many were dropped. Merging shard
-// outputs or a resumed file with its own partial predecessor can repeat a
-// trial; determinism makes the copies identical, so keeping the first is
-// lossless.
-// Dedup runs on every merge path (often redundantly, as a cheap
-// invariant), so the no-duplicates case returns the input slice as is.
-func DedupRecords(recs []Record) ([]Record, int) {
-	seen := make(map[Key]bool, len(recs))
-	out := recs
-	dropped := 0
-	for i, rec := range recs {
-		k := rec.Key()
-		if seen[k] {
-			if dropped == 0 {
-				out = append([]Record(nil), recs[:i]...)
-			}
-			dropped++
-			continue
-		}
-		seen[k] = true
-		if dropped > 0 {
-			out = append(out, rec)
-		}
-	}
-	return out, dropped
-}
-
 // SalvageRecords reads a JSONL stream of Records, tolerating the damage a
 // killed or failing writer leaves behind. It returns every usable record
 // (one parseable JSON object per line; blank lines skipped), the byte

@@ -1,0 +1,130 @@
+// Package sweepcli is the one implementation of the sweep binaries'
+// shared orchestration surface: the -jsonl/-csv output streams, the
+// -shard slice, and the -resume/-force clobber semantics that
+// cmd/experiments, cmd/slrsim, and cmd/slrserve all expose. Each binary
+// registers the same flags with the same help text, validates them with
+// the same rules, opens outputs through the same clobber/salvage guards
+// (runner.OpenJSONLOutput, runner.CreateOutput), and filters its job list
+// through the same shard/resume pipeline — so the three CLIs cannot
+// drift on failure semantics or messaging.
+package sweepcli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"slr/internal/runner"
+)
+
+// Flags holds the shared sweep flags after parsing. Zero values mean the
+// flag was not given.
+type Flags struct {
+	// JSONL is the -jsonl per-trial stream path ("" = none).
+	JSONL string
+	// CSV is the -csv per-trial stream path; registered only by binaries
+	// that pass withCSV to Register (the CSV stream cannot be resumed, so
+	// worker-style binaries omit it).
+	CSV string
+	// Resume continues an interrupted -jsonl stream instead of refusing
+	// to touch it: salvage its complete records, skip their jobs, append
+	// only the missing trials.
+	Resume bool
+	// Force overwrites an existing non-empty output.
+	Force bool
+	// Shard selects one deterministic 1/n slice of the flattened job
+	// list.
+	Shard runner.ShardSpec
+
+	withCSV bool
+}
+
+// Register binds the shared flags onto fs. withCSV also registers -csv
+// (cmd/experiments streams CSV; the single-run and daemon binaries do
+// not).
+func Register(fs *flag.FlagSet, withCSV bool) *Flags {
+	f := &Flags{withCSV: withCSV}
+	fs.StringVar(&f.JSONL, "jsonl", "", "stream per-trial results as JSON lines to this file")
+	if withCSV {
+		fs.StringVar(&f.CSV, "csv", "", "stream per-trial results as CSV to this file")
+	}
+	fs.BoolVar(&f.Resume, "resume", false, "resume an interrupted -jsonl sweep: salvage its complete records, skip their jobs, append only the missing trials")
+	fs.BoolVar(&f.Force, "force", false, "overwrite an existing non-empty output")
+	fs.Var(&f.Shard, "shard", "run only shard `i/n` (1-based) of the flattened job list; concatenate the shards' JSONL and merge with slranalyze")
+	return f
+}
+
+// Validate enforces the flag combinations every binary rejects the same
+// way.
+func (f *Flags) Validate() error {
+	if f.Resume && f.JSONL == "" {
+		return fmt.Errorf("-resume needs -jsonl: the JSONL stream is the checkpoint it salvages")
+	}
+	if f.Resume && f.CSV != "" {
+		return fmt.Errorf("-resume cannot continue a CSV stream (records are not read back from CSV); resume with -jsonl alone")
+	}
+	return nil
+}
+
+// Outputs holds the opened per-trial streams.
+type Outputs struct {
+	// Salvaged are the complete records recovered from a resumed -jsonl
+	// file (nil on a fresh start).
+	Salvaged []runner.Record
+	// Emitters stream completed trials to every requested output.
+	Emitters []runner.Emitter
+	// JSONLFile is the open -jsonl stream, positioned for appending (nil
+	// without -jsonl). The coordinator daemon checkpoints through it
+	// directly; the sweep binaries use the JSONL Emitter instead.
+	JSONLFile *os.File
+
+	files []*os.File
+}
+
+// Close closes every opened output file.
+func (o *Outputs) Close() {
+	for _, f := range o.files {
+		f.Close()
+	}
+}
+
+// Open creates (or, under -resume, reopens) the requested output streams
+// behind the shared clobber/salvage guards, reporting salvage results to
+// stderr. Callers invoke it only after every flag and spec has validated:
+// an existing non-empty output is never truncated unless -force, and a
+// typo elsewhere must not clobber an existing sweep's results.
+func (f *Flags) Open(stderr io.Writer) (*Outputs, error) {
+	out := &Outputs{}
+	if f.JSONL != "" {
+		recs, jf, err := runner.OpenJSONLOutput(f.JSONL, f.Resume, f.Force, stderr)
+		if err != nil {
+			return nil, err
+		}
+		out.Salvaged = recs
+		out.JSONLFile = jf
+		out.files = append(out.files, jf)
+		out.Emitters = append(out.Emitters, runner.NewJSONL(jf))
+	}
+	if f.CSV != "" {
+		cf, err := runner.CreateOutput(f.CSV, f.Force)
+		if err != nil {
+			out.Close()
+			return nil, err
+		}
+		out.files = append(out.files, cf)
+		out.Emitters = append(out.Emitters, runner.NewCSV(cf))
+	}
+	return out, nil
+}
+
+// Jobs runs the job list through the shared shard/resume pipeline: the
+// -shard slice first, then — under -resume — the skip filter fed by the
+// salvaged records, with the shared progress/warning messages on stderr.
+func (f *Flags) Jobs(jobs []runner.Job, o *Outputs, stderr io.Writer) []runner.Job {
+	jobs = f.Shard.Select(jobs)
+	if f.Resume {
+		jobs = runner.ResumeJobs(jobs, o.Salvaged, stderr)
+	}
+	return jobs
+}

@@ -1,0 +1,146 @@
+package sweepcli
+
+import (
+	"errors"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"slr/internal/geo"
+	"slr/internal/runner"
+	"slr/internal/scenario"
+	"slr/internal/traffic"
+)
+
+func tinyParams(proto scenario.ProtocolName, seed int64) scenario.Params {
+	p := scenario.DefaultParams(proto, 0, seed)
+	p.Nodes = 12
+	p.Terrain = geo.Terrain{Width: 700, Height: 300}
+	p.Duration = 15 * time.Second
+	p.Traffic = traffic.Params{Flows: 3, PacketSize: 512, Rate: 4, MeanLife: 10 * time.Second}
+	return p
+}
+
+// TestRegisterFlagSurface pins the shared flag names: every binary that
+// calls Register exposes exactly this orchestration surface.
+func TestRegisterFlagSurface(t *testing.T) {
+	for _, withCSV := range []bool{false, true} {
+		fs := flag.NewFlagSet("x", flag.ContinueOnError)
+		Register(fs, withCSV)
+		want := []string{"jsonl", "resume", "force", "shard"}
+		if withCSV {
+			want = append(want, "csv")
+		}
+		for _, name := range want {
+			if fs.Lookup(name) == nil {
+				t.Errorf("withCSV=%v: flag -%s not registered", withCSV, name)
+			}
+		}
+		if !withCSV && fs.Lookup("csv") != nil {
+			t.Error("withCSV=false registered -csv anyway")
+		}
+	}
+}
+
+// TestValidateRules pins the shared flag-combination refusals.
+func TestValidateRules(t *testing.T) {
+	if err := (&Flags{Resume: true}).Validate(); err == nil {
+		t.Error("-resume without -jsonl accepted")
+	}
+	if err := (&Flags{Resume: true, JSONL: "a.jsonl", CSV: "a.csv"}).Validate(); err == nil {
+		t.Error("-resume with -csv accepted")
+	}
+	if err := (&Flags{Resume: true, JSONL: "a.jsonl"}).Validate(); err != nil {
+		t.Errorf("valid resume combination refused: %v", err)
+	}
+	if err := (&Flags{}).Validate(); err != nil {
+		t.Errorf("zero flags refused: %v", err)
+	}
+}
+
+// TestOpenClobberGuard verifies Open refuses an existing non-empty
+// output without -resume/-force, leaving the file untouched.
+func TestOpenClobberGuard(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.jsonl")
+	if err := os.WriteFile(path, []byte("{\"protocol\":\"SRP\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f := &Flags{JSONL: path}
+	if _, err := f.Open(io.Discard); !errors.Is(err, runner.ErrWouldClobber) {
+		t.Fatalf("got %v, want ErrWouldClobber", err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil || string(blob) != "{\"protocol\":\"SRP\"}\n" {
+		t.Fatalf("refused file was modified: %q, %v", blob, err)
+	}
+	// -force truncates and starts fresh.
+	ff := &Flags{JSONL: path, Force: true}
+	out, err := ff.Open(io.Discard)
+	if err != nil {
+		t.Fatalf("-force open: %v", err)
+	}
+	defer out.Close()
+	if len(out.Salvaged) != 0 || out.JSONLFile == nil || len(out.Emitters) != 1 {
+		t.Fatalf("force-open outputs: salvaged=%d file=%v emitters=%d",
+			len(out.Salvaged), out.JSONLFile != nil, len(out.Emitters))
+	}
+}
+
+// TestOpenResumeAndJobsPipeline runs the full shared pipeline: a sweep's
+// JSONL is cut mid-record, Open salvages it, and Jobs re-runs only the
+// missing trials after the shard slice.
+func TestOpenResumeAndJobsPipeline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	p := tinyParams(scenario.SRP, 1)
+	jobs := runner.TrialJobs(p, 4)
+
+	// Write records for trials 0 and 2, then a truncated tail.
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := runner.NewJSONL(f)
+	for _, i := range []int{0, 2} {
+		if err := e.Emit(jobs[i], scenario.Result{Protocol: p.Protocol, Pause: jobs[i].Params.Pause, Seed: jobs[i].Params.Seed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"protocol":"SRP","pause_`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cli := &Flags{JSONL: path, Resume: true}
+	if err := cli.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var stderr strings.Builder
+	out, err := cli.Open(&stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if len(out.Salvaged) != 2 {
+		t.Fatalf("salvaged %d records, want 2", len(out.Salvaged))
+	}
+	left := cli.Jobs(jobs, out, &stderr)
+	if len(left) != 2 || left[0].Trial != 1 || left[1].Trial != 3 {
+		t.Fatalf("jobs after resume: %+v", left)
+	}
+	if !strings.Contains(stderr.String(), "2 of 4 jobs already complete") {
+		t.Fatalf("missing shared resume message in %q", stderr.String())
+	}
+
+	// The shard slice applies before the skip filter, like both CLIs.
+	cli.Shard = runner.ShardSpec{Index: 1, Count: 2} // trials 0, 2 — all salvaged
+	if left := cli.Jobs(jobs, out, io.Discard); len(left) != 0 {
+		t.Fatalf("sharded resume left %d jobs, want 0", len(left))
+	}
+}

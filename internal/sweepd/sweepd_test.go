@@ -1,0 +1,421 @@
+package sweepd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"slr/internal/geo"
+	"slr/internal/runner"
+	"slr/internal/scenario"
+	"slr/internal/traffic"
+)
+
+// fakeClock is an injectable, manually advanced clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// tinyParams is the runner tests' fast full-stack scenario.
+func tinyParams(proto scenario.ProtocolName, seed int64) scenario.Params {
+	p := scenario.DefaultParams(proto, 0, seed)
+	p.Nodes = 12
+	p.Terrain = geo.Terrain{Width: 700, Height: 300}
+	p.Duration = 15 * time.Second
+	p.Traffic = traffic.Params{Flows: 3, PacketSize: 512, Rate: 4, MeanLife: 10 * time.Second}
+	return p
+}
+
+// fakeRecord derives the deterministic record a trial of j would produce,
+// without simulating — state-machine tests only care about identity keys
+// and byte equality, and determinism is exactly the property that lets
+// them.
+func fakeRecord(j runner.Job) runner.Record {
+	return runner.Record{
+		Protocol:      string(j.Params.Protocol),
+		PauseSeconds:  j.Params.Pause.Seconds(),
+		Trial:         j.Trial,
+		Seed:          j.Params.Seed,
+		DeliveryRatio: float64(j.Params.Seed%7) / 7,
+		Schema:        runner.RecordSchema,
+	}
+}
+
+func testJobs(t *testing.T, trials int) []runner.Job {
+	t.Helper()
+	return runner.TrialJobs(tinyParams(scenario.SRP, 1), trials)
+}
+
+func keyStrings(recs []runner.Record) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.Key().String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// recordSet renders records as sorted canonical JSON lines, for set
+// equality up to order.
+func recordSet(t *testing.T, recs []runner.Record) []string {
+	t.Helper()
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		blob, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = string(blob)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLeaseExpiryRelease: a leased job is invisible to other workers
+// until its deadline passes, then returns to the pool and re-leases.
+func TestLeaseExpiryRelease(t *testing.T) {
+	clock := newFakeClock()
+	c, err := New(testJobs(t, 1), Options{LeaseTimeout: time.Minute, Now: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, done := c.Lease("w1", 4)
+	if len(batch) != 1 || done {
+		t.Fatalf("w1 lease: %d jobs, done=%v", len(batch), done)
+	}
+	if b2, _ := c.Lease("w2", 4); len(b2) != 0 {
+		t.Fatalf("w2 got %d jobs while w1 holds the lease", len(b2))
+	}
+	clock.Advance(59 * time.Second)
+	if b2, _ := c.Lease("w2", 4); len(b2) != 0 {
+		t.Fatalf("w2 got %d jobs before expiry", len(b2))
+	}
+	clock.Advance(2 * time.Second)
+	b2, done := c.Lease("w2", 4)
+	if len(b2) != 1 || done {
+		t.Fatalf("w2 after expiry: %d jobs, done=%v", len(b2), done)
+	}
+	if b2[0].Key() != batch[0].Key() {
+		t.Fatalf("re-leased job key %v != original %v", b2[0].Key(), batch[0].Key())
+	}
+	st := c.Status()
+	if st.Leased != 1 || st.Pending != 0 || st.Done != 0 || st.Workers != 2 {
+		t.Fatalf("status after re-lease: %+v", st)
+	}
+}
+
+// TestDoubleAckSameKey: acknowledging the same key twice accepts once,
+// counts a duplicate, and checkpoints one line.
+func TestDoubleAckSameKey(t *testing.T) {
+	jobs := testJobs(t, 2)
+	var checkpoint bytes.Buffer
+	c, err := New(jobs, Options{Checkpoint: &checkpoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Lease("w1", 2)
+	rec := fakeRecord(jobs[0])
+	sum, err := c.Ingest([]runner.Record{rec})
+	if err != nil || sum != (IngestSummary{Accepted: 1}) {
+		t.Fatalf("first ack: %+v, %v", sum, err)
+	}
+	sum, err = c.Ingest([]runner.Record{rec})
+	if err != nil || sum != (IngestSummary{Duplicate: 1}) {
+		t.Fatalf("second ack: %+v, %v", sum, err)
+	}
+	recs, rerr := runner.ReadRecords(bytes.NewReader(checkpoint.Bytes()))
+	if rerr != nil || len(recs) != 1 {
+		t.Fatalf("checkpoint holds %d records (%v), want 1", len(recs), rerr)
+	}
+	if st := c.Status(); st.Done != 1 {
+		t.Fatalf("done=%d after double ack, want 1", st.Done)
+	}
+}
+
+// TestLateRecordsFromExpiredLease: the original holder's records arrive
+// after its lease expired and the job was re-leased — accepted once, and
+// the re-leaseholder's copy is the duplicate.
+func TestLateRecordsFromExpiredLease(t *testing.T) {
+	clock := newFakeClock()
+	jobs := testJobs(t, 1)
+	var checkpoint bytes.Buffer
+	c, err := New(jobs, Options{LeaseTimeout: time.Minute, Now: clock.Now, Checkpoint: &checkpoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := c.Lease("w1", 1)
+	clock.Advance(2 * time.Minute)
+	b2, _ := c.Lease("w2", 1)
+	if len(b1) != 1 || len(b2) != 1 {
+		t.Fatalf("leases: w1=%d w2=%d", len(b1), len(b2))
+	}
+	// w1 is not dead after all — its records land first.
+	sum, err := c.Ingest([]runner.Record{fakeRecord(b1[0])})
+	if err != nil || sum != (IngestSummary{Accepted: 1}) {
+		t.Fatalf("late ack from expired lease: %+v, %v", sum, err)
+	}
+	// w2 finishes the re-leased copy: identical bytes, deduped.
+	sum, err = c.Ingest([]runner.Record{fakeRecord(b2[0])})
+	if err != nil || sum != (IngestSummary{Duplicate: 1}) {
+		t.Fatalf("re-leaseholder ack: %+v, %v", sum, err)
+	}
+	st := c.Status()
+	if !st.SweepDone || st.Done != 1 {
+		t.Fatalf("status: %+v", st)
+	}
+	if recs, _ := runner.ReadRecords(bytes.NewReader(checkpoint.Bytes())); len(recs) != 1 {
+		t.Fatalf("checkpoint holds %d records, want 1", len(recs))
+	}
+}
+
+// TestIngestUnknownKey: records matching no job are rejected and never
+// checkpointed.
+func TestIngestUnknownKey(t *testing.T) {
+	jobs := testJobs(t, 1)
+	var checkpoint bytes.Buffer
+	c, err := New(jobs, Options{Checkpoint: &checkpoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := fakeRecord(jobs[0])
+	foreign.Seed += 100 // a differently seeded sweep's record
+	sum, err := c.Ingest([]runner.Record{foreign})
+	if err != nil || sum != (IngestSummary{Unknown: 1}) {
+		t.Fatalf("foreign ingest: %+v, %v", sum, err)
+	}
+	if checkpoint.Len() != 0 {
+		t.Fatalf("foreign record reached the checkpoint: %q", checkpoint.String())
+	}
+}
+
+// TestSalvagedResume: salvaged checkpoint records mark their jobs done
+// before any lease, and foreign salvaged records are counted, not lost.
+func TestSalvagedResume(t *testing.T) {
+	jobs := testJobs(t, 3)
+	foreign := fakeRecord(jobs[0])
+	foreign.Seed += 100
+	c, err := New(jobs, Options{
+		Salvaged: []runner.Record{fakeRecord(jobs[1]), foreign},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Status()
+	if st.Done != 1 || st.Foreign != 1 || st.Total != 3 {
+		t.Fatalf("status after salvage: %+v", st)
+	}
+	batch, _ := c.Lease("w1", 10)
+	if len(batch) != 2 {
+		t.Fatalf("leased %d jobs after salvage, want 2", len(batch))
+	}
+	for _, j := range batch {
+		if j.Key() == jobs[1].Key() {
+			t.Fatal("salvaged job re-leased")
+		}
+	}
+}
+
+// TestDuplicateJobKeysRejected: a job list with two jobs behind one
+// identity key cannot be coordinated.
+func TestDuplicateJobKeysRejected(t *testing.T) {
+	jobs := testJobs(t, 1)
+	if _, err := New(append(jobs, jobs[0]), Options{}); err == nil {
+		t.Fatal("duplicate job keys accepted")
+	}
+}
+
+// TestRandomizedWorkersKillOne simulates a 3-worker sweep where one
+// worker is killed mid-sweep (leases a batch, never acknowledges), driven
+// by a seeded rng over many interleavings: the final record set must
+// equal the serial run's, byte for byte.
+func TestRandomizedWorkersKillOne(t *testing.T) {
+	jobs := runner.GridJobs(
+		[]scenario.ProtocolName{scenario.SRP, scenario.AODV},
+		[]float64{0, 0.5}, 3, 1,
+		func(proto scenario.ProtocolName, pf float64, seed int64) scenario.Params {
+			p := tinyParams(proto, seed)
+			p.Pause = time.Duration(pf * float64(p.Duration))
+			return p
+		})
+	// Serial reference: every job's record, in job order.
+	var serial []runner.Record
+	for _, j := range jobs {
+		serial = append(serial, fakeRecord(j))
+	}
+
+	for round := 0; round < 50; round++ {
+		rng := rand.New(rand.NewSource(int64(round)))
+		clock := newFakeClock()
+		var checkpoint bytes.Buffer
+		c, err := New(jobs, Options{LeaseTimeout: time.Minute, Now: clock.Now, Checkpoint: &checkpoint})
+		if err != nil {
+			t.Fatal(err)
+		}
+		victim := fmt.Sprintf("w%d", rng.Intn(3))
+		killAfter := rng.Intn(len(jobs)) // victim dies at its killAfter-th lease
+		victimLeases := 0
+		dead := false
+		for i := 0; ; i++ {
+			if i > 10000 {
+				t.Fatalf("round %d: sweep did not converge", round)
+			}
+			w := fmt.Sprintf("w%d", rng.Intn(3))
+			if dead && w == victim {
+				continue
+			}
+			batch, done := c.Lease(w, 1+rng.Intn(3))
+			if done {
+				break
+			}
+			if len(batch) == 0 {
+				// Everything pending is leased (possibly by the corpse);
+				// let time pass so leases expire.
+				clock.Advance(30 * time.Second)
+				continue
+			}
+			if w == victim {
+				if victimLeases >= killAfter {
+					dead = true // kill -9: batch leased, never acknowledged
+					continue
+				}
+				victimLeases++
+			}
+			recs := make([]runner.Record, len(batch))
+			for bi, j := range batch {
+				recs[bi] = fakeRecord(j)
+			}
+			if _, err := c.Ingest(recs); err != nil {
+				t.Fatalf("round %d: ingest: %v", round, err)
+			}
+		}
+		if !equalStrings(recordSet(t, c.Records()), recordSet(t, serial)) {
+			t.Fatalf("round %d (victim %s after %d leases): record set diverged from serial",
+				round, victim, killAfter)
+		}
+		// The checkpoint holds exactly the same set.
+		ckRecs, err := runner.ReadRecords(bytes.NewReader(checkpoint.Bytes()))
+		if err != nil {
+			t.Fatalf("round %d: checkpoint unreadable: %v", round, err)
+		}
+		if !equalStrings(keyStrings(ckRecs), keyStrings(serial)) {
+			t.Fatalf("round %d: checkpoint key set diverged", round)
+		}
+	}
+}
+
+// TestCheckpointResumeRoundTrip: kill the coordinator (drop it), reopen
+// its checkpoint through runner.ResumeJSONL — including a torn tail —
+// and the successor finishes only the missing jobs, converging to the
+// serial record set.
+func TestCheckpointResumeRoundTrip(t *testing.T) {
+	jobs := testJobs(t, 4)
+	path := filepath.Join(t.TempDir(), "checkpoint.jsonl")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := New(jobs, Options{Checkpoint: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := c1.Lease("w1", 2)
+	recs := []runner.Record{fakeRecord(b[0]), fakeRecord(b[1])}
+	if _, err := c1.Ingest(recs); err != nil {
+		t.Fatal(err)
+	}
+	// kill -9 the coordinator mid-write: a torn half-record tail.
+	if _, err := f.WriteString(`{"protocol":"SRP","pa`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	salvaged, f2, dropped, err := runner.ResumeJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if len(salvaged) != 2 || dropped == 0 {
+		t.Fatalf("salvaged %d records, dropped %d bytes", len(salvaged), dropped)
+	}
+	c2, err := New(jobs, Options{Checkpoint: f2, Salvaged: salvaged})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		batch, done := c2.Lease("w2", 1)
+		if done {
+			break
+		}
+		if len(batch) == 0 {
+			t.Fatal("stuck: nothing pending, sweep not done")
+		}
+		for _, j := range batch {
+			if j.Key() == jobs[0].Key() || j.Key() == jobs[1].Key() {
+				t.Fatalf("already-checkpointed job %v re-leased", j.Key())
+			}
+		}
+		recs := make([]runner.Record, len(batch))
+		for i, j := range batch {
+			recs[i] = fakeRecord(j)
+		}
+		if _, err := c2.Ingest(recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var serial []runner.Record
+	for _, j := range jobs {
+		serial = append(serial, fakeRecord(j))
+	}
+	if !equalStrings(recordSet(t, c2.Records()), recordSet(t, serial)) {
+		t.Fatal("resumed coordinator's record set diverged from serial")
+	}
+	// And the file itself converged to the full set.
+	f2.Close()
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileRecs, err := runner.ReadRecords(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalStrings(keyStrings(fileRecs), keyStrings(serial)) {
+		t.Fatal("checkpoint file diverged from serial key set")
+	}
+}
