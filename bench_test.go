@@ -10,13 +10,16 @@
 package slr_test
 
 import (
+	"fmt"
 	"io"
+	"math"
 	"strings"
 	"testing"
 	"time"
 
 	"slr/internal/experiments"
 	"slr/internal/frac"
+	"slr/internal/geo"
 	"slr/internal/label"
 	"slr/internal/scenario"
 	"slr/internal/sim"
@@ -172,6 +175,38 @@ func BenchmarkAblationNoCache(b *testing.B) {
 // floods the whole network immediately.
 func BenchmarkAblationNoRing(b *testing.B) {
 	srpVariant(b, map[string]float64{"ttl_0": 35, "ttl_1": 35, "ttl_2": 35})
+}
+
+// --- Large-N tier -----------------------------------------------------
+
+// largeNParams builds a grid point at the large-N tier: the paper's node
+// density (~76 nodes/km², §V) on a square terrain sized for the node
+// count, with a short sim horizon so one trial stays benchable. This is
+// the in-test counterpart of examples/scenarios/manhattan-5000.json.
+func largeNParams(proto scenario.ProtocolName, nodes int) scenario.Params {
+	side := 1000 * math.Sqrt(float64(nodes)/75.8)
+	s := experiments.Scale{
+		Name:  "large",
+		Nodes: nodes, Terrain: geo.Terrain{Width: side, Height: side},
+		Range: 275, Flows: 50, Duration: 10 * time.Second, Trials: 1,
+	}
+	return s.Params(proto, benchPause, 1)
+}
+
+// BenchmarkLargeN runs the large-N tier (ROADMAP item 1): SRP and OLSR at
+// thousands of nodes, a short horizon per trial. OLSR here exercises the
+// incremental-recompute path at scale — before it, this bench was
+// intractable at N=5000.
+func BenchmarkLargeN(b *testing.B) {
+	for _, n := range []int{2000, 5000} {
+		for _, proto := range []scenario.ProtocolName{scenario.SRP, scenario.OLSR} {
+			b.Run(fmt.Sprintf("%s/N=%d", proto, n), func(b *testing.B) {
+				runPoint(b, largeNParams(proto, n), map[string]func(scenario.Result) float64{
+					"deliv-ratio": func(r scenario.Result) float64 { return r.DeliveryRatio },
+				})
+			})
+		}
+	}
 }
 
 // --- Micro-benchmarks of the label machinery --------------------------

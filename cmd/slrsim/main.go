@@ -13,6 +13,10 @@
 // and -resume continues an interrupted -jsonl, re-running only missing
 // trials. Existing non-empty output needs -resume or -force.
 //
+// -cpuprofile and -memprofile write pprof profiles of the run (the heap
+// profile is taken after a final GC), so finding the next hot spot in a
+// large-N scenario is one flag away: go tool pprof slrsim cpu.out.
+//
 // -worker URL turns the binary into a pull worker for an slrserve
 // coordinator: it leases job batches over /v1, runs them on all local
 // CPUs, and POSTs the records back until the sweep is done. Jobs arrive
@@ -33,6 +37,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -55,7 +61,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("slrsim", flag.ContinueOnError)
 	var (
 		protoName = fs.String("protocol", "SRP", "routing protocol: SRP, LDR, AODV, DSR, OLSR")
@@ -73,6 +79,8 @@ func run(args []string) error {
 		check     = fs.Bool("check", false, "verify loop-freedom invariant during the run")
 		trials    = fs.Int("trials", 1, "independent trials (seeds seed..seed+trials-1)")
 		specArg   = fs.String("spec", "", "scenario spec (path or built-in name) as the baseline; explicit flags override it")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to `file`")
+		memProf   = fs.String("memprofile", "", "write a pprof heap profile (after GC, at exit) to `file`")
 
 		workerURL  = fs.String("worker", "", "run as a pull worker for the slrserve coordinator at this base `URL`; jobs arrive fully parameterized, so scenario flags do not apply")
 		workerID   = fs.String("worker-id", "", "with -worker: identity reported to the coordinator (default hostname-pid)")
@@ -89,12 +97,24 @@ func run(args []string) error {
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
+
 	if *workerURL != "" {
 		// Worker mode runs whatever the coordinator leases; a scenario or
 		// output flag on the same command line means confusion, not intent.
+		// The profiling flags apply to any mode: a worker is exactly where
+		// a large-N sweep spends its time.
 		workerFlags := map[string]bool{
 			"worker": true, "worker-id": true, "batch": true, "poll": true,
-			"crash-after-lease": true,
+			"crash-after-lease": true, "cpuprofile": true, "memprofile": true,
 		}
 		var conflict []string
 		for name := range set {
@@ -294,6 +314,46 @@ func run(args []string) error {
 		return fmt.Errorf("per-trial streaming failed (metrics above are complete): %w", emitErr)
 	}
 	return nil
+}
+
+// startProfiles starts CPU profiling to cpu (when non-empty) and returns a
+// stop function that finishes it and writes a post-GC heap profile to mem
+// (when non-empty). Either path may be empty independently.
+func startProfiles(cpu, mem string) (func() error, error) {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		cpuF = f
+	}
+	return func() error {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				return fmt.Errorf("cpuprofile: %w", err)
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			// Collect garbage first so the profile shows live steady-state
+			// objects, not whatever the last trial left unreclaimed.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
 }
 
 // runWorker pulls and runs leased job batches from an slrserve

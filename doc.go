@@ -67,6 +67,16 @@
 // latency-percentile table, and the shape verdicts from a sweep's JSONL
 // alone — byte-identical to the in-process output, without re-simulating.
 //
+// The large-N tier keeps thousands-of-node scenarios tractable: OLSR's
+// routing table and MPR set are cached behind structure versions and
+// expiry horizons and rebuild into preallocated storage (allocation-free
+// in steady state, byte-identical per seed — see internal/routing/olsr),
+// the radio channel's spatial grid amortizes position refreshes at
+// N=5000 (BenchmarkChannelTransmitLargeN), and the tier has its own
+// reference scenario (examples/scenarios/manhattan-5000.json), bench
+// family (BenchmarkLargeN), and CI smoke. cmd/slrsim's -cpuprofile and
+// -memprofile flags make the next outlier one flag away.
+//
 // The routing control plane shares one toolkit: internal/routing/rcommon
 // owns the drop-reason vocabulary, discovery queues with retry and
 // hold-down bookkeeping, RREQ/RERR rate limiters, the periodic beaconer,

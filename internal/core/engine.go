@@ -95,9 +95,11 @@ func (e *Engine[L]) Request(src int) ([]int, error) {
 	queue := []int{src}
 	seen := map[int]struct{}{src: {}}
 	var responder = -1
-	for len(queue) > 0 && responder < 0 {
-		n := queue[0]
-		queue = queue[1:]
+	// Pop by head index: re-slicing with queue[1:] keeps the consumed
+	// prefix pinned in the backing array and forces append to grow it
+	// repeatedly on large floods.
+	for head := 0; head < len(queue) && responder < 0; head++ {
+		n := queue[head]
 		req := carried[n]
 		for _, nb := range e.neighbors(n) {
 			if _, dup := seen[nb]; dup {

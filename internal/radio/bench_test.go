@@ -50,3 +50,16 @@ func BenchmarkChannelTransmit(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkChannelTransmitLargeN checks that the grid's staleness-ring
+// amortization holds at the large-N tier: per-transmit cost must stay near
+// the N=1000 grid numbers rather than reverting to linear scans. Only the
+// grid index runs here — the linear baseline at N=5000 is exactly the
+// quadratic blowup the tier exists to avoid.
+func BenchmarkChannelTransmitLargeN(b *testing.B) {
+	for _, n := range []int{2000, 5000} {
+		b.Run(fmt.Sprintf("grid/N=%d", n), func(b *testing.B) {
+			benchChannel(b, n, IndexGrid)
+		})
+	}
+}

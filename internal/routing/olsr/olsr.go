@@ -10,10 +10,37 @@
 // paper's Fig. 6 shows its low latency) at the price of constant control
 // overhead (Fig. 5) — and it is not loop-free at every instant during
 // topology transients.
+//
+// # Incremental recomputation
+//
+// The routing table and the MPR set are pure functions of the link-state
+// inputs alive at the evaluation instant: the symmetric-neighbor set, the
+// two-hop neighborhoods, and the TC-learned topology, each filtered by its
+// expiry deadline. Both computations are therefore cached behind two
+// signals:
+//
+//   - a structure version, bumped only when an input actually changes (a
+//     link appears, flips symmetry, or is removed; an advertised set
+//     differs; a dead entry revives), not on every control receipt; and
+//   - an expiry horizon, the earliest deadline among the inputs the last
+//     computation consumed. Before the horizon, with an unchanged version,
+//     re-running the computation would read exactly the same inputs and
+//     produce exactly the same output, so it is skipped.
+//
+// Rebuilds that do run reuse preallocated storage (the route and hop maps
+// are cleared in place, the BFS queue is popped by head index over a
+// reused slice, and the symmetric-neighbor ring is maintained as a sorted
+// slice incrementally), so the steady-state data plane allocates nothing —
+// pinned by TestRecomputeAllocFree. Outputs are byte-identical per seed to
+// the full-rebuild-per-dirty-flag implementation (TestOLSRGoldenJSONL at
+// the repo root pins the JSONL stream), because every skip is justified by
+// the purity argument above and every rebuild visits neighbors in the same
+// sorted order.
 package olsr
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -105,6 +132,17 @@ type topoEntry struct {
 	expiry     sim.Time
 }
 
+// forever is the expiry horizon of a computation that consumed no
+// expirable inputs: it can never be invalidated by the clock alone.
+const forever = sim.Time(math.MaxInt64)
+
+// symNeighbor is one entry of the sorted symmetric-neighbor slice: the id
+// plus the table entry, so rebuild loops never pay a map lookup.
+type symNeighbor struct {
+	id netstack.NodeID
+	nb *rcommon.Neighbor
+}
+
 // Protocol is one node's OLSR instance.
 type Protocol struct {
 	netstack.BaseProtocol
@@ -115,8 +153,13 @@ type Protocol struct {
 	// nbrs is the hello-liveness neighbor table: Touch on every HELLO,
 	// Remove on link-layer failure, Expire from the periodic sweep.
 	nbrs *rcommon.NeighborTable
-	mprs map[netstack.NodeID]struct{}
-	topo map[netstack.NodeID]*topoEntry
+	// symList mirrors the Sym entries of nbrs as a slice sorted by id,
+	// maintained incrementally on symmetry flips and removals (and
+	// rebuilt wholesale after the once-a-second expiry sweep). Entries
+	// may be expired-but-unswept; consumers filter by Expiry.
+	symList []symNeighbor
+	mprs    map[netstack.NodeID]struct{}
+	topo    map[netstack.NodeID]*topoEntry
 	// seenTC suppresses duplicate TC floods.
 	seenTC *rcommon.DupCache
 	tcSeq  uint32
@@ -125,8 +168,33 @@ type Protocol struct {
 	tcBeacon    rcommon.Beaconer
 	sweeper     rcommon.Beaconer
 
-	routes  map[netstack.NodeID]netstack.NodeID // dst -> next hop
-	hops    map[netstack.NodeID]int
+	routes map[netstack.NodeID]netstack.NodeID // dst -> next hop
+	hops   map[netstack.NodeID]int
+	queue  []netstack.NodeID // BFS scratch, reused across rebuilds
+	// liveSym is selectMPRs' scratch of live symmetric neighbors;
+	// symBits/uncov its reusable membership bitsets over node ids.
+	liveSym []symNeighbor
+	symBits bitset
+	uncov   bitset
+
+	// linkVer counts structural changes to the route inputs (symmetric
+	// links and TC-learned links); mprInVer counts structural changes to
+	// the MPR inputs (symmetric links and two-hop key sets). Expiry
+	// refreshes and content-identical re-advertisements bump neither.
+	linkVer  uint64
+	mprInVer uint64
+	// routeVer/routeHorizon stamp the inputs of the last route rebuild;
+	// mprVer/mprHorizon those of the last MPR selection. See the package
+	// comment for the skip rule.
+	routeVer     uint64
+	routeHorizon sim.Time
+	mprVer       uint64
+	mprHorizon   sim.Time
+	// rebuilds/mprRuns count the computations that actually ran, for
+	// tests and profiling; skips are the difference against dirty events.
+	rebuilds uint64
+	mprRuns  uint64
+
 	dirty   bool
 	started bool
 }
@@ -180,6 +248,42 @@ func (p *Protocol) SuccessorsOf(dst netstack.NodeID) []netstack.NodeID {
 	return nil
 }
 
+// --- Symmetric-neighbor slice ------------------------------------------
+
+// symInsert adds id to the sorted symmetric slice.
+func (p *Protocol) symInsert(id netstack.NodeID, nb *rcommon.Neighbor) {
+	i := sort.Search(len(p.symList), func(i int) bool { return p.symList[i].id >= id })
+	if i < len(p.symList) && p.symList[i].id == id {
+		p.symList[i].nb = nb
+		return
+	}
+	p.symList = append(p.symList, symNeighbor{})
+	copy(p.symList[i+1:], p.symList[i:])
+	p.symList[i] = symNeighbor{id: id, nb: nb}
+}
+
+// symRemove drops id from the sorted symmetric slice, if present.
+func (p *Protocol) symRemove(id netstack.NodeID) {
+	i := sort.Search(len(p.symList), func(i int) bool { return p.symList[i].id >= id })
+	if i >= len(p.symList) || p.symList[i].id != id {
+		return
+	}
+	copy(p.symList[i:], p.symList[i+1:])
+	p.symList = p.symList[:len(p.symList)-1]
+}
+
+// rebuildSymList re-derives the slice from the table after a bulk change
+// (the once-a-second expiry sweep, which removes entries en masse).
+func (p *Protocol) rebuildSymList() {
+	p.symList = p.symList[:0]
+	for id, nb := range p.nbrs.All() {
+		if nb.Sym {
+			p.symList = append(p.symList, symNeighbor{id: id, nb: nb})
+		}
+	}
+	sort.Slice(p.symList, func(i, j int) bool { return p.symList[i].id < p.symList[j].id })
+}
+
 // --- Periodic control -------------------------------------------------
 
 func (p *Protocol) sendHello() {
@@ -223,12 +327,20 @@ func (p *Protocol) sendTC() {
 func (p *Protocol) expire() {
 	now := p.node.Now()
 	if p.nbrs.Expire(now) {
+		// The sweep removes neighbors and prunes two-hop sets in bulk;
+		// re-derive the symmetric slice and invalidate both caches
+		// rather than attributing each individual removal. Once a
+		// second, this is noise next to the per-hello savings.
 		p.dirty = true
+		p.linkVer++
+		p.mprInVer++
+		p.rebuildSymList()
 	}
 	for id, te := range p.topo {
 		if te.expiry <= now {
 			delete(p.topo, id)
 			p.dirty = true
+			p.linkVer++
 		}
 	}
 	p.seenTC.Sweep(now)
@@ -249,28 +361,72 @@ func (p *Protocol) RecvControl(from netstack.NodeID, msg any) {
 
 func (p *Protocol) handleHello(from netstack.NodeID, h *hello) {
 	now := p.node.Now()
+	old, existed := p.nbrs.Get(from)
+	// A live symmetric link before this hello; the hello's Touch always
+	// leaves the entry live, so comparing against the recomputed Sym
+	// below detects both symmetry flips and the revival of an
+	// expired-but-unswept link — the two ways a hello can change which
+	// links the next rebuild sees.
+	wasLiveSym := existed && old.Sym && old.Expiry > now
 	nb := p.nbrs.Touch(from, now+p.cfg.NeighborHold)
 	// The link is symmetric once the neighbor lists us.
-	nb.Sym = false
+	sym := false
 	for _, n := range h.Neighbors {
 		if n == p.self {
-			nb.Sym = true
+			sym = true
+			break
 		}
+	}
+	if sym != nb.Sym {
+		nb.Sym = sym
+		if sym {
+			p.symInsert(from, nb)
+		} else {
+			p.symRemove(from)
+		}
+	}
+	if sym != wasLiveSym {
+		p.linkVer++
+		p.mprInVer++
 	}
 	nb.SelectsMe = false
 	for _, n := range h.MPRs {
 		if n == p.self {
 			nb.SelectsMe = true
+			break
 		}
 	}
-	// Two-hop neighborhood from the neighbor's symmetric set.
-	for k := range nb.TwoHop {
-		delete(nb.TwoHop, k)
-	}
+	// Two-hop neighborhood from the neighbor's symmetric set. Only a
+	// changed key set invalidates the MPR cache; the common steady-state
+	// hello re-advertises the same neighbors and merely refreshes their
+	// deadlines.
+	same, count := true, 0
 	for _, n := range h.Neighbors {
-		if n != p.self {
-			nb.TwoHop[n] = now + p.cfg.NeighborHold
+		if n == p.self {
+			continue
 		}
+		count++
+		if _, ok := nb.TwoHop[n]; !ok {
+			same = false
+		}
+	}
+	changed := !same || count != len(nb.TwoHop)
+	if changed {
+		clear(nb.TwoHop)
+		nb.TwoHopList = nb.TwoHopList[:0]
+		p.mprInVer++
+	}
+	exp := now + p.cfg.NeighborHold
+	for _, n := range h.Neighbors {
+		if n == p.self {
+			continue
+		}
+		if changed {
+			if _, ok := nb.TwoHop[n]; !ok {
+				nb.TwoHopList = append(nb.TwoHopList, n)
+			}
+		}
+		nb.TwoHop[n] = exp
 	}
 	p.dirty = true
 	p.selectMPRs()
@@ -284,10 +440,24 @@ func (p *Protocol) handleTC(from netstack.NodeID, m *tc) {
 	if p.seenTC.Witness(m.Orig, m.Seq, now) {
 		te, ok := p.topo[m.Orig]
 		if !ok || !seqNewer(te.seq, m.Seq) {
-			adv := append([]netstack.NodeID(nil), m.Advertised...)
-			sort.Slice(adv, func(i, j int) bool { return adv[i] < adv[j] })
-			p.topo[m.Orig] = &topoEntry{advertised: adv, seq: m.Seq,
-				expiry: now + p.cfg.TopologyHold}
+			if ok && te.expiry > now && sameAdvertised(te.advertised, m.Advertised) {
+				// The re-advertisement names the same links and the old
+				// entry is still live: refresh in place. No link appears
+				// or disappears at any instant before the (previous)
+				// horizon, so the route cache stays valid.
+				te.seq = m.Seq
+				te.expiry = now + p.cfg.TopologyHold
+			} else {
+				adv := append([]netstack.NodeID(nil), m.Advertised...)
+				sort.Slice(adv, func(i, j int) bool { return adv[i] < adv[j] })
+				if ok {
+					te.advertised, te.seq, te.expiry = adv, m.Seq, now+p.cfg.TopologyHold
+				} else {
+					p.topo[m.Orig] = &topoEntry{advertised: adv, seq: m.Seq,
+						expiry: now + p.cfg.TopologyHold}
+				}
+				p.linkVer++
+			}
 			p.dirty = true
 		}
 		// MPR forwarding rule: relay only if the transmitter selected
@@ -302,125 +472,206 @@ func (p *Protocol) handleTC(from netstack.NodeID, m *tc) {
 	}
 }
 
+// sameAdvertised reports whether the sorted stored set and the unsorted
+// incoming list name exactly the same nodes, without allocating.
+func sameAdvertised(stored, incoming []netstack.NodeID) bool {
+	if len(stored) != len(incoming) {
+		return false
+	}
+	for _, n := range incoming {
+		i := sort.Search(len(stored), func(i int) bool { return stored[i] >= n })
+		if i >= len(stored) || stored[i] != n {
+			return false
+		}
+	}
+	return true
+}
+
 // seqNewer reports that stored is newer than incoming, via the shared
 // wraparound comparison.
 func seqNewer(stored, incoming uint32) bool { return rcommon.SeqGT(stored, incoming) }
 
-// selectMPRs runs the greedy set cover of the strict two-hop neighborhood.
+// selectMPRs runs the greedy set cover of the strict two-hop neighborhood
+// — unless the one/two-hop neighborhood provably has not changed since the
+// last run (unchanged structure version, clock before the expiry horizon),
+// in which case the cached set is already exactly what the cover would
+// produce.
+//
+// The cover runs over bitsets indexed by node id and the flat TwoHopList
+// mirrors, not the TwoHop maps: node ids are dense in every scenario, so
+// membership is one shift+mask instead of a map probe, and the scratch
+// bitsets are reused across runs. Cover counts are order-independent sums
+// and the candidate scan walks liveSym in sorted id order, so the selected
+// set is identical to the map-based cover's.
 func (p *Protocol) selectMPRs() {
 	now := p.node.Now()
-	sym := make(map[netstack.NodeID]*rcommon.Neighbor)
-	for id, nb := range p.nbrs.All() {
-		if nb.Sym && nb.Expiry > now {
-			sym[id] = nb
+	if p.mprVer == p.mprInVer && now < p.mprHorizon {
+		return
+	}
+	p.mprRuns++
+	horizon := forever
+	p.liveSym = p.liveSym[:0]
+	maxID := p.self
+	for _, e := range p.symList {
+		if e.nb.Expiry > now {
+			p.liveSym = append(p.liveSym, e)
+			if e.nb.Expiry < horizon {
+				horizon = e.nb.Expiry
+			}
+			if e.id > maxID {
+				maxID = e.id
+			}
+			for _, th := range e.nb.TwoHopList {
+				if th > maxID {
+					maxID = th
+				}
+			}
 		}
 	}
 	// Strict two-hop set: reachable through a symmetric neighbor, not a
 	// symmetric neighbor itself, not self.
-	uncovered := make(map[netstack.NodeID]struct{})
-	for _, nb := range sym {
-		for th := range nb.TwoHop {
-			if th == p.self {
+	p.symBits.reset(int(maxID) + 1)
+	p.uncov.reset(int(maxID) + 1)
+	for _, e := range p.liveSym {
+		p.symBits.set(e.id)
+	}
+	uncovered := 0
+	for _, e := range p.liveSym {
+		for _, th := range e.nb.TwoHopList {
+			if th == p.self || p.symBits.has(th) || p.uncov.has(th) {
 				continue
 			}
-			if _, oneHop := sym[th]; oneHop {
-				continue
-			}
-			uncovered[th] = struct{}{}
+			p.uncov.set(th)
+			uncovered++
 		}
 	}
-	mprs := make(map[netstack.NodeID]struct{})
-	for len(uncovered) > 0 {
+	clear(p.mprs)
+	for uncovered > 0 {
 		var best netstack.NodeID
+		var bestNb *rcommon.Neighbor
 		bestCover := 0
-		for id, nb := range sym {
-			if _, chosen := mprs[id]; chosen {
+		for _, e := range p.liveSym {
+			if _, chosen := p.mprs[e.id]; chosen {
 				continue
 			}
 			cover := 0
-			for th := range nb.TwoHop {
-				if _, u := uncovered[th]; u {
+			for _, th := range e.nb.TwoHopList {
+				if p.uncov.has(th) {
 					cover++
 				}
 			}
-			if cover > bestCover || (cover == bestCover && cover > 0 && id < best) {
-				best, bestCover = id, cover
+			if cover > bestCover || (cover == bestCover && cover > 0 && e.id < best) {
+				best, bestNb, bestCover = e.id, e.nb, cover
 			}
 		}
 		if bestCover == 0 {
 			break // remaining two-hops unreachable (stale info)
 		}
-		mprs[best] = struct{}{}
-		for th := range sym[best].TwoHop {
-			delete(uncovered, th)
+		p.mprs[best] = struct{}{}
+		for _, th := range bestNb.TwoHopList {
+			if p.uncov.has(th) {
+				p.uncov.clearBit(th)
+				uncovered--
+			}
 		}
 	}
 	// Keep at least one MPR whenever a symmetric neighbor exists, so
 	// every node is advertised in some TC and remains reachable from
-	// beyond two hops.
-	if len(mprs) == 0 && len(sym) > 0 {
-		first := netstack.NodeID(-1)
-		for id := range sym {
-			if first < 0 || id < first {
-				first = id
-			}
-		}
-		mprs[first] = struct{}{}
+	// beyond two hops. liveSym is sorted, so the first entry is the
+	// lowest id.
+	if len(p.mprs) == 0 && len(p.liveSym) > 0 {
+		p.mprs[p.liveSym[0].id] = struct{}{}
 	}
-	p.mprs = mprs
+	p.mprVer = p.mprInVer
+	p.mprHorizon = horizon
 }
+
+// bitset is a reusable membership set over dense node ids.
+type bitset []uint64
+
+// reset sizes the set to hold ids in [0, n) and clears it, reallocating
+// only when n outgrows the previous capacity.
+func (b *bitset) reset(n int) {
+	words := (n + 63) / 64
+	if cap(*b) < words {
+		*b = make(bitset, words)
+		return
+	}
+	*b = (*b)[:words]
+	clear(*b)
+}
+
+func (b bitset) set(i netstack.NodeID)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) clearBit(i netstack.NodeID) { b[i>>6] &^= 1 << (uint(i) & 63) }
+func (b bitset) has(i netstack.NodeID) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
 
 // --- Routing table ----------------------------------------------------
 
 // recompute rebuilds shortest paths over the link-state database (BFS on
-// unit-cost links).
+// unit-cost links) — or proves it does not have to: with an unchanged
+// structure version and the clock before the expiry horizon, the rebuild
+// would consume exactly the inputs of the previous one.
 func (p *Protocol) recompute() {
 	if !p.dirty {
 		return
 	}
-	p.dirty = false
 	now := p.node.Now()
-	routes := make(map[netstack.NodeID]netstack.NodeID)
-	hops := map[netstack.NodeID]int{p.self: 0}
+	if p.routeVer == p.linkVer && now < p.routeHorizon {
+		p.dirty = false
+		return
+	}
+	p.dirty = false
+	p.rebuilds++
+	clear(p.routes)
+	clear(p.hops)
+	p.hops[p.self] = 0
+	horizon := forever
 
 	// First ring: symmetric neighbors, visited in id order — the BFS
 	// assigns each destination the first equal-cost route it reaches, so
 	// tie-breaks must not depend on map iteration order (it varies across
 	// goroutines, which would make trial results depend on the worker
-	// count of the sweep runner).
-	queue := make([]netstack.NodeID, 0, p.nbrs.Len())
-	for id, nb := range p.nbrs.All() {
-		if nb.Sym && nb.Expiry > now {
-			queue = append(queue, id)
+	// count of the sweep runner). symList is maintained sorted, so no
+	// per-rebuild sort.
+	queue := p.queue[:0]
+	for _, e := range p.symList {
+		if e.nb.Expiry <= now {
+			continue
+		}
+		queue = append(queue, e.id)
+		p.routes[e.id] = e.id
+		p.hops[e.id] = 1
+		if e.nb.Expiry < horizon {
+			horizon = e.nb.Expiry
 		}
 	}
-	sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
-	for _, id := range queue {
-		routes[id] = id
-		hops[id] = 1
-	}
-	// Expand over TC-advertised links.
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	// Expand over TC-advertised links, popping by head index (re-slicing
+	// the queue would keep the whole backing array pinned and re-grow it
+	// every rebuild).
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
 		te, ok := p.topo[cur]
 		if !ok || te.expiry <= now {
 			continue
+		}
+		if te.expiry < horizon {
+			horizon = te.expiry
 		}
 		for _, adv := range te.advertised {
 			if adv == p.self {
 				continue
 			}
-			if _, known := hops[adv]; known {
+			if _, known := p.hops[adv]; known {
 				continue
 			}
-			hops[adv] = hops[cur] + 1
-			routes[adv] = routes[cur]
+			p.hops[adv] = p.hops[cur] + 1
+			p.routes[adv] = p.routes[cur]
 			queue = append(queue, adv)
 		}
 	}
-	p.routes = routes
-	p.hops = hops
+	p.queue = queue
+	p.routeVer = p.linkVer
+	p.routeHorizon = horizon
 }
 
 // --- Data plane -------------------------------------------------------
@@ -462,14 +713,30 @@ func (p *Protocol) RecvData(from netstack.NodeID, pkt *netstack.DataPacket) {
 // immediately to react a little faster, as link-layer feedback is enabled
 // for all protocols in the evaluation.
 func (p *Protocol) DataFailed(to netstack.NodeID, pkt *netstack.DataPacket) {
-	p.nbrs.Remove(to)
-	p.dirty = true
+	p.removeNeighbor(to)
 	p.selectMPRs()
 	p.node.DropData(pkt, rcommon.DropLinkLost)
 }
 
 // ControlFailed implements netstack.Protocol.
 func (p *Protocol) ControlFailed(to netstack.NodeID, msg any) {
-	p.nbrs.Remove(to)
+	p.removeNeighbor(to)
+}
+
+// removeNeighbor drops to from the neighbor table on link-layer failure
+// evidence, invalidating the caches only if a live symmetric link actually
+// disappeared (removing an asymmetric or already-expired entry changes no
+// computation input).
+func (p *Protocol) removeNeighbor(to netstack.NodeID) {
+	if nb, ok := p.nbrs.Get(to); ok {
+		if nb.Sym {
+			p.symRemove(to)
+			if nb.Expiry > p.node.Now() {
+				p.linkVer++
+				p.mprInVer++
+			}
+		}
+		p.nbrs.Remove(to)
+	}
 	p.dirty = true
 }

@@ -16,6 +16,11 @@ type Neighbor struct {
 	// TwoHop maps the neighbor's own symmetric neighbors to their
 	// liveness deadlines — the two-hop neighborhood MPR selection covers.
 	TwoHop map[netstack.NodeID]sim.Time
+	// TwoHopList mirrors TwoHop's key set as a flat slice so hot loops can
+	// iterate it without map-iteration cost. The owning protocol rebuilds
+	// it whenever it rewrites the key set; Expire keeps it in sync when
+	// pruning. Protocols that never populate it simply leave it nil.
+	TwoHopList []netstack.NodeID
 	// SelectsMe marks that the neighbor chose this node as multipoint
 	// relay.
 	SelectsMe bool
@@ -79,11 +84,22 @@ func (t *NeighborTable) Expire(now sim.Time) bool {
 			changed = true
 			continue
 		}
+		pruned := false
 		for th, exp := range nb.TwoHop {
 			if exp <= now {
 				delete(nb.TwoHop, th)
+				pruned = true
 				changed = true
 			}
+		}
+		if pruned && len(nb.TwoHopList) > 0 {
+			kept := nb.TwoHopList[:0]
+			for _, th := range nb.TwoHopList {
+				if _, ok := nb.TwoHop[th]; ok {
+					kept = append(kept, th)
+				}
+			}
+			nb.TwoHopList = kept
 		}
 	}
 	return changed

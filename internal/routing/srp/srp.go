@@ -367,8 +367,8 @@ func (p *Protocol) RecvData(from netstack.NodeID, pkt *netstack.DataPacket) {
 		// §II route errors: unicast a RERR to the data packet's last
 		// hop; it is repeated for each such packet, so no reliability
 		// is needed.
-		p.node.UnicastControl(from, (&rerr{Dests: []netstack.NodeID{pkt.Dst}}).size(),
-			&rerr{Dests: []netstack.NodeID{pkt.Dst}})
+		re := &rerr{Dests: []netstack.NodeID{pkt.Dst}}
+		p.node.UnicastControl(from, re.size(), re)
 		p.statRERR++
 		p.node.DropData(pkt, rcommon.DropNoRoute)
 		return
