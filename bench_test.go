@@ -182,13 +182,18 @@ func BenchmarkAblationNoRing(b *testing.B) {
 // largeNParams builds a grid point at the large-N tier: the paper's node
 // density (~76 nodes/km², §V) on a square terrain sized for the node
 // count, with a short sim horizon so one trial stays benchable. This is
-// the in-test counterpart of examples/scenarios/manhattan-5000.json.
+// the in-test counterpart of examples/scenarios/manhattan-5000.json and
+// manhattan-20000.json.
 func largeNParams(proto scenario.ProtocolName, nodes int) scenario.Params {
+	return largeNParamsDur(proto, nodes, 10*time.Second)
+}
+
+func largeNParamsDur(proto scenario.ProtocolName, nodes int, dur sim.Time) scenario.Params {
 	side := 1000 * math.Sqrt(float64(nodes)/75.8)
 	s := experiments.Scale{
 		Name:  "large",
 		Nodes: nodes, Terrain: geo.Terrain{Width: side, Height: side},
-		Range: 275, Flows: 50, Duration: 10 * time.Second, Trials: 1,
+		Range: 275, Flows: 50, Duration: dur, Trials: 1,
 	}
 	return s.Params(proto, benchPause, 1)
 }
@@ -196,12 +201,17 @@ func largeNParams(proto scenario.ProtocolName, nodes int) scenario.Params {
 // BenchmarkLargeN runs the large-N tier (ROADMAP item 1): SRP and OLSR at
 // thousands of nodes, a short horizon per trial. OLSR here exercises the
 // incremental-recompute path at scale — before it, this bench was
-// intractable at N=5000.
+// intractable at N=5000. The N=20000 tier runs a halved horizon (5 s) to
+// bound wall time; it exists to keep the ladder scheduler and the grid's
+// epoch position refresh honest at the scale the 50k-node goal needs.
 func BenchmarkLargeN(b *testing.B) {
-	for _, n := range []int{2000, 5000} {
+	for _, tier := range []struct {
+		n   int
+		dur sim.Time
+	}{{2000, 10 * time.Second}, {5000, 10 * time.Second}, {20000, 5 * time.Second}} {
 		for _, proto := range []scenario.ProtocolName{scenario.SRP, scenario.OLSR} {
-			b.Run(fmt.Sprintf("%s/N=%d", proto, n), func(b *testing.B) {
-				runPoint(b, largeNParams(proto, n), map[string]func(scenario.Result) float64{
+			b.Run(fmt.Sprintf("%s/N=%d", proto, tier.n), func(b *testing.B) {
+				runPoint(b, largeNParamsDur(proto, tier.n, tier.dur), map[string]func(scenario.Result) float64{
 					"deliv-ratio": func(r scenario.Result) float64 { return r.DeliveryRatio },
 				})
 			})

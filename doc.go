@@ -11,10 +11,13 @@
 // paper's §V; cmd/experiments prints them as text tables.
 //
 // The evaluation substrate is built for scale: internal/sim is a
-// zero-steady-state-allocation event kernel (indexed 4-ary heap over
-// pooled events with generation-checked timers), internal/radio finds
-// audible sets through an incremental spatial grid index (O(neighbors)
-// per transmission, byte-identical to the linear reference scan), and
+// zero-steady-state-allocation event kernel — a ladder-queue scheduler
+// (amortized O(1) push/pop, FIFO on (time, seq) ties, differentially
+// fuzzed against a reference heap) over pooled events with
+// generation-checked timers — internal/radio finds audible sets
+// through an incremental spatial grid index (O(neighbors) per
+// transmission, byte-identical to the linear reference scan) with bulk
+// epoch position refreshes, and
 // internal/runner flattens the whole (protocol x pause x trial) grid into
 // one job queue consumed by a work-stealing worker pool, streaming
 // per-trial JSONL/CSV results as they complete. Identical seeds give
@@ -71,11 +74,15 @@
 // routing table and MPR set are cached behind structure versions and
 // expiry horizons and rebuild into preallocated storage (allocation-free
 // in steady state, byte-identical per seed — see internal/routing/olsr),
+// its duplicate cache and neighbor/topology sweeps are expiry-ordered
+// and horizon-gated, the MAC's steady-state path allocates nothing, and
 // the radio channel's spatial grid amortizes position refreshes at
-// N=5000 (BenchmarkChannelTransmitLargeN), and the tier has its own
-// reference scenario (examples/scenarios/manhattan-5000.json), bench
-// family (BenchmarkLargeN), and CI smoke. cmd/slrsim's -cpuprofile and
-// -memprofile flags make the next outlier one flag away.
+// N=5000 (BenchmarkChannelTransmitLargeN). The tier has its own
+// reference scenarios (examples/scenarios/manhattan-5000.json and
+// manhattan-20000.json), bench family (BenchmarkLargeN, through
+// N=20000), and a timeboxed 20000-node CI smoke. cmd/slrsim's
+// -cpuprofile and -memprofile flags make the next outlier one flag
+// away.
 //
 // The routing control plane shares one toolkit: internal/routing/rcommon
 // owns the drop-reason vocabulary, discovery queues with retry and

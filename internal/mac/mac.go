@@ -9,6 +9,13 @@
 //     link and can resend the packet on a new route ("packet cache", §V);
 //   - contention drops under load, feeding Fig. 3 (MAC layer drops);
 //   - shared-capacity contention that penalizes chatty protocols.
+//
+// The state machine is allocation-free in the steady state: every timer
+// re-arms one of a fixed set of callbacks bound once at construction (no
+// per-attempt closure churn), job structs are pooled per MAC, and the
+// frames a station originates are built in place in per-purpose Frame
+// structs whose reuse windows are serialized by the DCF timing itself
+// (see the txFrame/respFrame comments).
 package mac
 
 import (
@@ -107,19 +114,48 @@ type MAC struct {
 	sim   *sim.Simulator
 	ch    *radio.Channel
 	up    UpperLayer
+	bd    BroadcastDone // m.up's optional hook, asserted once
 	queue []*job
+	free  []*job // job pool; see getJob/putJob
 	cur   *job
 	// ackTimer waits for the CTS or ACK of cur; it is re-armed in place
 	// across retries (sim.Reschedule) instead of canceled and reallocated.
 	ackTimer sim.Timer
 	// waitTimer is the pending backoff/attempt event for cur.
 	waitTimer sim.Timer
+	// bcastTimer marks the end of cur's broadcast air time; bcastJob is
+	// the job it completes (one broadcast in flight per station).
+	bcastTimer sim.Timer
+	bcastJob   *job
+	// respTimer is the pending SIFS-delayed CTS or ACK response, sending
+	// respFrame. A station can owe at most one response at a time: a
+	// response is armed sifs (10us) after a clean reception ends, and the
+	// next clean reception cannot end sooner than one PHY preamble
+	// (192us) later — receptions overlapping our response transmission
+	// are corrupted and deliver nothing.
+	respTimer sim.Timer
+	respFrame radio.Frame
+	// txFrame carries cur's RTS or DATA frame. One outgoing exchange
+	// frame exists at a time, and every reception of it completes at its
+	// air-time end, strictly before the earliest event that rebuilds it
+	// (retry after timeout, DATA after CTS+SIFS, or the next job's
+	// attempt after DIFS+backoff), so in-place reuse is safe.
+	txFrame radio.Frame
 	// awaitingCts marks the RTS phase of cur's exchange.
 	awaitingCts bool
 	seq         uint32
 	// lastSeq dedups retransmitted unicasts per sender.
 	lastSeq map[radio.NodeID]uint32
 	stats   Stats
+
+	// Bound callbacks, allocated once here and re-armed through
+	// sim.Reschedule ever after: the per-attempt hot path (backoff,
+	// timeout, retry, response) closes over nothing.
+	onWait     func()
+	onTimeout  func()
+	onCtsSifs  func()
+	onBcastEnd func()
+	onResp     func()
 }
 
 var _ radio.Receiver = (*MAC)(nil)
@@ -128,13 +164,59 @@ var _ radio.Receiver = (*MAC)(nil)
 // registers it with the channel (Register requires the mobility model,
 // which the scenario owns).
 func New(s *sim.Simulator, ch *radio.Channel, id radio.NodeID, up UpperLayer) *MAC {
-	return &MAC{
+	m := &MAC{
 		id:      id,
 		sim:     s,
 		ch:      ch,
 		up:      up,
 		lastSeq: make(map[radio.NodeID]uint32),
 	}
+	m.bd, _ = up.(BroadcastDone)
+	// The timers below are canceled (or superseded by Reschedule) in
+	// next() whenever cur changes, so when one fires, cur is still the
+	// job it was armed for; the nil checks are the only staleness guards
+	// the bound callbacks need.
+	m.onWait = func() {
+		m.waitTimer = sim.Timer{}
+		if m.cur != nil {
+			m.attempt()
+		}
+	}
+	m.onTimeout = func() {
+		if m.cur != nil {
+			m.exchangeTimeout()
+		}
+	}
+	m.onCtsSifs = func() {
+		m.ackTimer = sim.Timer{}
+		if m.cur != nil {
+			m.sendData(m.cur)
+		}
+	}
+	m.onBcastEnd = func() {
+		j := m.bcastJob
+		m.bcastJob = nil
+		if m.cur == j {
+			m.next()
+		}
+		if m.bd != nil {
+			m.bd.BroadcastDone(j.payload)
+		}
+		m.putJob(j)
+	}
+	m.onResp = func() {
+		m.respTimer = sim.Timer{}
+		if m.ch.Transmitting(m.id) {
+			return // half-duplex conflict: the sender will retry
+		}
+		if m.respFrame.Kind == radio.Cts {
+			m.stats.TxCts++
+		} else {
+			m.stats.TxAck++
+		}
+		m.ch.Transmit(&m.respFrame)
+	}
+	return m
 }
 
 // Stats returns a copy of the counters.
@@ -143,18 +225,39 @@ func (m *MAC) Stats() Stats { return m.stats }
 // QueueLen returns the number of queued (not yet attempted) payloads.
 func (m *MAC) QueueLen() int { return len(m.queue) }
 
+// getJob takes a job from the pool, resetting every field.
+func (m *MAC) getJob(to radio.NodeID, size int, payload any, priority bool) *job {
+	var j *job
+	if n := len(m.free); n > 0 {
+		j = m.free[n-1]
+		m.free[n-1] = nil
+		m.free = m.free[:n-1]
+	} else {
+		j = &job{}
+	}
+	*j = job{to: to, size: size, payload: payload, priority: priority}
+	return j
+}
+
+// putJob returns a completed (delivered, dropped, or evicted) job to the
+// pool.
+func (m *MAC) putJob(j *job) {
+	j.payload = nil
+	m.free = append(m.free, j)
+}
+
 // Send queues a unicast payload of `size` bytes toward `to`.
 func (m *MAC) Send(to radio.NodeID, size int, payload any) {
 	if to == radio.Broadcast {
 		m.Broadcast(size, payload)
 		return
 	}
-	m.enqueue(&job{to: to, size: size, payload: payload})
+	m.enqueue(to, size, payload, false)
 }
 
 // Broadcast queues a link-layer broadcast payload.
 func (m *MAC) Broadcast(size int, payload any) {
-	m.enqueue(&job{to: radio.Broadcast, size: size, payload: payload})
+	m.enqueue(radio.Broadcast, size, payload, false)
 }
 
 // SendPriority queues a unicast payload ahead of normal traffic. Network
@@ -166,17 +269,17 @@ func (m *MAC) SendPriority(to radio.NodeID, size int, payload any) {
 		m.BroadcastPriority(size, payload)
 		return
 	}
-	m.enqueue(&job{to: to, size: size, payload: payload, priority: true})
+	m.enqueue(to, size, payload, true)
 }
 
 // BroadcastPriority queues a broadcast payload ahead of normal traffic.
 func (m *MAC) BroadcastPriority(size int, payload any) {
-	m.enqueue(&job{to: radio.Broadcast, size: size, payload: payload, priority: true})
+	m.enqueue(radio.Broadcast, size, payload, true)
 }
 
-func (m *MAC) enqueue(j *job) {
+func (m *MAC) enqueue(to radio.NodeID, size int, payload any, priority bool) {
 	if len(m.queue) >= queueCap {
-		if !j.priority {
+		if !priority {
 			m.stats.DropsQueue++
 			return
 		}
@@ -184,9 +287,12 @@ func (m *MAC) enqueue(j *job) {
 		evicted := false
 		for i := len(m.queue) - 1; i >= 0; i-- {
 			if !m.queue[i].priority {
+				old := m.queue[i]
 				copy(m.queue[i:], m.queue[i+1:])
+				m.queue[len(m.queue)-1] = nil
 				m.queue = m.queue[:len(m.queue)-1]
 				m.stats.DropsQueue++
+				m.putJob(old)
 				evicted = true
 				break
 			}
@@ -196,6 +302,7 @@ func (m *MAC) enqueue(j *job) {
 			return
 		}
 	}
+	j := m.getJob(to, size, payload, priority)
 	j.cw = cwMin
 	j.seq = m.seq
 	m.seq++
@@ -236,16 +343,9 @@ func (m *MAC) next() {
 // backoff schedules the next transmission attempt after the medium is
 // expected to go idle, plus DIFS and a random number of slots.
 func (m *MAC) backoff() {
-	j := m.cur
 	start := m.ch.IdleAt(m.id)
-	wait := difs + sim.Time(m.sim.Rand().Intn(j.cw+1))*slotTime
-	m.waitTimer = m.sim.Reschedule(m.waitTimer, start+wait, func() {
-		m.waitTimer = sim.Timer{}
-		if m.cur != j {
-			return // job completed or superseded meanwhile
-		}
-		m.attempt()
-	})
+	wait := difs + sim.Time(m.sim.Rand().Intn(m.cur.cw+1))*slotTime
+	m.waitTimer = m.sim.Reschedule(m.waitTimer, start+wait, m.onWait)
 }
 
 // useRTS reports whether j's exchange starts with RTS/CTS.
@@ -273,13 +373,13 @@ func (m *MAC) attempt() {
 func (m *MAC) sendRTS(j *job) {
 	dataAir := m.ch.AirTime(j.size + headerSize)
 	dur := 3*sifs + m.ch.AirTime(ctsSize) + dataAir + m.ch.AirTime(ackSize)
-	rts := &radio.Frame{From: m.id, To: j.to, Kind: radio.Rts, Seq: j.seq,
+	m.txFrame = radio.Frame{From: m.id, To: j.to, Kind: radio.Rts, Seq: j.seq,
 		Size: rtsSize, Dur: dur}
 	m.stats.TxRts++
 	m.awaitingCts = true
-	m.ch.Transmit(rts)
+	m.ch.Transmit(&m.txFrame)
 	timeout := m.ch.AirTime(rtsSize) + sifs + m.ch.AirTime(ctsSize) + 3*slotTime
-	m.ackTimer = m.sim.RescheduleAfter(m.ackTimer, timeout, func() { m.exchangeTimeout(j) })
+	m.ackTimer = m.sim.RescheduleAfter(m.ackTimer, timeout, m.onTimeout)
 }
 
 // sendData transmits the payload frame (directly, or after winning the
@@ -289,7 +389,7 @@ func (m *MAC) sendData(j *job) {
 	if j.to != radio.Broadcast {
 		dur = sifs + m.ch.AirTime(ackSize)
 	}
-	frame := &radio.Frame{
+	m.txFrame = radio.Frame{
 		From:    m.id,
 		To:      j.to,
 		Kind:    radio.Data,
@@ -298,30 +398,23 @@ func (m *MAC) sendData(j *job) {
 		Dur:     dur,
 		Payload: j.payload,
 	}
-	air := m.ch.AirTime(frame.Size)
-	m.ch.Transmit(frame)
+	air := m.ch.AirTime(m.txFrame.Size)
+	m.ch.Transmit(&m.txFrame)
 	if j.to == radio.Broadcast {
 		m.stats.TxBroadcast++
-		m.sim.After(air, func() {
-			if m.cur == j {
-				m.next()
-			}
-			if bd, ok := m.up.(BroadcastDone); ok {
-				bd.BroadcastDone(j.payload)
-			}
-		})
+		m.bcastJob = j
+		m.bcastTimer = m.sim.RescheduleAfter(m.bcastTimer, air, m.onBcastEnd)
 		return
 	}
 	m.stats.TxUnicast++
 	timeout := air + sifs + m.ch.AirTime(ackSize) + 3*slotTime
-	m.ackTimer = m.sim.RescheduleAfter(m.ackTimer, timeout, func() { m.exchangeTimeout(j) })
+	m.ackTimer = m.sim.RescheduleAfter(m.ackTimer, timeout, m.onTimeout)
 }
 
-// exchangeTimeout fires when the expected CTS or ACK never arrived.
-func (m *MAC) exchangeTimeout(j *job) {
-	if m.cur != j {
-		return
-	}
+// exchangeTimeout fires when the expected CTS or ACK for cur never
+// arrived.
+func (m *MAC) exchangeTimeout() {
+	j := m.cur
 	m.ackTimer = sim.Timer{}
 	failed := false
 	if m.awaitingCts || !m.useRTS(j) {
@@ -340,6 +433,7 @@ func (m *MAC) exchangeTimeout(j *job) {
 		m.stats.DropsRetry++
 		payload, to := j.payload, j.to
 		m.next()
+		m.putJob(j)
 		m.up.SendFailed(to, payload)
 		return
 	}
@@ -385,12 +479,7 @@ func (m *MAC) OnFrame(f *radio.Frame) {
 			j.shortCnt = 0 // successful acquisition resets SRC
 			// Re-arm the pending CTS-timeout node in place as the SIFS
 			// timer that launches DATA.
-			m.ackTimer = m.sim.RescheduleAfter(m.ackTimer, sifs, func() {
-				m.ackTimer = sim.Timer{}
-				if m.cur == j {
-					m.sendData(j)
-				}
-			})
+			m.ackTimer = m.sim.RescheduleAfter(m.ackTimer, sifs, m.onCtsSifs)
 		}
 	case radio.Ack:
 		if f.To != m.id {
@@ -401,6 +490,7 @@ func (m *MAC) OnFrame(f *radio.Frame) {
 		if j != nil && !m.awaitingCts && j.to == f.From && j.seq == f.Seq {
 			payload, to := j.payload, j.to
 			m.next()
+			m.putJob(j)
 			m.up.SendOK(to, payload)
 		}
 	case radio.Data:
@@ -423,7 +513,7 @@ func (m *MAC) OnFrame(f *radio.Frame) {
 
 // handleRTS answers a medium reservation addressed to this station.
 func (m *MAC) handleRTS(f *radio.Frame) {
-	cts := &radio.Frame{
+	m.respFrame = radio.Frame{
 		From: m.id,
 		To:   f.From,
 		Kind: radio.Cts,
@@ -431,30 +521,18 @@ func (m *MAC) handleRTS(f *radio.Frame) {
 		Size: ctsSize,
 		Dur:  f.Dur - sifs - m.ch.AirTime(ctsSize),
 	}
-	m.sim.After(sifs, func() {
-		if m.ch.Transmitting(m.id) {
-			return // half-duplex conflict: the sender will retry
-		}
-		m.stats.TxCts++
-		m.ch.Transmit(cts)
-	})
+	m.respTimer = m.sim.RescheduleAfter(m.respTimer, sifs, m.onResp)
 }
 
 // sendAck transmits an ACK for f after SIFS, bypassing the contention queue
 // (ACKs have priority in DCF).
 func (m *MAC) sendAck(f *radio.Frame) {
-	ack := &radio.Frame{
+	m.respFrame = radio.Frame{
 		From: m.id,
 		To:   f.From,
 		Kind: radio.Ack,
 		Seq:  f.Seq,
 		Size: ackSize,
 	}
-	m.sim.After(sifs, func() {
-		if m.ch.Transmitting(m.id) {
-			return // half-duplex conflict: let the sender retry
-		}
-		m.stats.TxAck++
-		m.ch.Transmit(ack)
-	})
+	m.respTimer = m.sim.RescheduleAfter(m.respTimer, sifs, m.onResp)
 }

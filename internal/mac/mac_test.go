@@ -232,3 +232,51 @@ func TestStatsDropsSum(t *testing.T) {
 		t.Fatalf("Drops = %d, want 7", st.Drops())
 	}
 }
+
+// nullUpper discards every MAC indication, so steady-state alloc
+// measurements see only the MAC and kernel, not the test recorder.
+type nullUpper struct{}
+
+func (nullUpper) Deliver(radio.NodeID, any)    {}
+func (nullUpper) SendFailed(radio.NodeID, any) {}
+func (nullUpper) SendOK(radio.NodeID, any)     {}
+
+// pingUpper keeps exactly one unicast in flight: every confirmed send
+// immediately queues the next one.
+type pingUpper struct {
+	nullUpper
+	mac *MAC
+}
+
+func (u *pingUpper) SendOK(to radio.NodeID, payload any) { u.mac.Send(to, 512, payload) }
+
+// TestSteadyStateZeroAlloc pins the flattened hot path: once the job pool
+// and the kernel's event pool are warm, a full unicast exchange
+// (backoff, DATA, SIFS, ACK, completion, re-send) allocates nothing.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	s := sim.New(42)
+	p := radio.DefaultParams()
+	p.Range = 100
+	ch := radio.NewChannel(s, p)
+	pu := &pingUpper{}
+	m0 := New(s, ch, 0, pu)
+	pu.mac = m0
+	m1 := New(s, ch, 1, nullUpper{})
+	ch.Register(0, &mobility.Static{At: geo.Point{X: 0}}, m0)
+	ch.Register(1, &mobility.Static{At: geo.Point{X: 50}}, m1)
+	m0.Send(1, 512, "payload")
+	for i := 0; i < 2000; i++ { // warm the pools across many exchanges
+		s.Step()
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 200; i++ {
+			s.Step()
+		}
+	})
+	if avg > 1 {
+		t.Fatalf("steady-state MAC exchange allocates %.1f times per 200 events, want ~0", avg)
+	}
+	if st := m0.Stats(); st.TxUnicast < 100 {
+		t.Fatalf("traffic did not sustain: %+v", st)
+	}
+}

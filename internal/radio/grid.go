@@ -20,12 +20,15 @@ import (
 // the exact per-link distance test to that superset — so the audible set
 // is identical to the O(N) linear scan, station for station.
 //
-// The drift bound is maintained lazily, with no simulator events: stations
-// sit in a ring ordered by cache age, and every query first refreshes the
-// stale head of the ring (staleness bound = slack / MaxSpeed, the time a
-// fastest-possible node needs to travel slack meters). Between queries
-// nothing moves in the index at all; a burst of transmissions after a
-// quiet spell refreshes the backlog once, amortized O(1) per query.
+// The drift bound is maintained lazily, with no simulator events: cached
+// positions are refreshed in one bulk pass per mobility epoch (epoch =
+// slack / MaxSpeed, the time a fastest-possible node needs to travel slack
+// meters), triggered by the first query past the epoch deadline. Every
+// cache in an epoch is at most one epoch old, so drift stays under slack;
+// between epoch boundaries a query touches the index not at all. The bulk
+// pass replaces the per-query staleness ring the grid originally carried:
+// same amortized work (each station re-cached once per epoch), none of the
+// per-transmit age bookkeeping on the hot path.
 //
 // Candidates are returned in registration order so reception events are
 // scheduled in exactly the order the linear scan would produce —
@@ -36,12 +39,13 @@ type grid struct {
 	cell    float64  // cell side, = Propagation.MaxRange()
 	inv     float64  // 1 / cell
 	reach   float64  // query radius: MaxRange + slack
-	refresh sim.Time // max cache age; 0 = stations never move
-	cells   map[int64][]*station
-	ring    []*station // stations ordered by cache age, oldest at head
-	head    int
-	marks   []uint64 // candidate bitset over registration indices
-	cands   []int32  // scratch for query results (registration indices)
+	refresh sim.Time // max cache age (one epoch); 0 = stations never move
+	// nextRefresh is the current epoch's deadline: the first query at or
+	// past it re-caches every station (see maybeRefresh).
+	nextRefresh sim.Time
+	cells       map[int64][]*station
+	marks       []uint64 // candidate bitset over registration indices
+	cands       []int32  // scratch for query results (registration indices)
 }
 
 // gridSlackFraction is the allowed cache drift as a fraction of the cell
@@ -76,33 +80,23 @@ func (g *grid) cellKey(p geo.Point) int64 {
 	return int64(cx)<<32 | int64(uint32(cy))
 }
 
-// insert adds a newly registered station at its current position. The new
-// station carries the freshest possible cache stamp, so it enters the age
-// ring immediately before the head (the oldest slot): refreshStale's
-// stop-at-first-fresh scan stays sound even for stations registered after
-// queries have already rotated the ring. Registration is rare, so the
-// O(N) shift does not matter.
-func (g *grid) insert(st *station, pos geo.Point, now sim.Time) {
-	st.cachedPos, st.posTime = pos, now
+// insert adds a newly registered station at its current position. The
+// fresh cache is younger than the current epoch's bulk pass, so the drift
+// bound holds for it until the next epoch like for everyone else.
+func (g *grid) insert(st *station, pos geo.Point, nStations int) {
+	st.cachedPos = pos
 	st.cellKey = g.cellKey(pos)
 	bucket := g.cells[st.cellKey]
 	st.slot = len(bucket)
 	g.cells[st.cellKey] = append(bucket, st)
-	g.ring = append(g.ring, nil)
-	copy(g.ring[g.head+1:], g.ring[g.head:])
-	g.ring[g.head] = st
-	g.head++
-	if g.head == len(g.ring) {
-		g.head = 0
-	}
-	if need := (len(g.ring) + 63) / 64; need > len(g.marks) {
+	if need := (nStations + 63) / 64; need > len(g.marks) {
 		g.marks = append(g.marks, make([]uint64, need-len(g.marks))...)
 	}
 }
 
 // move re-caches st's position, re-bucketing it if it crossed a cell edge.
-func (g *grid) move(st *station, pos geo.Point, now sim.Time) {
-	st.cachedPos, st.posTime = pos, now
+func (g *grid) move(st *station, pos geo.Point) {
+	st.cachedPos = pos
 	key := g.cellKey(pos)
 	if key == st.cellKey {
 		return
@@ -121,26 +115,24 @@ func (g *grid) move(st *station, pos geo.Point, now sim.Time) {
 	g.cells[key] = append(bucket, st)
 }
 
-// refreshStale advances cached positions until every cache is younger than
-// the refresh bound, restoring the drift invariant for queries at `now`.
-// The ring stays ordered by cache age because refreshed stations (stamped
-// `now`, the newest possible age) are exactly the ones the head passes.
-func (g *grid) refreshStale(now sim.Time) {
-	if g.refresh == 0 || len(g.ring) == 0 {
+// maybeRefresh starts a new mobility epoch when the current one has
+// expired: one bulk pass re-caching every station. Queries between epoch
+// boundaries see caches at most one epoch (refresh) old, which bounds
+// drift to slack meters and keeps the reach-disk superset sound.
+func (g *grid) maybeRefresh(stations []*station, now sim.Time) {
+	if g.refresh == 0 || now < g.nextRefresh {
 		return
 	}
-	thr := now - g.refresh
-	for i := 0; i < len(g.ring); i++ {
-		st := g.ring[g.head]
-		if st.posTime >= thr {
-			return
-		}
-		g.move(st, st.mob.Position(now), now)
-		g.head++
-		if g.head == len(g.ring) {
-			g.head = 0
-		}
+	g.refreshAll(stations, now)
+}
+
+// refreshAll re-caches every station's position and opens a fresh epoch
+// ending one refresh interval from now.
+func (g *grid) refreshAll(stations []*station, now sim.Time) {
+	for _, st := range stations {
+		g.move(st, st.mob.Position(now))
 	}
+	g.nextRefresh = now + g.refresh
 }
 
 // query returns the registration indices of every station whose true

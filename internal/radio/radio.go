@@ -149,10 +149,9 @@ type station struct {
 	busyTill sim.Time // latest end of anything audible here
 	navUntil sim.Time // virtual carrier sense (802.11 NAV)
 
-	// Spatial grid bookkeeping (see grid): the cached position, its age,
-	// and where the station sits in the cell hash.
+	// Spatial grid bookkeeping (see grid): the cached position and where
+	// the station sits in the cell hash.
 	cachedPos geo.Point
-	posTime   sim.Time
 	cellKey   int64
 	slot      int
 }
@@ -164,11 +163,16 @@ type Channel struct {
 	p        Params
 	prop     Propagation
 	stations map[NodeID]*station
-	order    []NodeID   // registration order, for deterministic iteration
-	byIdx    []*station // stations in registration order
-	grid     *grid      // nil = linear scan
-	hits     []hit      // scratch for audible-set results
-	freeRx   []*rx      // reception freelist (see rx)
+	// byID is a dense lookup table over non-negative IDs (the scenario
+	// assigns 0..N-1): the per-frame entry points (Busy, IdleAt, SetNAV,
+	// Transmit) resolve stations without hashing. Sparse or exotic IDs
+	// fall back to the map.
+	byID   []*station
+	order  []NodeID   // registration order, for deterministic iteration
+	byIdx  []*station // stations in registration order
+	grid   *grid      // nil = linear scan
+	hits   []hit      // scratch for audible-set results
+	freeRx []*rx      // reception freelist (see rx)
 
 	// Stats counters.
 	frames     uint64
@@ -206,9 +210,40 @@ func (c *Channel) Register(id NodeID, m mobility.Model, r Receiver) {
 	c.stations[id] = st
 	c.order = append(c.order, id)
 	c.byIdx = append(c.byIdx, st)
-	if c.grid != nil {
-		c.grid.insert(st, m.Position(c.sim.Now()), c.sim.Now())
+	if id >= 0 {
+		for int(id) >= len(c.byID) {
+			c.byID = append(c.byID, nil)
+		}
+		c.byID[id] = st
 	}
+	if c.grid != nil {
+		c.grid.insert(st, m.Position(c.sim.Now()), len(c.byIdx))
+	}
+}
+
+// RefreshPositions eagerly re-caches every station position in the spatial
+// index and opens a new refresh epoch. The channel already does this
+// lazily on the first transmission of each epoch; scenarios that advance
+// mobility in discrete steps can call it at each step boundary to pay the
+// bulk pass at a deterministic point instead. Results are unaffected
+// either way (the index only ever narrows the candidate set; audibility is
+// always decided on exact positions). No-op without a grid or with
+// immobile stations.
+func (c *Channel) RefreshPositions() {
+	if c.grid != nil && c.grid.refresh != 0 {
+		c.grid.refreshAll(c.byIdx, c.sim.Now())
+	}
+}
+
+// station resolves id through the dense table, falling back to the map
+// for IDs outside it.
+func (c *Channel) station(id NodeID) *station {
+	if id >= 0 && int(id) < len(c.byID) {
+		if st := c.byID[id]; st != nil {
+			return st
+		}
+	}
+	return c.stations[id]
 }
 
 // AirTime returns how long a frame of size bytes occupies the medium.
@@ -220,7 +255,7 @@ func (c *Channel) AirTime(size int) sim.Time {
 // physical carrier sense (any audible transmission, or its own) or virtual
 // carrier sense (NAV).
 func (c *Channel) Busy(id NodeID) bool {
-	st := c.stations[id]
+	st := c.station(id)
 	now := c.sim.Now()
 	return st.txUntil > now || len(st.active) > 0 || st.navUntil > now
 }
@@ -228,7 +263,7 @@ func (c *Channel) Busy(id NodeID) bool {
 // SetNAV reserves the medium at station id until `until` per an overheard
 // duration field; shorter reservations never shrink the NAV.
 func (c *Channel) SetNAV(id NodeID, until sim.Time) {
-	st := c.stations[id]
+	st := c.station(id)
 	if until > st.navUntil {
 		st.navUntil = until
 	}
@@ -237,7 +272,7 @@ func (c *Channel) SetNAV(id NodeID, until sim.Time) {
 // IdleAt returns the earliest time at or after now when station id will
 // sense the medium idle, based on currently known transmissions and NAV.
 func (c *Channel) IdleAt(id NodeID) sim.Time {
-	st := c.stations[id]
+	st := c.station(id)
 	t := c.sim.Now()
 	if st.txUntil > t {
 		t = st.txUntil
@@ -253,19 +288,19 @@ func (c *Channel) IdleAt(id NodeID) sim.Time {
 
 // Transmitting reports whether station id is transmitting right now.
 func (c *Channel) Transmitting(id NodeID) bool {
-	return c.stations[id].txUntil > c.sim.Now()
+	return c.station(id).txUntil > c.sim.Now()
 }
 
 // Position returns station id's current position.
 func (c *Channel) Position(id NodeID) geo.Point {
-	return c.stations[id].mob.Position(c.sim.Now())
+	return c.station(id).mob.Position(c.sim.Now())
 }
 
 // Neighbors returns the stations currently within link range of id, in
 // registration order. It exists for scenario setup and tests; protocols
 // must discover neighbors over the air.
 func (c *Channel) Neighbors(id NodeID) []NodeID {
-	self := c.stations[id]
+	self := c.station(id)
 	pos := self.mob.Position(c.sim.Now())
 	var out []NodeID
 	for _, h := range c.audible(self, pos) {
@@ -291,7 +326,7 @@ func (c *Channel) audible(sender *station, pos geo.Point) []hit {
 	now := c.sim.Now()
 	c.hits = c.hits[:0]
 	if c.grid != nil {
-		c.grid.refreshStale(now)
+		c.grid.maybeRefresh(c.byIdx, now)
 		for _, idx := range c.grid.query(pos) {
 			st := c.byIdx[idx]
 			if st == sender {
@@ -330,8 +365,8 @@ func (c *Channel) Collisions() uint64 { return c.collisions }
 // station cannot decode anything while sending (half-duplex), and any
 // overlap of audible frames at a station corrupts all of them.
 func (c *Channel) Transmit(f *Frame) {
-	sender, ok := c.stations[f.From]
-	if !ok {
+	sender := c.station(f.From)
+	if sender == nil {
 		panic(fmt.Sprintf("radio: transmit from unregistered station %d", f.From))
 	}
 	now := c.sim.Now()

@@ -160,6 +160,10 @@ type Protocol struct {
 	symList []symNeighbor
 	mprs    map[netstack.NodeID]struct{}
 	topo    map[netstack.NodeID]*topoEntry
+	// topoHorizon lower-bounds every topo entry's expiry; the per-second
+	// sweep skips scanning the map before it. handleTC lowers it on entry
+	// writes, the sweep recomputes the exact minimum.
+	topoHorizon sim.Time
 	// seenTC suppresses duplicate TC floods.
 	seenTC *rcommon.DupCache
 	tcSeq  uint32
@@ -176,6 +180,17 @@ type Protocol struct {
 	liveSym []symNeighbor
 	symBits bitset
 	uncov   bitset
+	// Greedy-cover scratch: coverCnt[i] is candidate liveSym[i]'s count of
+	// still-uncovered two-hop neighbors, kept exact by decrementing along
+	// covHead/covNext/covOwner — per-two-hop-id chains of the candidate
+	// indices covering that id. covHead is indexed by node id and cleared
+	// lazily (only the slots of ids in play), so a selection run costs
+	// O(two-hop entries), not O(max id).
+	coverCnt []int32
+	covHead  []int32
+	covNext  []int32
+	covOwner []int32
+	chosen   []bool
 
 	// linkVer counts structural changes to the route inputs (symmetric
 	// links and TC-learned links); mprInVer counts structural changes to
@@ -336,12 +351,22 @@ func (p *Protocol) expire() {
 		p.mprInVer++
 		p.rebuildSymList()
 	}
-	for id, te := range p.topo {
-		if te.expiry <= now {
-			delete(p.topo, id)
-			p.dirty = true
-			p.linkVer++
+	// The topology sweep is gated on the same horizon rule as the MPR and
+	// route caches: topoHorizon lower-bounds every entry's expiry, so a
+	// sweep before it provably removes nothing. Each real sweep recomputes
+	// the exact minimum; entry writes in handleTC lower the bound.
+	if now >= p.topoHorizon {
+		min := forever
+		for id, te := range p.topo {
+			if te.expiry <= now {
+				delete(p.topo, id)
+				p.dirty = true
+				p.linkVer++
+			} else if te.expiry < min {
+				min = te.expiry
+			}
 		}
+		p.topoHorizon = min
 	}
 	p.seenTC.Sweep(now)
 	if p.dirty {
@@ -417,6 +442,11 @@ func (p *Protocol) handleHello(from netstack.NodeID, h *hello) {
 		p.mprInVer++
 	}
 	exp := now + p.cfg.NeighborHold
+	// The TwoHop deadlines below are written outside Touch; report them so
+	// the table's sweep horizon stays a true lower bound. (exp equals the
+	// Touch deadline above, so this is a no-op compare in practice, but the
+	// contract belongs to the writer, not to luck.)
+	p.nbrs.Observe(exp)
 	for _, n := range h.Neighbors {
 		if n == p.self {
 			continue
@@ -425,6 +455,9 @@ func (p *Protocol) handleHello(from netstack.NodeID, h *hello) {
 			if _, ok := nb.TwoHop[n]; !ok {
 				nb.TwoHopList = append(nb.TwoHopList, n)
 			}
+		}
+		if n > nb.TwoHopMax {
+			nb.TwoHopMax = n
 		}
 		nb.TwoHop[n] = exp
 	}
@@ -440,23 +473,26 @@ func (p *Protocol) handleTC(from netstack.NodeID, m *tc) {
 	if p.seenTC.Witness(m.Orig, m.Seq, now) {
 		te, ok := p.topo[m.Orig]
 		if !ok || !seqNewer(te.seq, m.Seq) {
+			exp := now + p.cfg.TopologyHold
 			if ok && te.expiry > now && sameAdvertised(te.advertised, m.Advertised) {
 				// The re-advertisement names the same links and the old
 				// entry is still live: refresh in place. No link appears
 				// or disappears at any instant before the (previous)
 				// horizon, so the route cache stays valid.
 				te.seq = m.Seq
-				te.expiry = now + p.cfg.TopologyHold
+				te.expiry = exp
 			} else {
 				adv := append([]netstack.NodeID(nil), m.Advertised...)
 				sort.Slice(adv, func(i, j int) bool { return adv[i] < adv[j] })
 				if ok {
-					te.advertised, te.seq, te.expiry = adv, m.Seq, now+p.cfg.TopologyHold
+					te.advertised, te.seq, te.expiry = adv, m.Seq, exp
 				} else {
-					p.topo[m.Orig] = &topoEntry{advertised: adv, seq: m.Seq,
-						expiry: now + p.cfg.TopologyHold}
+					p.topo[m.Orig] = &topoEntry{advertised: adv, seq: m.Seq, expiry: exp}
 				}
 				p.linkVer++
+			}
+			if exp < p.topoHorizon {
+				p.topoHorizon = exp
 			}
 			p.dirty = true
 		}
@@ -521,57 +557,80 @@ func (p *Protocol) selectMPRs() {
 			if e.id > maxID {
 				maxID = e.id
 			}
-			for _, th := range e.nb.TwoHopList {
-				if th > maxID {
-					maxID = th
-				}
+			if e.nb.TwoHopMax > maxID {
+				maxID = e.nb.TwoHopMax
 			}
 		}
 	}
-	// Strict two-hop set: reachable through a symmetric neighbor, not a
-	// symmetric neighbor itself, not self.
 	p.symBits.reset(int(maxID) + 1)
 	p.uncov.reset(int(maxID) + 1)
 	for _, e := range p.liveSym {
 		p.symBits.set(e.id)
 	}
+	nCand := len(p.liveSym)
+	p.coverCnt = resizeInt32(p.coverCnt, nCand)
+	p.chosen = resizeBool(p.chosen, nCand)
+	if len(p.covHead) < int(maxID)+1 {
+		p.covHead = append(p.covHead, make([]int32, int(maxID)+1-len(p.covHead))...)
+	}
+	p.covNext = p.covNext[:0]
+	p.covOwner = p.covOwner[:0]
 	uncovered := 0
-	for _, e := range p.liveSym {
+	// One pass builds the strict two-hop set (reachable through a
+	// symmetric neighbor, not a symmetric neighbor itself, not self), the
+	// per-candidate cover counts, and the per-two-hop chains of covering
+	// candidates. Strict-set membership depends only on self and symBits
+	// (both fixed here), so a candidate's count and a two-hop id's chain
+	// are complete even though uncov is still being populated. A two-hop
+	// id cleared during the rounds below was necessarily uncovered here
+	// (uncov only shrinks), so its chain names exactly the candidates
+	// whose counts must drop — the counts stay equal to the cover the
+	// per-round rescan used to recompute, and the selection is identical.
+	for i, e := range p.liveSym {
+		cnt := int32(0)
 		for _, th := range e.nb.TwoHopList {
-			if th == p.self || p.symBits.has(th) || p.uncov.has(th) {
+			if th == p.self || p.symBits.has(th) {
 				continue
 			}
-			p.uncov.set(th)
-			uncovered++
+			if !p.uncov.has(th) {
+				p.uncov.set(th)
+				p.covHead[th] = -1
+				uncovered++
+			}
+			p.covNext = append(p.covNext, p.covHead[th])
+			p.covOwner = append(p.covOwner, int32(i))
+			p.covHead[th] = int32(len(p.covNext) - 1)
+			cnt++
 		}
+		p.coverCnt[i] = cnt
 	}
 	clear(p.mprs)
 	for uncovered > 0 {
-		var best netstack.NodeID
-		var bestNb *rcommon.Neighbor
-		bestCover := 0
-		for _, e := range p.liveSym {
-			if _, chosen := p.mprs[e.id]; chosen {
+		best := -1
+		bestCover := int32(0)
+		for i, e := range p.liveSym {
+			if p.chosen[i] {
 				continue
 			}
-			cover := 0
-			for _, th := range e.nb.TwoHopList {
-				if p.uncov.has(th) {
-					cover++
-				}
-			}
-			if cover > bestCover || (cover == bestCover && cover > 0 && e.id < best) {
-				best, bestNb, bestCover = e.id, e.nb, cover
+			cover := p.coverCnt[i]
+			if cover > bestCover ||
+				(cover == bestCover && cover > 0 && e.id < p.liveSym[best].id) {
+				best, bestCover = i, cover
 			}
 		}
 		if bestCover == 0 {
 			break // remaining two-hops unreachable (stale info)
 		}
-		p.mprs[best] = struct{}{}
-		for _, th := range bestNb.TwoHopList {
+		bestE := p.liveSym[best]
+		p.chosen[best] = true
+		p.mprs[bestE.id] = struct{}{}
+		for _, th := range bestE.nb.TwoHopList {
 			if p.uncov.has(th) {
 				p.uncov.clearBit(th)
 				uncovered--
+				for k := p.covHead[th]; k >= 0; k = p.covNext[k] {
+					p.coverCnt[p.covOwner[k]]--
+				}
 			}
 		}
 	}
@@ -584,6 +643,25 @@ func (p *Protocol) selectMPRs() {
 	}
 	p.mprVer = p.mprInVer
 	p.mprHorizon = horizon
+}
+
+// resizeInt32 returns s with length n, reallocating only on growth; the
+// contents are unspecified (callers overwrite every slot).
+func resizeInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// resizeBool returns s with length n and every slot false.
+func resizeBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }
 
 // bitset is a reusable membership set over dense node ids.

@@ -239,6 +239,9 @@ func TestMPRCoverProperty(t *testing.T) {
 				if _, ok := nb.TwoHop[th]; !ok {
 					nb.TwoHopList = append(nb.TwoHopList, th)
 				}
+				if th > nb.TwoHopMax {
+					nb.TwoHopMax = th
+				}
 				nb.TwoHop[th] = sim.Time(time.Hour)
 				twoHopUniverse[th] = true
 			}

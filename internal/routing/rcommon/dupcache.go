@@ -5,49 +5,78 @@ import (
 	"slr/internal/sim"
 )
 
-// DupKey identifies one flooded control message: its originator and the
-// originator-scoped id (RREQ id, TC sequence number).
-type DupKey struct {
-	Orig netstack.NodeID
-	ID   uint32
-}
-
 // DupCache suppresses duplicate processing of flooded control messages:
 // each (originator, id) is acted on once and then remembered for a
 // retention window. Protocols Sweep it from their periodic housekeeping.
+//
+// The cache is a flood-rate hot path (every received TC/RREQ probes it),
+// so the key is packed into one uint64 — originators are registered node
+// ids, dense and non-negative, so 32 bits each side loses nothing — and
+// sightings are additionally queued in insertion order. Because the clock
+// is monotone and the retention is fixed, insertion order is expiry order,
+// so Sweep pops expired sightings from the queue head in O(expired)
+// instead of iterating the whole map once per housekeeping tick.
 type DupCache struct {
-	m   map[DupKey]sim.Time
-	ttl sim.Time
+	m    map[uint64]sim.Time
+	q    []dupEntry // insertion order == expiry order
+	head int        // first live queue slot; compacted when past the midpoint
+	ttl  sim.Time
+}
+
+type dupEntry struct {
+	key uint64
+	exp sim.Time
+}
+
+func dupKey(orig netstack.NodeID, id uint32) uint64 {
+	return uint64(uint32(orig))<<32 | uint64(id)
 }
 
 // NewDupCache returns a cache retaining sightings for ttl.
 func NewDupCache(ttl sim.Time) *DupCache {
-	return &DupCache{m: make(map[DupKey]sim.Time), ttl: ttl}
+	return &DupCache{m: make(map[uint64]sim.Time), ttl: ttl}
 }
 
 // Witness records the first sighting of (orig, id) and reports whether it
 // was new; a repeat sighting inside the retention window returns false.
 func (c *DupCache) Witness(orig netstack.NodeID, id uint32, now sim.Time) bool {
-	key := DupKey{Orig: orig, ID: id}
+	key := dupKey(orig, id)
 	if _, dup := c.m[key]; dup {
 		return false
 	}
-	c.m[key] = now + c.ttl
+	c.insert(key, now+c.ttl)
 	return true
 }
 
 // Mark records (orig, id) as seen without checking — originators mark
 // their own floods before transmitting.
 func (c *DupCache) Mark(orig netstack.NodeID, id uint32, now sim.Time) {
-	c.m[DupKey{Orig: orig, ID: id}] = now + c.ttl
+	c.insert(dupKey(orig, id), now+c.ttl)
 }
 
-// Sweep drops entries whose retention expired.
+func (c *DupCache) insert(key uint64, exp sim.Time) {
+	c.m[key] = exp
+	c.q = append(c.q, dupEntry{key: key, exp: exp})
+}
+
+// Sweep drops entries whose retention expired. A key re-seen after its
+// first sighting expired appears in the queue twice; the stale queue entry
+// is recognized by its mismatched deadline and skipped, so the refreshed
+// sighting survives until its own deadline.
 func (c *DupCache) Sweep(now sim.Time) {
-	for k, t := range c.m {
-		if t <= now {
-			delete(c.m, k)
+	for c.head < len(c.q) && c.q[c.head].exp <= now {
+		e := c.q[c.head]
+		c.q[c.head] = dupEntry{}
+		c.head++
+		if exp, ok := c.m[e.key]; ok && exp == e.exp {
+			delete(c.m, e.key)
 		}
+	}
+	if c.head == len(c.q) {
+		c.q, c.head = c.q[:0], 0
+	} else if c.head > len(c.q)/2 {
+		n := copy(c.q, c.q[c.head:])
+		c.q, c.head = c.q[:n], 0
 	}
 }
 

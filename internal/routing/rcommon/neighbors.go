@@ -21,6 +21,11 @@ type Neighbor struct {
 	// it whenever it rewrites the key set; Expire keeps it in sync when
 	// pruning. Protocols that never populate it simply leave it nil.
 	TwoHopList []netstack.NodeID
+	// TwoHopMax is a conservative upper bound on the ids in TwoHopList,
+	// maintained by the writer on insert and never lowered by pruning. It
+	// lets id-indexed scratch (MPR cover bitsets) be sized without
+	// scanning the list.
+	TwoHopMax netstack.NodeID
 	// SelectsMe marks that the neighbor chose this node as multipoint
 	// relay.
 	SelectsMe bool
@@ -36,6 +41,13 @@ type Neighbor struct {
 // protocol-local maps this table replaces required.
 type NeighborTable struct {
 	m map[netstack.NodeID]*Neighbor
+	// horizon is a lower bound on every liveness deadline in the table —
+	// neighbor expiries and two-hop expiries alike. Before it, a sweep
+	// provably removes nothing and Expire returns immediately; each real
+	// sweep recomputes the exact minimum. Touch maintains the bound for
+	// the deadlines it writes; callers that write TwoHop deadlines
+	// directly must report them via Observe.
+	horizon sim.Time
 }
 
 // NewNeighborTable returns an empty table.
@@ -61,7 +73,17 @@ func (t *NeighborTable) Touch(id netstack.NodeID, expiry sim.Time) *Neighbor {
 		t.m[id] = nb
 	}
 	nb.Expiry = expiry
+	t.Observe(expiry)
 	return nb
+}
+
+// Observe lowers the sweep horizon to cover a liveness deadline written
+// outside Touch (a caller-managed TwoHop entry). Deadlines at or past the
+// current horizon need no reporting, but reporting them is harmless.
+func (t *NeighborTable) Observe(expiry sim.Time) {
+	if expiry < t.horizon {
+		t.horizon = expiry
+	}
 }
 
 // Remove drops id on link-layer failure evidence; it reports whether an
@@ -75,8 +97,15 @@ func (t *NeighborTable) Remove(id netstack.NodeID) bool {
 }
 
 // Expire ages out neighbors whose hellos stopped and prunes stale two-hop
-// entries of the survivors. It reports whether anything changed.
+// entries of the survivors. It reports whether anything changed. Sweeps
+// before the horizon return immediately: no deadline in the table has
+// passed, so a full scan would find nothing.
 func (t *NeighborTable) Expire(now sim.Time) bool {
+	if now < t.horizon {
+		return false
+	}
+	const forever = sim.Time(1<<63 - 1)
+	min := forever
 	changed := false
 	for id, nb := range t.m {
 		if nb.Expiry <= now {
@@ -84,12 +113,17 @@ func (t *NeighborTable) Expire(now sim.Time) bool {
 			changed = true
 			continue
 		}
+		if nb.Expiry < min {
+			min = nb.Expiry
+		}
 		pruned := false
 		for th, exp := range nb.TwoHop {
 			if exp <= now {
 				delete(nb.TwoHop, th)
 				pruned = true
 				changed = true
+			} else if exp < min {
+				min = exp
 			}
 		}
 		if pruned && len(nb.TwoHopList) > 0 {
@@ -102,6 +136,7 @@ func (t *NeighborTable) Expire(now sim.Time) bool {
 			nb.TwoHopList = kept
 		}
 	}
+	t.horizon = min
 	return changed
 }
 

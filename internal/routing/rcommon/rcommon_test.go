@@ -94,6 +94,22 @@ func TestNeighborTableLiveness(t *testing.T) {
 	if !nt.Remove(5) || nt.Len() != 0 {
 		t.Fatal("link-layer removal must drop the entry immediately")
 	}
+
+	// A TwoHop deadline written directly (outside Touch) after a sweep has
+	// raised the horizon must be reported via Observe; the early-return
+	// would otherwise hide its expiry from the next sweep.
+	late := nt.Touch(6, 20*time.Second)
+	if nt.Expire(2 * time.Second) {
+		t.Fatal("nothing should expire at 2s")
+	}
+	late.TwoHop[7] = 10 * time.Second
+	nt.Observe(10 * time.Second)
+	if !nt.Expire(11 * time.Second) {
+		t.Fatal("observed two-hop deadline must be swept once due")
+	}
+	if _, stale := late.TwoHop[7]; stale {
+		t.Fatal("stale two-hop entry survived the observed sweep")
+	}
 }
 
 func TestSeqWraparound(t *testing.T) {

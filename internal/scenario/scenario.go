@@ -163,9 +163,18 @@ type successorLister interface {
 	SuccessorsOf(dst netstack.NodeID) []netstack.NodeID
 }
 
+// SimHook, when non-nil, is called with each trial's Simulator right
+// after creation, before any event is scheduled. It exists for the
+// scheduler-gate tests in the repo root, which use it to enable the
+// kernel's shadow order checker on full protocol scenarios.
+var SimHook func(*sim.Simulator)
+
 // Run executes one simulation and returns its measurements.
 func Run(p Params) Result {
 	s := sim.New(p.Seed)
+	if SimHook != nil {
+		SimHook(s)
+	}
 	mobSpec := p.Mobility
 	if mobSpec.Model == "" {
 		// The paper's random waypoint, from the legacy scalar fields.

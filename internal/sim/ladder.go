@@ -1,0 +1,422 @@
+package sim
+
+// This file implements the ladder queue behind the Simulator API: a
+// multi-tier event structure that keeps enqueue/dequeue O(1) amortized for
+// the dense near-future timer traffic of a large simulation (MAC
+// retransmit/backoff, ACK timeouts, beacons, mobility ticks) while the
+// firing order stays the exact (at, seq) total order of the original heap.
+//
+// Tiers, nearest first:
+//
+//   - bottom: the original indexed 4-ary min-heap, restricted to the few
+//     events promoted from the current bucket. All global pops come from
+//     here, so the FIFO tie-break among equal times is enforced by the
+//     same comparator the heap-only scheduler used.
+//   - rungs: bucket arrays. rungs[0] is the wheel spread over the current
+//     epoch's span; rungs[r+1] is a finer wheel spawned from one oversized
+//     bucket of rungs[r]. Inserting into a rung is O(1): index the bucket,
+//     append.
+//   - top: an unsorted overflow list for events at or past the current
+//     epoch (at >= topStart). Insertion is O(1); the list is spread into a
+//     fresh rungs[0] when everything nearer has drained.
+//
+// Time partition invariant (left to right, earliest to latest):
+//
+//	bottom < lowBound <= rung events < topStart <= top events
+//
+// where lowBound is the consumption boundary: the start of the finest
+// rung's first unconsumed bucket. New events route by comparing `at`
+// against lowBound and topStart, so the partition is maintained without
+// ever scanning a tier.
+//
+// Promotion (refill) runs when bottom drains: the finest rung's next
+// non-empty bucket either dumps into bottom (<= ladderThresh events, or
+// the bucket is unsplittable) or spawns a finer rung sized so the expected
+// occupancy is ~1 event per bucket. Each event is therefore touched O(1)
+// times on its way down (ladder property: occupancy shrinks geometrically
+// with each spawn), and the bottom heap stays small, so its log cost is a
+// small constant rather than log of the total pending count.
+//
+// Degradation to heap behavior: when the pending set is tiny (<=
+// ladderThresh), or a bucket cannot be split further (all events at one
+// timestamp, bucket width already 1ns, or maxRungs reached), the events
+// are simply pushed into the bottom heap — exactly the pre-ladder
+// scheduler. Correctness never depends on the bucket geometry; only the
+// constant factors do.
+const (
+	// ladderThresh is the bucket size at or below which promotion dumps
+	// straight into the bottom heap instead of spawning a finer rung.
+	ladderThresh = 32
+	// maxRungBuckets caps any rung's bucket count (bounds memory for
+	// million-event epochs; deeper rungs absorb the excess occupancy).
+	maxRungBuckets = 1 << 15
+	// maxRungs bounds the ladder depth; beyond it buckets dump to bottom.
+	maxRungs = 8
+	// minBucketWidth is the finest bucket granularity. Time is integer
+	// nanoseconds, so a 1ns bucket can only hold equal-time events, which
+	// no split can separate — the bottom heap's (at, seq) comparator
+	// orders them instead.
+	minBucketWidth = Time(1)
+)
+
+// Event location tags (Event.loc). Values >= 0 index s.rungs.
+const (
+	locNone   int32 = -1 // not queued (free, fired, or canceled)
+	locBottom int32 = -2 // in the bottom heap; Event.index is the heap slot
+	locTop    int32 = -3 // in the top list; Event.index is the slot
+)
+
+// rung is one bucket array of the ladder: buckets of `width` covering
+// [start, start + used*width). Buckets before cur are consumed (empty).
+// rungs and their bucket slices are pooled per Simulator, so steady-state
+// epochs allocate nothing once warm.
+type rung struct {
+	start Time
+	width Time
+	// endT is the exact end of the region this rung covers: start + the
+	// span it was spawned for. It is NOT start + used*width — the ceil
+	// rounding of the bucket width can make used*width overshoot the
+	// span, and treating that overshoot as covered would advance the
+	// consumption boundary (lowBound) into a region the parent rung still
+	// holds events for, breaking FIFO at the boundary timestamps.
+	endT    Time
+	cur     int
+	used    int
+	count   int // events currently stored across buckets
+	buckets [][]*Event
+}
+
+func (r *rung) end() Time { return r.endT }
+
+// reset prepares a pooled rung for a new span, growing the bucket table to
+// `used` entries and clearing any stale lengths.
+func (r *rung) reset(start, end, width Time, used int) {
+	r.start, r.endT, r.width, r.used, r.cur, r.count = start, end, width, used, 0, 0
+	for used > len(r.buckets) {
+		r.buckets = append(r.buckets, nil)
+	}
+	for i := 0; i < used; i++ {
+		r.buckets[i] = r.buckets[i][:0]
+	}
+}
+
+// schedule routes ev into the tier its deadline belongs to. The event's
+// at and seq must already be set.
+func (s *Simulator) schedule(ev *Event) {
+	if s.check != nil {
+		s.check.push(ev.at, ev.seq)
+	}
+	s.npend++
+	at := ev.at
+	if at >= s.topStart {
+		ev.loc, ev.index = locTop, int32(len(s.top))
+		s.top = append(s.top, ev)
+		return
+	}
+	if at < s.lowBound || len(s.rungs) == 0 {
+		s.bottomPush(ev)
+		return
+	}
+	// Finest rung first: the unconsumed regions of the rung stack tile
+	// [lowBound, topStart) contiguously, finest nearest, so the first rung
+	// whose span contains `at` is the right one.
+	for i := len(s.rungs) - 1; i >= 0; i-- {
+		r := s.rungs[i]
+		if at >= r.end() && i > 0 {
+			continue
+		}
+		idx := int((at - r.start) / r.width)
+		b := r.buckets[idx]
+		ev.loc, ev.bucket, ev.index = int32(i), int32(idx), int32(len(b))
+		r.buckets[idx] = append(b, ev)
+		r.count++
+		return
+	}
+	panic("sim: unreachable — rung walk found no tier")
+}
+
+// unlink removes a still-queued event from whatever tier holds it, without
+// releasing the node. Top and rung removal are O(1) swap-removes (bucket
+// order is irrelevant — ordering happens in the bottom heap); bottom
+// removal is the indexed heap delete.
+func (s *Simulator) unlink(ev *Event) {
+	if s.check != nil {
+		s.check.deleted[ev.seq] = struct{}{}
+	}
+	s.npend--
+	switch ev.loc {
+	case locBottom:
+		s.bottomRemove(int(ev.index))
+	case locTop:
+		i := int(ev.index)
+		last := len(s.top) - 1
+		moved := s.top[last]
+		s.top[i] = moved
+		moved.index = int32(i)
+		s.top[last] = nil
+		s.top = s.top[:last]
+	default:
+		r := s.rungs[ev.loc]
+		b := r.buckets[ev.bucket]
+		i := int(ev.index)
+		last := len(b) - 1
+		moved := b[last]
+		b[i] = moved
+		moved.index = int32(i)
+		b[last] = nil
+		r.buckets[ev.bucket] = b[:last]
+		r.count--
+	}
+	ev.loc = locNone
+}
+
+// refill promotes events toward the bottom heap until it is non-empty,
+// reporting whether any event is pending at all. It never fires anything,
+// so it is safe to call from peeks (RunUntil) as well as Step.
+func (s *Simulator) refill() bool {
+	for len(s.bottom) == 0 {
+		if n := len(s.rungs); n > 0 {
+			r := s.rungs[n-1]
+			for r.cur < r.used && len(r.buckets[r.cur]) == 0 {
+				r.cur++
+			}
+			if r.cur == r.used {
+				// Rung exhausted; recycle it, and advance the consumption
+				// boundary to its end. If the rung's trailing buckets were
+				// empty, lowBound still sits at the last bucket actually
+				// promoted — leaving it there would route later arrivals in
+				// [lowBound, r.end()) into the next-coarser rung's already
+				// consumed bucket, stranding them (they'd never be scanned
+				// again and would violate FIFO at their timestamp).
+				s.lowBound = r.end()
+				s.rungs = s.rungs[:n-1]
+				s.rungPool = append(s.rungPool, r)
+				continue
+			}
+			b := r.buckets[r.cur]
+			bStart := r.start + Time(r.cur)*r.width
+			r.cur++
+			r.count -= len(b)
+			if len(b) <= ladderThresh || r.width <= minBucketWidth || len(s.rungs) >= maxRungs {
+				// Small or unsplittable bucket: order it in the bottom
+				// heap (the degraded-to-heap path). The last bucket's
+				// nominal end can overshoot the rung's true span (ceil
+				// rounding); clamp so lowBound never crosses into the
+				// parent rung's still-pending region.
+				bEnd := bStart + r.width
+				if bEnd > r.endT {
+					bEnd = r.endT
+				}
+				s.lowBound = bEnd
+				for _, ev := range b {
+					s.bottomPush(ev)
+				}
+			} else {
+				// Oversized bucket: spawn a finer rung across its span.
+				s.spawnRung(bStart, r.width, b)
+				s.lowBound = bStart
+			}
+			r.buckets[r.cur-1] = b[:0]
+			continue
+		}
+		if len(s.top) == 0 {
+			return false
+		}
+		s.spreadTop()
+	}
+	return true
+}
+
+// spawnRung spreads the events of one oversized bucket spanning
+// [start, start+span) into a fresh finest rung sized for ~1 event per
+// bucket.
+func (s *Simulator) spawnRung(start, span Time, evs []*Event) {
+	nb := len(evs)
+	if nb > maxRungBuckets {
+		nb = maxRungBuckets
+	}
+	width := (span + Time(nb) - 1) / Time(nb)
+	if width < minBucketWidth {
+		width = minBucketWidth
+	}
+	used := int((span + width - 1) / width)
+	r := s.getRung(start, start+span, width, used)
+	loc := int32(len(s.rungs))
+	s.rungs = append(s.rungs, r)
+	for _, ev := range evs {
+		idx := int((ev.at - start) / width)
+		b := r.buckets[idx]
+		ev.loc, ev.bucket, ev.index = loc, int32(idx), int32(len(b))
+		r.buckets[idx] = append(b, ev)
+	}
+	r.count = len(evs)
+}
+
+// spreadTop starts a new epoch: the overflow list becomes rungs[0], a
+// wheel across the list's exact [min, max] span, and topStart moves past
+// it. Called only when bottom and all rungs are empty. A small overflow
+// skips the wheel entirely and heaps directly — the sparse-queue fast
+// path (and the other degraded-to-heap case).
+func (s *Simulator) spreadTop() {
+	lo, hi := s.top[0].at, s.top[0].at
+	for _, ev := range s.top[1:] {
+		if ev.at < lo {
+			lo = ev.at
+		}
+		if ev.at > hi {
+			hi = ev.at
+		}
+	}
+	if len(s.top) <= ladderThresh {
+		for i, ev := range s.top {
+			s.bottomPush(ev)
+			s.top[i] = nil
+		}
+		s.top = s.top[:0]
+		s.topStart = hi + 1
+		s.lowBound = hi + 1
+		return
+	}
+	nb := len(s.top)
+	if nb > maxRungBuckets {
+		nb = maxRungBuckets
+	}
+	span := hi - lo + 1
+	width := (span + Time(nb) - 1) / Time(nb)
+	if width < minBucketWidth {
+		width = minBucketWidth
+	}
+	used := int((span + width - 1) / width)
+	r := s.getRung(lo, hi+1, width, used)
+	s.rungs = append(s.rungs, r)
+	for i, ev := range s.top {
+		idx := int((ev.at - lo) / width)
+		b := r.buckets[idx]
+		ev.loc, ev.bucket, ev.index = 0, int32(idx), int32(len(b))
+		r.buckets[idx] = append(b, ev)
+		s.top[i] = nil
+	}
+	r.count = len(s.top)
+	s.top = s.top[:0]
+	s.topStart = r.end()
+	s.lowBound = r.start
+}
+
+// getRung takes a rung from the pool (or allocates one) and sizes it for
+// the region [start, end).
+func (s *Simulator) getRung(start, end, width Time, used int) *rung {
+	var r *rung
+	if n := len(s.rungPool); n > 0 {
+		r = s.rungPool[n-1]
+		s.rungPool = s.rungPool[:n-1]
+	} else {
+		r = &rung{}
+	}
+	r.reset(start, end, width, used)
+	return r
+}
+
+// --- bottom tier: the original indexed 4-ary min-heap ------------------
+
+// arity is the heap branching factor. Four keeps the tree half as deep as
+// a binary heap; sift-down scans up to four children in one cache line of
+// pointers, which profiles faster than the extra depth costs.
+const arity = 4
+
+// less orders events by (at, seq): earliest first, FIFO among equals.
+// This comparator alone decides the global firing order — every event
+// reaches the bottom heap before it can fire.
+func less(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *Simulator) bottomPush(ev *Event) {
+	ev.loc = locBottom
+	ev.index = int32(len(s.bottom))
+	s.bottom = append(s.bottom, ev)
+	s.siftUp(int(ev.index))
+}
+
+func (s *Simulator) bottomPop() *Event {
+	root := s.bottom[0]
+	n := len(s.bottom) - 1
+	last := s.bottom[n]
+	s.bottom[n] = nil
+	s.bottom = s.bottom[:n]
+	if n > 0 {
+		s.bottom[0] = last
+		last.index = 0
+		s.siftDown(0)
+	}
+	root.loc = locNone
+	s.npend--
+	return root
+}
+
+// bottomRemove deletes the node at position i, restoring heap order around
+// the displaced tail node.
+func (s *Simulator) bottomRemove(i int) {
+	n := len(s.bottom) - 1
+	last := s.bottom[n]
+	s.bottom[n] = nil
+	s.bottom = s.bottom[:n]
+	if i < n {
+		s.bottom[i] = last
+		last.index = int32(i)
+		if !s.siftDown(i) {
+			s.siftUp(i)
+		}
+	}
+}
+
+func (s *Simulator) siftUp(i int) {
+	ev := s.bottom[i]
+	for i > 0 {
+		parent := (i - 1) / arity
+		p := s.bottom[parent]
+		if !less(ev, p) {
+			break
+		}
+		s.bottom[i] = p
+		p.index = int32(i)
+		i = parent
+	}
+	s.bottom[i] = ev
+	ev.index = int32(i)
+}
+
+// siftDown moves the node at i toward the leaves; it reports whether the
+// node moved.
+func (s *Simulator) siftDown(i int) bool {
+	ev := s.bottom[i]
+	start := i
+	n := len(s.bottom)
+	for {
+		first := i*arity + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + arity
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if less(s.bottom[c], s.bottom[best]) {
+				best = c
+			}
+		}
+		if !less(s.bottom[best], ev) {
+			break
+		}
+		s.bottom[i] = s.bottom[best]
+		s.bottom[i].index = int32(i)
+		i = best
+	}
+	s.bottom[i] = ev
+	ev.index = int32(i)
+	return i != start
+}

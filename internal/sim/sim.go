@@ -7,10 +7,36 @@
 // parallelism is obtained by running many Simulator instances concurrently
 // (one per trial, see internal/runner).
 //
-// The event queue is an indexed 4-ary min-heap over a freelist of pooled
-// Event structs: scheduling in the steady state allocates nothing, and the
-// shallower heap does fewer cache-missing compares per sift than a binary
-// heap. Because Event structs are recycled, user code holds Timer handles
+// The event queue is a ladder queue (see ladder.go) over a freelist of
+// pooled Event structs: a near-future bucket wheel absorbs the dense timer
+// traffic of a large simulation in O(1) amortized time per event, an
+// overflow ladder of progressively finer rungs holds far-future events,
+// and a small indexed 4-ary min-heap — the original heap-only scheduler,
+// demoted to the "bottom" tier — totally orders the handful of imminent
+// events. Firing order is the exact (at, seq) order the heap-only
+// scheduler produced: equal-time events run FIFO in schedule order, so a
+// seed's output is byte-identical whichever structure queued the events
+// (enforced by the differential fuzz test against the reference heap,
+// FuzzLadderVsHeap).
+//
+// Amortized cost per operation:
+//
+//	At/After:    O(1) — bucket index + append (O(log b) for the b imminent
+//	             events already promoted to the bottom heap, with b small)
+//	Step:        O(1) — bottom-heap pop of size <= ~ladderThresh, plus each
+//	             event's O(1) share of bucket promotion
+//	Cancel:      O(1) in a bucket or the overflow list (swap-remove);
+//	             O(log b) in the bottom heap
+//	Reschedule:  one unlink + one insert of the same pooled node
+//	RunUntil:    peek is O(1) after the same promotion work Step would do
+//
+// When the pending set is tiny, or events cluster so tightly that buckets
+// cannot split further (equal timestamps, 1ns widths, maxRungs deep), the
+// ladder degrades gracefully to exactly the old heap: everything sits in
+// the bottom tier and costs O(log n). See ladder.go for the bucket width
+// policy and the tier invariants.
+//
+// Because Event structs are recycled, user code holds Timer handles
 // rather than raw *Event pointers: a Timer carries the generation of the
 // node it was issued for, so Cancel or Reschedule through a stale handle
 // (after the event fired, was canceled, or its storage was reused) is a
@@ -31,11 +57,16 @@ type Time = time.Duration
 // Event is a pooled scheduler node. User code never constructs or holds
 // Events directly; At, After, and Reschedule return Timer handles.
 type Event struct {
-	at    Time
-	seq   uint64 // tie-break so equal-time events run FIFO
-	fn    func()
-	index int32  // heap position, -1 when not queued
-	gen   uint32 // bumped whenever the node returns to the freelist
+	at  Time
+	seq uint64 // tie-break so equal-time events run FIFO
+	fn  func()
+	// loc says which tier holds the event (locNone / locBottom / locTop /
+	// a rung index); index is its slot in that tier, and bucket the bucket
+	// within a rung.
+	loc    int32
+	index  int32
+	bucket int32
+	gen    uint32 // bumped whenever the node returns to the freelist
 }
 
 // Timer is a handle to a scheduled event. The zero Timer is inert: Cancel
@@ -50,13 +81,8 @@ type Timer struct {
 
 // Pending reports whether the timer's event is still scheduled.
 func (t Timer) Pending() bool {
-	return t.ev != nil && t.gen == t.ev.gen && t.ev.index >= 0
+	return t.ev != nil && t.gen == t.ev.gen && t.ev.loc != locNone
 }
-
-// arity is the heap branching factor. Four keeps the tree half as deep as
-// a binary heap; sift-down scans up to four children in one cache line of
-// pointers, which profiles faster than the extra depth costs.
-const arity = 4
 
 // eventChunk is how many Event structs the freelist grows by at a time.
 const eventChunk = 128
@@ -64,12 +90,25 @@ const eventChunk = 128
 // Simulator is a discrete-event scheduler with a virtual clock.
 type Simulator struct {
 	now    Time
-	heap   []*Event
-	free   []*Event
 	seq    uint64
 	rng    *rand.Rand
 	fired  uint64
 	maxGas uint64 // safety bound on total events; 0 = unlimited
+	free   []*Event
+	npend  int
+
+	// Ladder-queue tiers; see ladder.go for the structure and invariants.
+	bottom   []*Event // indexed 4-ary heap of imminent events
+	rungs    []*rung  // bucket wheels, coarsest first
+	top      []*Event // unsorted overflow: at >= topStart
+	lowBound Time     // bottom/rung boundary: bottom events are < lowBound
+	topStart Time     // rung/top boundary: top events are >= topStart
+	rungPool []*rung
+
+	// check, when non-nil, mirrors every operation into a reference
+	// (at, seq) heap and panics on the first out-of-order firing. See
+	// debugcheck.go; tests only.
+	check *shadowChecker
 }
 
 // New returns a Simulator whose RNG is seeded with seed.
@@ -92,7 +131,7 @@ func (s *Simulator) SetEventLimit(n uint64) { s.maxGas = n }
 func (s *Simulator) Fired() uint64 { return s.fired }
 
 // Pending returns the number of events currently scheduled.
-func (s *Simulator) Pending() int { return len(s.heap) }
+func (s *Simulator) Pending() int { return s.npend }
 
 // alloc takes an Event node from the freelist, growing it by a chunk when
 // empty so steady-state scheduling never touches the garbage collector.
@@ -105,10 +144,10 @@ func (s *Simulator) alloc() *Event {
 	}
 	chunk := make([]Event, eventChunk)
 	for i := 1; i < eventChunk; i++ {
-		chunk[i].index = -1
+		chunk[i].loc = locNone
 		s.free = append(s.free, &chunk[i])
 	}
-	chunk[0].index = -1
+	chunk[0].loc = locNone
 	return &chunk[0]
 }
 
@@ -116,7 +155,7 @@ func (s *Simulator) alloc() *Event {
 // generation invalidates every Timer issued for the node's previous life.
 func (s *Simulator) release(ev *Event) {
 	ev.fn = nil
-	ev.index = -1
+	ev.loc = locNone
 	ev.gen++
 	s.free = append(s.free, ev)
 }
@@ -132,7 +171,7 @@ func (s *Simulator) At(at Time, fn func()) Timer {
 	ev.seq = s.seq
 	ev.fn = fn
 	s.seq++
-	s.heapPush(ev)
+	s.schedule(ev)
 	return Timer{ev: ev, gen: ev.gen}
 }
 
@@ -142,11 +181,12 @@ func (s *Simulator) After(d Time, fn func()) Timer {
 }
 
 // Reschedule moves t's event to fire fn at absolute time at. When t is
-// still pending its queue node is updated in place — no cancel+allocate
-// churn, one heap fix — which is the cheap path for the MAC and radio
-// retransmit timers that re-arm on every attempt. When t already fired or
-// was canceled a fresh event is scheduled. Like At, rescheduling into the
-// past panics. The returned Timer supersedes t.
+// still pending its pooled node is reused — one unlink from whichever
+// ladder tier holds it and one re-insert, no cancel+allocate churn —
+// which is the cheap path for the MAC and radio retransmit timers that
+// re-arm on every attempt. When t already fired or was canceled a fresh
+// event is scheduled. Like At, rescheduling into the past panics. The
+// returned Timer supersedes t.
 func (s *Simulator) Reschedule(t Timer, at Time, fn func()) Timer {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: rescheduling event at %v before now %v", at, s.now))
@@ -155,11 +195,12 @@ func (s *Simulator) Reschedule(t Timer, at Time, fn func()) Timer {
 		return s.At(at, fn)
 	}
 	ev := t.ev
+	s.unlink(ev)
 	ev.at = at
 	ev.fn = fn
 	ev.seq = s.seq // a reschedule orders FIFO with fresh schedules
 	s.seq++
-	s.heapFix(int(ev.index))
+	s.schedule(ev)
 	return t
 }
 
@@ -174,16 +215,19 @@ func (s *Simulator) Cancel(t Timer) {
 	if !t.Pending() {
 		return
 	}
-	s.heapRemove(int(t.ev.index))
+	s.unlink(t.ev)
 	s.release(t.ev)
 }
 
 // Step runs the next event. It returns false when the queue is empty.
 func (s *Simulator) Step() bool {
-	if len(s.heap) == 0 {
+	if len(s.bottom) == 0 && !s.refill() {
 		return false
 	}
-	ev := s.heapPop()
+	ev := s.bottomPop()
+	if s.check != nil {
+		s.check.fire(ev)
+	}
 	s.now = ev.at
 	fn := ev.fn
 	// Release before running so fn sees its own timer as spent: canceling
@@ -198,11 +242,11 @@ func (s *Simulator) Step() bool {
 // RunUntil executes events until the clock would pass end or the queue
 // drains. Events scheduled exactly at end do run.
 func (s *Simulator) RunUntil(end Time) {
-	for len(s.heap) > 0 {
+	for len(s.bottom) > 0 || s.refill() {
 		if s.maxGas != 0 && s.fired >= s.maxGas {
 			return
 		}
-		if s.heap[0].at > end {
+		if s.bottom[0].at > end {
 			s.now = end
 			return
 		}
@@ -220,106 +264,4 @@ func (s *Simulator) Run() {
 			return
 		}
 	}
-}
-
-// less orders events by (at, seq): earliest first, FIFO among equals.
-func less(a, b *Event) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-func (s *Simulator) heapPush(ev *Event) {
-	ev.index = int32(len(s.heap))
-	s.heap = append(s.heap, ev)
-	s.siftUp(int(ev.index))
-}
-
-func (s *Simulator) heapPop() *Event {
-	root := s.heap[0]
-	n := len(s.heap) - 1
-	last := s.heap[n]
-	s.heap[n] = nil
-	s.heap = s.heap[:n]
-	if n > 0 {
-		s.heap[0] = last
-		last.index = 0
-		s.siftDown(0)
-	}
-	root.index = -1
-	return root
-}
-
-// heapRemove deletes the node at position i, restoring heap order around
-// the displaced tail node.
-func (s *Simulator) heapRemove(i int) {
-	ev := s.heap[i]
-	n := len(s.heap) - 1
-	last := s.heap[n]
-	s.heap[n] = nil
-	s.heap = s.heap[:n]
-	if i < n {
-		s.heap[i] = last
-		last.index = int32(i)
-		s.heapFix(i)
-	}
-	ev.index = -1
-}
-
-// heapFix restores order after the key at position i changed in either
-// direction.
-func (s *Simulator) heapFix(i int) {
-	if !s.siftDown(i) {
-		s.siftUp(i)
-	}
-}
-
-func (s *Simulator) siftUp(i int) {
-	ev := s.heap[i]
-	for i > 0 {
-		parent := (i - 1) / arity
-		p := s.heap[parent]
-		if !less(ev, p) {
-			break
-		}
-		s.heap[i] = p
-		p.index = int32(i)
-		i = parent
-	}
-	s.heap[i] = ev
-	ev.index = int32(i)
-}
-
-// siftDown moves the node at i toward the leaves; it reports whether the
-// node moved.
-func (s *Simulator) siftDown(i int) bool {
-	ev := s.heap[i]
-	start := i
-	n := len(s.heap)
-	for {
-		first := i*arity + 1
-		if first >= n {
-			break
-		}
-		best := first
-		end := first + arity
-		if end > n {
-			end = n
-		}
-		for c := first + 1; c < end; c++ {
-			if less(s.heap[c], s.heap[best]) {
-				best = c
-			}
-		}
-		if !less(s.heap[best], ev) {
-			break
-		}
-		s.heap[i] = s.heap[best]
-		s.heap[i].index = int32(i)
-		i = best
-	}
-	s.heap[i] = ev
-	ev.index = int32(i)
-	return i != start
 }

@@ -1,0 +1,35 @@
+package slr_test
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"slr/internal/scenario"
+	"slr/internal/sim"
+)
+
+// TestLadderShadowedScenario runs full protocol scenarios with the
+// kernel's shadow order checker enabled: every fired event is verified to
+// be the global (at, seq) minimum, so any ladder-queue ordering bug that
+// only a full-stack workload can trigger fails here with the exact
+// divergent event. The default sizes keep it in tier-1 time; set
+// LADDER_SHADOW_N to gate a larger node count.
+func TestLadderShadowedScenario(t *testing.T) {
+	n := 300
+	if v := os.Getenv("LADDER_SHADOW_N"); v != "" {
+		nv, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("bad LADDER_SHADOW_N %q: %v", v, err)
+		}
+		n = nv
+	}
+	scenario.SimHook = func(s *sim.Simulator) { s.EnableOrderCheck() }
+	defer func() { scenario.SimHook = nil }()
+	for _, proto := range []scenario.ProtocolName{scenario.SRP, scenario.OLSR} {
+		t.Run(string(proto), func(t *testing.T) {
+			r := scenario.Run(largeNParams(proto, n))
+			t.Logf("%s N=%d deliv-ratio %v", proto, n, r.DeliveryRatio)
+		})
+	}
+}
