@@ -212,8 +212,17 @@ func (s *Simulator) refill() bool {
 					s.bottomPush(ev)
 				}
 			} else {
-				// Oversized bucket: spawn a finer rung across its span.
-				s.spawnRung(bStart, r.width, b)
+				// Oversized bucket: spawn a finer rung across its span. Like
+				// the dump path above, the last bucket's nominal width can
+				// overshoot the rung's true span (ceil rounding); clamp the
+				// child's span to r.endT, or the child would claim a window
+				// the next-coarser rung still holds events for, and new
+				// arrivals in that window would fire ahead of them.
+				span := r.width
+				if bStart+span > r.endT {
+					span = r.endT - bStart
+				}
+				s.spawnRung(bStart, span, b)
 				s.lowBound = bStart
 			}
 			r.buckets[r.cur-1] = b[:0]

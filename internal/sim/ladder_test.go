@@ -238,6 +238,142 @@ func TestLadderVsReferenceDeep(t *testing.T) {
 	}
 }
 
+// TestLadderSpawnClampAtRungEnd pins the spawn-path span clamp with the
+// exact geometry that broke it: a depth-1 rung whose ceil-rounded bucket
+// width overshoots its true span (width 3 over a span of 100 → nominal
+// coverage 102), whose last bucket is big enough to spawn a depth-2 child.
+// Unclamped, the child's end() extends past the parent's endT into the
+// window the coarser rung still holds events for, and a new arrival in
+// that window (scheduled from a callback while the child drains) routes
+// into the child and fires before the earlier-timestamped event waiting in
+// the coarser rung — 1101ns before 1100ns, with Now() going backwards.
+//
+// The layout below is built entirely through the public API:
+//
+//   - 40 far-future events spread over [1000, 4999] so spreadTop builds
+//     rungs[0] with width ceil(4000/40) = 100ns;
+//   - 33 of them at t=1099 so rungs[0]'s bucket 0 (34 events) spawns
+//     rungs[1] with width ceil(100/34) = 3ns, whose last bucket
+//     [1099, 1102) ∩ span holds all 33 — enough to spawn rungs[2];
+//   - one event at t=1100, sitting in rungs[0]'s bucket 1;
+//   - the first t=1099 callback schedules t=1101, which must land in
+//     rungs[0]'s bucket 1 behind the 1100 event, not in rungs[2].
+func TestLadderSpawnClampAtRungEnd(t *testing.T) {
+	s := New(1)
+	var fired []Time
+	record := func() { fired = append(fired, s.Now()) }
+
+	var ats []Time
+	add := func(at Time, fn func()) {
+		s.At(at, fn)
+		ats = append(ats, at)
+	}
+
+	add(1000, record)
+	for i := 0; i < 33; i++ {
+		fn := record
+		if i == 0 {
+			// First equal-time event to fire (lowest seq): schedule the
+			// arrival into the overshoot window while rungs[2] drains.
+			fn = func() {
+				fired = append(fired, s.Now())
+				s.At(1101, record)
+			}
+		}
+		add(1099, fn)
+	}
+	add(1100, record)
+	for _, at := range []Time{2000, 2500, 3000, 4000, 4999} {
+		add(at, record)
+	}
+	ats = append(ats, 1101) // the callback-scheduled arrival
+
+	s.Run()
+
+	if len(fired) != len(ats) {
+		t.Fatalf("fired %d events, scheduled %d", len(fired), len(ats))
+	}
+	sortTimes(ats)
+	for i, at := range fired {
+		if at != ats[i] {
+			t.Fatalf("firing %d: got t=%v, want t=%v (full order %v)", i, at, ats[i], fired)
+		}
+		if i > 0 && at < fired[i-1] {
+			t.Fatalf("time went backwards: t=%v fired after t=%v", at, fired[i-1])
+		}
+	}
+}
+
+func sortTimes(ts []Time) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+// TestLadderDeepDrainArrivals is the randomized net over the same class of
+// bug: fractally clustered timestamps force depth>=2 rungs with few-ns
+// spans (where ceil-rounded widths overshoot constantly), and every firing
+// callback schedules fresh events a few nanoseconds ahead — exactly the
+// arrivals that land in a mis-clamped child rung's overshoot window. The
+// general-purpose ladderDiff trace never hit this geometry because its
+// arrival times are spread over milliseconds.
+func TestLadderDeepDrainArrivals(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(seed)
+		model := &refModel{}
+		var seq uint64
+		id := 0
+
+		var onFire func()
+		schedule := func(at Time) {
+			evID := id
+			id++
+			s.At(at, onFire)
+			model.insert(refEv{at: at, seq: seq, id: evID})
+			seq++
+		}
+		onFire = func() {
+			want := model.pop()
+			if want.at != s.Now() {
+				t.Fatalf("seed %d: fired at %v, model expected %v (seq %d)",
+					seed, s.Now(), want.at, want.seq)
+			}
+			// Subcritical branching (mean 1/2 offspring per firing) so the
+			// drain terminates quickly while still spraying arrivals into
+			// whatever rung geometry is active at every depth.
+			if rng.Intn(2) == 0 {
+				schedule(s.Now() + Time(rng.Intn(4)))
+			}
+		}
+
+		// Three nested cluster scales around fixed bases: the wide spread
+		// fixes a coarse rungs[0] width, the µs cluster overflows one of
+		// its buckets into rungs[1], and the ns cluster overflows one of
+		// rungs[1]'s buckets into a 1ns-wide rungs[2].
+		const base = Time(time.Millisecond)
+		for i := 0; i < 1500; i++ {
+			var at Time
+			switch rng.Intn(10) {
+			case 0, 1, 2:
+				at = base + Time(rng.Intn(int(40*time.Millisecond)))
+			case 3, 4, 5:
+				at = base + Time(rng.Intn(int(40*time.Microsecond)))
+			default:
+				at = base + Time(rng.Intn(40))
+			}
+			schedule(at)
+		}
+		for s.Step() {
+		}
+		if len(model.evs) != 0 {
+			t.Fatalf("seed %d: drained sim but model still holds %d events", seed, len(model.evs))
+		}
+	}
+}
+
 // FuzzLadderVsHeap lets the fuzzer pick the trace seed and length. The
 // corpus seeds replay the deterministic property traces; crashers shrink
 // to a (seed, ops) pair that is trivially replayable in ladderDiff.
