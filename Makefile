@@ -5,7 +5,7 @@ GO      ?= go
 SCALE   ?= mid
 WORKERS ?= 0
 
-.PHONY: all build test race bench fmt vet sweep
+.PHONY: all build test race bench fmt vet lint sweep
 
 all: build test
 
@@ -28,14 +28,24 @@ bench:
 	if [ $$st -ne 0 ]; then rm -f bench.out; exit $$st; fi; \
 	$(GO) run ./cmd/benchjson -in bench.out && rm -f bench.out
 
+# The analyzer fixtures under internal/analysis/testdata are deliberately
+# pathological source and sit outside the repo's gofmt gate (the go tool
+# already skips testdata directories for build/vet/test on its own).
 fmt:
-	@out=$$(gofmt -l .); \
+	@out=$$(gofmt -l . | grep -v '^internal/analysis/testdata/' || true); \
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
 vet:
 	$(GO) vet ./...
+
+# slrlint: the repo's determinism analyzers (internal/analysis) behind
+# the go vet unitchecker protocol. Zero unsuppressed diagnostics is the
+# bar; deliberate exceptions carry //slrlint:allow <analyzer> <reason>.
+lint:
+	$(GO) build -o bin/slrlint ./cmd/slrlint
+	$(GO) vet -vettool=$(CURDIR)/bin/slrlint ./...
 
 # Regenerate the paper's Table I and Figures 3-7 on the work-stealing
 # runner. SCALE=full for the paper's exact setup (hours of CPU). -force:

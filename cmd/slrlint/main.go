@@ -1,0 +1,39 @@
+// Command slrlint is the repo's determinism linter: a go/analysis
+// multichecker bundling the four analyzers of internal/analysis
+// (mapiter, walltime, floatfmt, pooledescape), each machine-enforcing an
+// invariant the byte-identical-per-seed contract depends on.
+//
+// It speaks the unitchecker protocol, so it composes with the go tool's
+// vet driver instead of shipping its own loader:
+//
+//	go build -o bin/slrlint ./cmd/slrlint
+//	go vet -vettool=$(pwd)/bin/slrlint ./...
+//
+// (make lint does exactly this.) Single analyzers and flags pass through
+// vet as usual:
+//
+//	go vet -vettool=bin/slrlint -mapiter.tests ./internal/routing/...
+//
+// Suppressions are source comments, not linter config:
+// //slrlint:allow <analyzer> <reason> on (or directly above) the flagged
+// line, with a mandatory reason. See the README's determinism-discipline
+// section for the invariants and their history.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"slr/internal/analysis/floatfmt"
+	"slr/internal/analysis/mapiter"
+	"slr/internal/analysis/pooledescape"
+	"slr/internal/analysis/walltime"
+)
+
+func main() {
+	unitchecker.Main(
+		mapiter.Analyzer,
+		walltime.Analyzer,
+		floatfmt.Analyzer,
+		pooledescape.Analyzer,
+	)
+}

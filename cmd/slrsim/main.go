@@ -49,6 +49,7 @@ import (
 	"slr/internal/runner"
 	"slr/internal/runner/sweepcli"
 	"slr/internal/scenario"
+	"slr/internal/sim"
 	"slr/internal/spec"
 	"slr/internal/sweepd"
 	"slr/internal/traffic"
@@ -77,6 +78,7 @@ func run(args []string) (retErr error) {
 		rate      = fs.Float64("rate", 4, "packets per second per flow")
 		pktSize   = fs.Int("size", 512, "CBR payload bytes")
 		check     = fs.Bool("check", false, "verify loop-freedom invariant during the run")
+		ordrcheck = fs.Bool("ordercheck", false, "shadow the event queue with a reference implementation and verify dispatch order (slow; debugging aid)")
 		trials    = fs.Int("trials", 1, "independent trials (seeds seed..seed+trials-1)")
 		specArg   = fs.String("spec", "", "scenario spec (path or built-in name) as the baseline; explicit flags override it")
 		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to `file`")
@@ -132,6 +134,12 @@ func run(args []string) (retErr error) {
 	proto := scenario.ProtocolName(strings.ToUpper(*protoName))
 	if err := routing.Validate(routing.Spec{Name: string(proto)}); err != nil {
 		return err
+	}
+
+	if *ordrcheck {
+		// Pair every ladder-queue dispatch against a reference queue for
+		// the whole run; the hook attaches it to each trial's fresh kernel.
+		scenario.SimHook = func(s *sim.Simulator) { s.EnableOrderCheck() }
 	}
 
 	var p scenario.Params

@@ -47,6 +47,14 @@
 // finished service's report and checkpoint are byte-identical to a
 // single-process sweep of the same flags.
 //
+// That byte-identical contract is machine-enforced: internal/analysis
+// holds four go/analysis analyzers — map-iteration order escaping into
+// output or scheduling, wall-clock or global-rand use in sim-reachable
+// code, float formatting outside the canonical runner.Key codec, and
+// pooled values retained past their callback — which cmd/slrlint runs
+// over the whole repo through go vet -vettool (make lint). Deliberate
+// exceptions carry //slrlint:allow annotations with mandatory reasons.
+//
 // Workloads are declarative: internal/spec loads versioned JSON scenario
 // files (see examples/scenarios/) that select every model by name from a
 // registry — routing protocols (SRP, LDR, AODV, DSR, OLSR via

@@ -1,0 +1,29 @@
+// Package analysis is the home of slrlint, the repo's determinism
+// linter: four golang.org/x/tools/go/analysis analyzers that machine-
+// enforce the invariants every PR since PR 1 has re-proven by hand.
+//
+// The repo's contract is that a trial's JSONL output is a byte-identical
+// function of its seed — across worker counts, shards, resumed runs and
+// coordinator/worker topologies. Each analyzer encodes one way Go code
+// has broken (or could break) that contract:
+//
+//   - mapiter: map-iteration order escaping into output or scheduling
+//     (the PR 1 OLSR/SRP bug class — BFS seeded in range-over-map order).
+//   - walltime: wall-clock reads or global math/rand in sim-reachable
+//     code; all time must come from sim.Now(), all randomness from
+//     seeded per-trial sources.
+//   - floatfmt: shortest-form float formatting outside runner.Key, the
+//     PR 6 canonical codec that keeps identity keys injective and equal
+//     to the JSON encoder's rendering.
+//   - pooledescape: pooled values (*sim.Event, control envelopes, radio
+//     rx nodes) retained past the callback that received them — the
+//     use-after-recycle hazard of the PR 1/PR 3 pooling.
+//
+// Deliberate exceptions carry //slrlint:allow <analyzer> <reason> on or
+// directly above the flagged line; the reason is mandatory. cmd/slrlint
+// bundles the analyzers behind the unitchecker protocol so `go vet
+// -vettool` (make lint) drives them over the whole repo; the fixtures
+// under testdata/ are deliberately pathological and excluded from the
+// repo-wide gates (the go tool skips testdata directories by itself, and
+// make fmt excludes them explicitly).
+package analysis

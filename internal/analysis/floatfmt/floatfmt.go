@@ -1,0 +1,184 @@
+// Package floatfmt defines an analyzer that flags shortest-form float
+// formatting outside the canonical runner.Key codec. PR 6 made
+// Key.String the single source of shortest-float truth: its
+// strconv.FormatFloat(v, 'g', -1, 64) rendering is what makes identity
+// keys injective and equal to the JSON encoder's semantics, so dedup
+// maps, resume skip-sets, lease tables and the /v1 wire format all agree.
+// A second, drifting float-to-string path (a %v verb, an fmt.Sprint, a
+// stray FormatFloat) can silently disagree with that codec — two
+// renderings of one pause value stop comparing equal — so every such
+// site must either be the codec or explain itself.
+package floatfmt
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"slr/internal/analysis/slrlint"
+)
+
+const doc = `flag shortest-float formatting outside the canonical runner.Key codec
+
+Reports float arguments formatted with %v (fmt's shortest-form rendering,
+the same rule the JSON encoder and Key.String apply), floats passed to
+the non-verb fmt functions (Sprint, Print, Fprintln, ...), and direct
+strconv.FormatFloat/AppendFloat calls. Fixed-precision verbs (%.4f, %g
+with an explicit precision) are report formatting, not identity encoding,
+and stay legal; so is fmt.Errorf, whose output is human-facing error
+text that never participates in identity comparison.
+
+The -allow flag lists the sanctioned codec functions (default
+runner.Key.String); other deliberate sites annotate with
+//slrlint:allow floatfmt <reason>.`
+
+// allowFuncs are the functions allowed to format floats shortest-form.
+var allowFuncs = slrlint.NewList("slr/internal/runner.Key.String")
+
+// Analyzer is the floatfmt analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "floatfmt",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var checkTests *bool
+
+func init() {
+	checkTests = slrlint.TestsFlag(Analyzer)
+	Analyzer.Flags.Var(allowFuncs, "allow",
+		"comma-separated pkg/path.Func (or pkg/path.Recv.Func) patterns allowed to format floats shortest-form")
+}
+
+// nonFormat maps fmt's non-verb print functions to the index of their
+// first value argument.
+var nonFormat = map[string]int{
+	"Sprint": 0, "Sprintln": 0, "Print": 0, "Println": 0,
+	"Fprint": 1, "Fprintln": 1, "Append": 1, "Appendln": 1,
+}
+
+// withFormat maps fmt's verb-driven functions to their format-string
+// argument index. Errorf is deliberately absent: error text is
+// human-facing diagnostics, never compared against the Key codec.
+var withFormat = map[string]int{
+	"Sprintf": 0, "Printf": 0, "Fprintf": 1, "Appendf": 1,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	sup := slrlint.NewSuppressor(pass, *checkTests)
+
+	insp.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		call := n.(*ast.CallExpr)
+		fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if fd := slrlint.TopDecl(stack); fd != nil &&
+			allowFuncs.MatchFunc(pass.Pkg.Path(), declSym(fd)) {
+			return true
+		}
+		name := fn.Name()
+		switch fn.Pkg().Path() {
+		case "strconv":
+			if name == "FormatFloat" || name == "AppendFloat" {
+				sup.Reportf(call.Pos(), "strconv.%s formats a float outside the canonical runner.Key codec; route identity-sensitive floats through Key.String or annotate with //slrlint:allow floatfmt <reason>", name)
+			}
+		case "fmt":
+			if call.Ellipsis.IsValid() {
+				return true // a spread argument list cannot be paired with verbs
+			}
+			if start, ok := nonFormat[name]; ok {
+				for _, arg := range call.Args[min(start, len(call.Args)):] {
+					if isFloat(pass.TypesInfo.TypeOf(arg)) {
+						sup.Reportf(arg.Pos(), "float passed to fmt.%s renders shortest-form like the Key codec; use an explicit precision verb or annotate with //slrlint:allow floatfmt <reason>", name)
+					}
+				}
+			}
+			if fi, ok := withFormat[name]; ok && fi < len(call.Args) {
+				checkFormat(pass, sup, name, call, fi)
+			}
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// declSym renders the Recv.Name (or Name) part of a declaration for
+// allow-list matching.
+func declSym(fd *ast.FuncDecl) string {
+	full := slrlint.DeclName("", fd)
+	return full[1:] // DeclName("", fd) == "." + sym
+}
+
+// checkFormat pairs a constant format string's verbs with the call's
+// variadic arguments and reports float arguments formatted with %v.
+func checkFormat(pass *analysis.Pass, sup *slrlint.Suppressor, name string, call *ast.CallExpr, fi int) {
+	tv := pass.TypesInfo.Types[call.Args[fi]]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // dynamic format string: nothing to pair against
+	}
+	verbs, ok := parseVerbs(constant.StringVal(tv.Value))
+	if !ok {
+		return // *-widths or explicit indexes: pairing would be a guess
+	}
+	args := call.Args[fi+1:]
+	for i, v := range verbs {
+		if i >= len(args) {
+			break
+		}
+		if v == 'v' && isFloat(pass.TypesInfo.TypeOf(args[i])) {
+			sup.Reportf(args[i].Pos(), "float formatted with %%v in fmt.%s renders shortest-form like the Key codec; use an explicit precision verb or annotate with //slrlint:allow floatfmt <reason>", name)
+		}
+	}
+}
+
+// parseVerbs extracts the verb letters of a format string in argument
+// order. It reports !ok for formats it cannot pair positionally
+// (* width/precision, %[n] indexes).
+func parseVerbs(s string) ([]byte, bool) {
+	var verbs []byte
+	for i := 0; i < len(s); i++ {
+		if s[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(s) && s[i] == '%' {
+			continue
+		}
+		for i < len(s) {
+			c := s[i]
+			if c == '*' || c == '[' {
+				return nil, false
+			}
+			// flags, width, precision
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' ||
+				c == '.' || (c >= '1' && c <= '9') {
+				i++
+				continue
+			}
+			verbs = append(verbs, c)
+			break
+		}
+	}
+	return verbs, true
+}
+
+// isFloat reports whether t's core type is a floating-point kind,
+// including named float types and untyped float constants.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,14 @@
+package floatfmt_test
+
+import (
+	"testing"
+
+	"slr/internal/analysis/atest"
+	"slr/internal/analysis/floatfmt"
+)
+
+func TestFloatfmt(t *testing.T) {
+	// runner exercises the function allowlist: the fixture Key.String is
+	// the sanctioned codec, while its unlisted neighbor is still flagged.
+	atest.Run(t, "../testdata", floatfmt.Analyzer, "floatfmt", "runner")
+}

@@ -1,0 +1,12 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"slr/internal/analysis/atest"
+	"slr/internal/analysis/mapiter"
+)
+
+func TestMapiter(t *testing.T) {
+	atest.Run(t, "../testdata", mapiter.Analyzer, "mapiter")
+}

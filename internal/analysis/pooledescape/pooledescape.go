@@ -1,0 +1,156 @@
+// Package pooledescape defines an analyzer that flags retaining a pooled
+// value past the callback that received it. The PR 1/PR 3 pooling made
+// *sim.Event, netstack's control envelopes and radio's rx nodes recycled
+// storage: the owner reuses them the moment the callback returns, so a
+// copy parked in a struct field, package variable or channel is a
+// use-after-recycle bug that manifests as another event's data. The
+// sanctioned way to keep a reference is a generation-checked handle
+// (sim.Timer), which turns stale use into a no-op.
+package pooledescape
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"slr/internal/analysis/slrlint"
+)
+
+const doc = `flag pooled values retained past the callback that received them
+
+Reports storing a pointer to a pooled type (-types, default *sim.Event,
+netstack's control envelopes, radio's rx nodes) into a struct field,
+package variable, element of either, or a channel. Local variables and
+direct use inside the receiving callback are fine; so is each pool's own
+package, whose freelists legitimately retain their nodes. Deliberate
+retention elsewhere annotates with //slrlint:allow pooledescape <reason>.
+
+The check is shallow by design: it sees the pointer itself escape, not a
+struct that wraps one. Wrapping a pooled pointer in a new struct is
+exactly what sim.Timer is for — a generation-checked handle that makes
+stale use a safe no-op — so reach for that instead of a bare copy.`
+
+// pooledTypes names the recycled types whose pointers must not outlive
+// their callback.
+var pooledTypes = slrlint.NewList(
+	"slr/internal/sim.Event",
+	"slr/internal/netstack.controlEnvelope",
+	"slr/internal/radio.rx",
+)
+
+// Analyzer is the pooledescape analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "pooledescape",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var checkTests *bool
+
+func init() {
+	checkTests = slrlint.TestsFlag(Analyzer)
+	Analyzer.Flags.Var(pooledTypes, "types",
+		"comma-separated pkg/path.Type patterns of pooled types")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	sup := slrlint.NewSuppressor(pass, *checkTests)
+
+	insp.Preorder([]ast.Node{(*ast.AssignStmt)(nil), (*ast.SendStmt)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if name, ok := pooled(pass, pass.TypesInfo.TypeOf(n.Value)); ok {
+				sup.Reportf(n.Value.Pos(), "pooled *%s sent on a channel outlives the callback that received it; the owner recycles it on return (use a generation-checked handle like sim.Timer, or //slrlint:allow pooledescape <reason>)", name)
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return
+			}
+			for i, rhs := range n.Rhs {
+				lhs := n.Lhs[i]
+				if !persistent(pass, lhs) {
+					continue
+				}
+				if name, ok := pooled(pass, pass.TypesInfo.TypeOf(rhs)); ok {
+					sup.Reportf(rhs.Pos(), "pooled *%s stored in %s outlives the callback that received it; the owner recycles it on return (use a generation-checked handle like sim.Timer, or //slrlint:allow pooledescape <reason>)", name, types.ExprString(lhs))
+					continue
+				}
+				// x.evs = append(x.evs, ev): the appended element is what
+				// escapes into the persistent slice.
+				if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+					for _, arg := range call.Args[1:] {
+						if name, ok := pooled(pass, pass.TypesInfo.TypeOf(arg)); ok {
+							sup.Reportf(arg.Pos(), "pooled *%s appended to %s outlives the callback that received it; the owner recycles it on return (use a generation-checked handle like sim.Timer, or //slrlint:allow pooledescape <reason>)", name, types.ExprString(lhs))
+						}
+					}
+				}
+			}
+		}
+	})
+	return nil, nil
+}
+
+// pooled reports whether t is a pointer to a configured pooled type and
+// the current package is not the pool's own.
+func pooled(pass *analysis.Pass, t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	if _, ok := types.Unalias(t).(*types.Pointer); !ok {
+		return "", false
+	}
+	for _, pat := range pooledTypes.Items {
+		if !slrlint.MatchNamed(t, pat) {
+			continue
+		}
+		// The defining package is the pool owner: its freelists and queue
+		// tiers retain nodes by construction.
+		pkgPat, _ := slrlint.SplitSymbol(pat)
+		if slrlint.MatchPkg(pkgPat, pass.Pkg.Path()) {
+			return "", false
+		}
+		n := slrlint.Named(t)
+		return n.Obj().Name(), true
+	}
+	return "", false
+}
+
+// persistent reports whether an assignment destination outlives the
+// enclosing call: a struct field, a package-level variable, or an element
+// reached through one.
+func persistent(pass *analysis.Pass, lhs ast.Expr) bool {
+	switch l := lhs.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[l]; ok {
+			return sel.Kind() == types.FieldVal
+		}
+		// Qualified identifier: pkg.Var.
+		return pkgLevelVar(pass.TypesInfo.Uses[l.Sel])
+	case *ast.Ident:
+		return pkgLevelVar(pass.TypesInfo.Uses[l])
+	case *ast.IndexExpr:
+		return persistent(pass, l.X)
+	case *ast.ParenExpr:
+		return persistent(pass, l.X)
+	}
+	return false
+}
+
+func pkgLevelVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}

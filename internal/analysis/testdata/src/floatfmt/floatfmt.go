@@ -1,0 +1,62 @@
+// Package floatfmt holds fixtures for the floatfmt analyzer: shortest-
+// form float rendering outside the canonical Key codec is flagged;
+// fixed-precision report formatting stays legal.
+package floatfmt
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type metres float64
+
+func badFormatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64) // want `strconv\.FormatFloat formats a float outside the canonical runner\.Key codec`
+}
+
+func badAppendFloat(b []byte, v float64) []byte {
+	return strconv.AppendFloat(b, v, 'g', -1, 64) // want `strconv\.AppendFloat formats a float outside the canonical runner\.Key codec`
+}
+
+func badSprint(v float64) string {
+	return fmt.Sprint(v) // want `float passed to fmt\.Sprint renders shortest-form`
+}
+
+func badVerb(v float64) string {
+	return fmt.Sprintf("pause=%v", v) // want `float formatted with %v in fmt\.Sprintf`
+}
+
+// badNamed shows the check sees through named float types.
+func badNamed(m metres) string {
+	return fmt.Sprint(m) // want `float passed to fmt\.Sprint renders shortest-form`
+}
+
+// okPrecision is report formatting: an explicit precision cannot drift
+// from the codec because it never claims to be shortest-form.
+func okPrecision(v float64) string {
+	return fmt.Sprintf("%.4f", v)
+}
+
+// okNonFloat: %v over non-floats is fine.
+func okNonFloat(n int, s string) string {
+	return fmt.Sprintf("%v/%v", n, s)
+}
+
+// okError: Errorf output is human-facing error text, never an identity
+// key, so shortest-form floats in it are exempt.
+func okError(v float64) error {
+	return fmt.Errorf("rate %v out of range", v)
+}
+
+// okDynamic: a non-constant format string cannot be paired with
+// arguments, so the analyzer stays silent rather than guessing.
+func okDynamic(format string, v float64) string {
+	return fmt.Sprintf(format, v)
+}
+
+// allowedCSV documents a site that deliberately shares the codec's
+// rendering.
+func allowedCSV(v float64) string {
+	//slrlint:allow floatfmt CSV cells share the Key rendering so spreadsheet joins line up
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,126 @@
+// Package mapiter holds fixtures for the mapiter analyzer. bfsSeed is a
+// minimal reproduction of the PR 1 OLSR bug: BFS seeds accumulated in
+// range-over-map order, which leaked map iteration order into route
+// tie-breaks and broke byte-identical replay.
+package mapiter
+
+import (
+	"fmt"
+	"sort"
+
+	"sim"
+)
+
+type emitter struct{}
+
+func (emitter) Emit(v int)             {}
+func (emitter) BroadcastControl(v int) {}
+
+// bfsSeed is the PR 1 shape: the accumulated seeds escape unsorted.
+func bfsSeed(links map[int]bool) []int {
+	var seeds []int
+	for id := range links {
+		seeds = append(seeds, id) // want `seeds accumulates range-over-map values`
+	}
+	return seeds
+}
+
+// bfsSeedSorted is the PR 1 fix: the sort after the loop restores a
+// deterministic order before the slice escapes.
+func bfsSeedSorted(links map[int]bool) []int {
+	var seeds []int
+	for id := range links {
+		seeds = append(seeds, id)
+	}
+	sort.Ints(seeds)
+	return seeds
+}
+
+// bfsSeedHelperSorted shows a receiver-less local helper whose name says
+// it sorts (the SRP sortNodeIDs shape) also restores order.
+func bfsSeedHelperSorted(links map[int]bool) []int {
+	var seeds []int
+	for id := range links {
+		seeds = append(seeds, id)
+	}
+	sortIDs(seeds)
+	return seeds
+}
+
+func sortIDs(ids []int) { sort.Ints(ids) }
+
+type proto struct {
+	symList []int
+}
+
+// fieldAccum exercises the selector-path accumulator with a sort.Slice
+// mentioning the same field afterwards.
+func (p *proto) fieldAccum(links map[int]bool) {
+	for id := range links {
+		p.symList = append(p.symList, id)
+	}
+	sort.Slice(p.symList, func(i, j int) bool { return p.symList[i] < p.symList[j] })
+}
+
+// fieldAccumUnsorted leaves the field in map order.
+func (p *proto) fieldAccumUnsorted(links map[int]bool) {
+	for id := range links {
+		p.symList = append(p.symList, id) // want `p.symList accumulates range-over-map values`
+	}
+}
+
+// emitInRange calls an emitter per iteration: each packet's position in
+// the broadcast sequence follows map order.
+func emitInRange(e emitter, m map[int]int) {
+	for k, v := range m {
+		e.Emit(k + v) // want `emitter call Emit inside range over a map`
+	}
+}
+
+// broadcastInRange covers the Broadcast* emitter family.
+func broadcastInRange(e emitter, m map[int]int) {
+	for k := range m {
+		e.BroadcastControl(k) // want `emitter call BroadcastControl inside range over a map`
+	}
+}
+
+// scheduleInRange consumes the kernel's FIFO sequence numbers in map
+// order: same-timestamp events replay in a different order per run.
+func scheduleInRange(s *sim.Simulator, m map[int]int) {
+	for k := range m {
+		s.At(sim.Time(k), func() {}) // want `scheduling call At inside range over a map`
+	}
+}
+
+// printInRange emits through fmt directly.
+func printInRange(m map[int]int) {
+	for k := range m {
+		fmt.Println(k) // want `fmt\.Println emits inside range over a map`
+	}
+}
+
+// localOnly never lets the loop's effects escape: a scalar fold is
+// order-independent and stays silent.
+func localOnly(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// allowedFold documents a deliberate order-independent emitter call.
+func allowedFold(e emitter, m map[int]int) {
+	for k := range m {
+		//slrlint:allow mapiter set-membership notification, order-independent by construction
+		e.Emit(k)
+	}
+}
+
+// allowedNoReason shows that a reason-less allow both fails the allow
+// contract and leaves the original finding standing.
+func allowedNoReason(e emitter, m map[int]int) {
+	for k := range m {
+		e.Emit(k) //slrlint:allow mapiter // want `needs a non-empty reason` `emitter call Emit inside range over a map`
+	}
+}

@@ -1,0 +1,49 @@
+// Package pooledescape holds fixtures for the pooledescape analyzer:
+// parking a pooled pointer anywhere that outlives the callback is
+// flagged; local use and the sanctioned Timer handle stay legal.
+package pooledescape
+
+import "sim"
+
+type holder struct {
+	ev    *sim.Event
+	evs   []*sim.Event
+	timer sim.Timer
+}
+
+var lastEvent *sim.Event
+
+func badField(h *holder, ev *sim.Event) {
+	h.ev = ev // want `pooled \*Event stored in h\.ev outlives the callback`
+}
+
+func badGlobal(ev *sim.Event) {
+	lastEvent = ev // want `pooled \*Event stored in lastEvent outlives the callback`
+}
+
+func badAppend(h *holder, ev *sim.Event) {
+	h.evs = append(h.evs, ev) // want `pooled \*Event appended to h\.evs outlives the callback`
+}
+
+func badSend(ch chan *sim.Event, ev *sim.Event) {
+	ch <- ev // want `pooled \*Event sent on a channel outlives the callback`
+}
+
+// okLocal: reading the event inside its own callback is the point of
+// receiving it.
+func okLocal(ev *sim.Event) sim.Time {
+	e := ev
+	return e.When
+}
+
+// okTimer: a generation-checked handle is the sanctioned way to keep a
+// reference past the callback.
+func okTimer(h *holder, s *sim.Simulator) {
+	h.timer = s.After(5, func() {})
+}
+
+// allowedTrace documents a deliberate retention.
+func allowedTrace(h *holder, ev *sim.Event) {
+	//slrlint:allow pooledescape debug trace snapshots the event before the pool reclaims it
+	h.ev = ev
+}

@@ -1,0 +1,23 @@
+// Package runner proves the floatfmt analyzer's function allowlist: the
+// default -floatfmt.allow pattern ("slr/internal/runner.Key.String")
+// matches this fixture's Key.String by package-path suffix, so the
+// canonical codec itself is never flagged.
+package runner
+
+import "strconv"
+
+// Key is the fixture twin of the real identity key.
+type Key struct {
+	Pause float64
+}
+
+// String is the canonical shortest-float codec.
+func (k Key) String() string {
+	return "pause=" + strconv.FormatFloat(k.Pause, 'g', -1, 64)
+}
+
+// rogue is NOT on the allowlist, so a second codec in the same package
+// is still flagged.
+func rogue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64) // want `strconv\.FormatFloat formats a float outside the canonical runner\.Key codec`
+}

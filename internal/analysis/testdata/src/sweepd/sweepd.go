@@ -1,0 +1,12 @@
+// Package sweepd proves the walltime analyzer's package allowlist: the
+// default -walltime.allow patterns ("slr/internal/sweepd", ...) match
+// this fixture path by suffix, so its wall-clock reads stay silent.
+package sweepd
+
+import "time"
+
+// LeaseDeadline lives on the wall clock by design — the sweep daemon
+// coordinates real workers, not simulated ones.
+func LeaseDeadline(ttl time.Duration) time.Time {
+	return time.Now().Add(ttl)
+}

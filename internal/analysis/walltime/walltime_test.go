@@ -1,0 +1,14 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"slr/internal/analysis/atest"
+	"slr/internal/analysis/walltime"
+)
+
+func TestWalltime(t *testing.T) {
+	// sweepd exercises the package allowlist: wall-clock reads there
+	// must produce zero diagnostics.
+	atest.Run(t, "../testdata", walltime.Analyzer, "walltime", "sweepd")
+}

@@ -183,7 +183,7 @@ func SweepOpts(s Scale, protos []scenario.ProtocolName, seed int64, opts SweepOp
 		remaining[pt]++
 		total[pt]++
 	}
-	start := time.Now()
+	start := time.Now() //slrlint:allow walltime progress-meter elapsed time, never reaches trial output
 	onResult := func(j runner.Job, r scenario.Result) {
 		if opts.Progress == nil {
 			return
@@ -194,7 +194,7 @@ func SweepOpts(s Scale, protos []scenario.ProtocolName, seed int64, opts SweepOp
 		if remaining[pt] == 0 {
 			fmt.Fprintf(opts.Progress, "%-4s pause=%4ss deliv=%.3f (%d trials, %v elapsed)\n",
 				pt.proto, s.PauseLabel(pt.pause), sums[pt]/float64(total[pt]), total[pt],
-				time.Since(start).Round(time.Millisecond))
+				time.Since(start).Round(time.Millisecond)) //slrlint:allow walltime progress-meter elapsed time, never reaches trial output
 		}
 	}
 

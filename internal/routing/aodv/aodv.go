@@ -13,6 +13,7 @@ package aodv
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"slr/internal/netstack"
@@ -518,6 +519,8 @@ func (p *Protocol) propagateRERR(broken map[netstack.NodeID]*routeEntry) {
 	if len(dests) == 0 || !p.rerrLimit.Allow(p.node.Now()) {
 		return
 	}
+	// Deterministic RERR content whatever the map order.
+	sort.Slice(dests, func(i, j int) bool { return dests[i].Dst < dests[j].Dst })
 	out := &rerr{Dests: dests}
 	p.node.BroadcastControl(out.size(), out)
 }

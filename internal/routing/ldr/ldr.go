@@ -17,6 +17,7 @@ package ldr
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"slr/internal/netstack"
@@ -314,6 +315,8 @@ func (p *Protocol) linkBreak(to netstack.NodeID) {
 		}
 	}
 	if len(lost) > 0 && p.rerrLimit.Allow(p.node.Now()) {
+		// Deterministic RERR content whatever the map order.
+		sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
 		out := &rerr{Dests: lost}
 		p.node.BroadcastControl(out.size(), out)
 	}

@@ -312,9 +312,9 @@ func (p *Protocol) sendHello() {
 		// hearing oneself in a HELLO is what upgrades a link to
 		// symmetric, so asymmetric links must be included to
 		// bootstrap.
-		nbs = append(nbs, id)
+		nbs = append(nbs, id) //slrlint:allow mapiter HELLO advertises a set; receivers only test membership, order never reaches output (PR 1 goldens)
 		if _, isMPR := p.mprs[id]; isMPR {
-			mprList = append(mprList, id)
+			mprList = append(mprList, id) //slrlint:allow mapiter MPR list is a set for the receiver's SelectsMe membership test
 		}
 	}
 	h := &hello{From: p.self, Neighbors: nbs, MPRs: mprList}
@@ -327,7 +327,7 @@ func (p *Protocol) sendTC() {
 	now := p.node.Now()
 	for id, nb := range p.nbrs.All() {
 		if nb.Expiry > now && nb.SelectsMe {
-			selectors = append(selectors, id)
+			selectors = append(selectors, id) //slrlint:allow mapiter TC advertises the selector set; receivers fold it into a topology map
 		}
 	}
 	if len(selectors) == 0 {

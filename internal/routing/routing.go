@@ -85,7 +85,7 @@ func (f ParamsFlag) String() string {
 	sort.Strings(keys)
 	parts := make([]string, len(keys))
 	for i, k := range keys {
-		parts[i] = fmt.Sprintf("%s=%v", k, f[k])
+		parts[i] = fmt.Sprintf("%s=%v", k, f[k]) //slrlint:allow floatfmt flag display round-trips Set's parse; shortest form is the natural rendering
 	}
 	return strings.Join(parts, ",")
 }

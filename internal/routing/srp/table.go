@@ -92,7 +92,6 @@ func (r *route) pick(policy PathPolicy, rng *rand.Rand, now sim.Time) (netstack.
 		if len(live) == 0 {
 			return 0, false
 		}
-		sortNodeIDs(live)
 		r.rrIndex++
 		return live[int(r.rrIndex)%len(live)], true
 	case PolicyRandom:
@@ -100,7 +99,6 @@ func (r *route) pick(policy PathPolicy, rng *rand.Rand, now sim.Time) (netstack.
 		if len(live) == 0 {
 			return 0, false
 		}
-		sortNodeIDs(live)
 		return live[rng.Intn(len(live))], true
 	default:
 		return r.best(now)
@@ -115,7 +113,9 @@ func sortNodeIDs(ids []netstack.NodeID) {
 	}
 }
 
-// successors returns the ids of live successors.
+// successors returns the ids of live successors, sorted so callers that
+// index into the list (round-robin and random picks, the multipath
+// example) never see map-iteration order.
 func (r *route) successors(now sim.Time) []netstack.NodeID {
 	var out []netstack.NodeID
 	for n, s := range r.succ {
@@ -123,6 +123,7 @@ func (r *route) successors(now sim.Time) []netstack.NodeID {
 			out = append(out, n)
 		}
 	}
+	sortNodeIDs(out)
 	return out
 }
 

@@ -295,7 +295,7 @@ func (e *CSVEmitter) Emit(j Job, r scenario.Result) error {
 		return err
 	}
 	rec := NewRecord(j, r)
-	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) } //slrlint:allow floatfmt CSV cells share the Key codec's shortest-form rendering so spreadsheet joins line up with JSONL keys
 	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
 	// A zero-delivery run has no network-load ratio; the cell reads "NaN"
 	// (strconv's rendering of the sentinel), never a raw control count.

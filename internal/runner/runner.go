@@ -213,7 +213,7 @@ func Run(jobs []Job, opts Options) ([]scenario.Result, error) {
 		sinkMu    sync.Mutex
 		sinkErr   error
 		failed    = make([]bool, len(opts.Emitters))
-		start     = time.Now()
+		start     = time.Now() //slrlint:allow walltime progress-meter elapsed time, never reaches trial output
 	)
 	unclaimed.Store(int64(n))
 	sink := func(i int) {
@@ -241,7 +241,7 @@ func Run(jobs []Job, opts Options) ([]scenario.Result, error) {
 			r := results[i]
 			fmt.Fprintf(opts.Progress, "[%*d/%d] %-4s pause=%v seed=%d deliv=%.3f (%v elapsed)\n",
 				len(fmt.Sprint(n)), d, n, r.Protocol, r.Pause, r.Seed, r.DeliveryRatio,
-				time.Since(start).Round(time.Millisecond))
+				time.Since(start).Round(time.Millisecond)) //slrlint:allow walltime progress-meter elapsed time, never reaches trial output
 		}
 	}
 
