@@ -22,10 +22,14 @@ race:
 # harness itself surface quickly, plus a machine-readable record of the
 # run appended to the BENCH_<n>.json perf trajectory (see cmd/benchjson).
 # Full runs: `go test -bench=. -benchmem .`
+# -timeout 40m: the root package's large-N tiers (BenchmarkLargeN +
+# BenchmarkParallelLargeN) legitimately run ~15 min even at one
+# iteration each; go test's default 10 min per-package limit would kill
+# the run mid-bench.
 bench:
-	@$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./... > bench.out 2>&1; \
+	@$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem -timeout 40m ./... > bench.out 2>&1; \
 	st=$$?; cat bench.out; \
-	if [ $$st -ne 0 ]; then rm -f bench.out; exit $$st; fi; \
+	if [ $$st -ne 0 ]; then echo "bench failed; output kept in bench.out" >&2; exit $$st; fi; \
 	$(GO) run ./cmd/benchjson -in bench.out && rm -f bench.out
 
 # The analyzer fixtures under internal/analysis/testdata are deliberately

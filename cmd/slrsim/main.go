@@ -62,6 +62,34 @@ func main() {
 	}
 }
 
+// workerModeFlags is the single allowlist of flags that combine with
+// -worker: the worker's own knobs plus profiling (a worker is exactly
+// where a large-N sweep spends its time). Everything else — scenario
+// shape, the dynamic checkers (-check, -ordercheck), kernel execution
+// knobs (-parallel), and output routing — is refused by name: jobs arrive
+// fully parameterized from the coordinator, so such a flag on the same
+// command line means confusion, not intent.
+var workerModeFlags = map[string]bool{
+	"worker": true, "worker-id": true, "batch": true, "poll": true,
+	"crash-after-lease": true, "cpuprofile": true, "memprofile": true,
+}
+
+// rejectNonWorkerFlags returns an error naming, in sorted order, every
+// explicitly set flag outside workerModeFlags.
+func rejectNonWorkerFlags(set map[string]bool) error {
+	var conflict []string
+	for name := range set {
+		if !workerModeFlags[name] {
+			conflict = append(conflict, "-"+name)
+		}
+	}
+	if len(conflict) == 0 {
+		return nil
+	}
+	sort.Strings(conflict)
+	return fmt.Errorf("-worker mode pulls fully parameterized jobs from the coordinator; %s cannot apply", strings.Join(conflict, " "))
+}
+
 func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("slrsim", flag.ContinueOnError)
 	var (
@@ -79,6 +107,7 @@ func run(args []string) (retErr error) {
 		pktSize   = fs.Int("size", 512, "CBR payload bytes")
 		check     = fs.Bool("check", false, "verify loop-freedom invariant during the run")
 		ordrcheck = fs.Bool("ordercheck", false, "shadow the event queue with a reference implementation and verify dispatch order (slow; debugging aid)")
+		parallel  = fs.Int("parallel", 1, "kernel workers for applying same-timestamp event batches within each trial (1 = serial; results are byte-identical per seed for any value)")
 		trials    = fs.Int("trials", 1, "independent trials (seeds seed..seed+trials-1)")
 		specArg   = fs.String("spec", "", "scenario spec (path or built-in name) as the baseline; explicit flags override it")
 		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to `file`")
@@ -110,23 +139,8 @@ func run(args []string) (retErr error) {
 	}()
 
 	if *workerURL != "" {
-		// Worker mode runs whatever the coordinator leases; a scenario or
-		// output flag on the same command line means confusion, not intent.
-		// The profiling flags apply to any mode: a worker is exactly where
-		// a large-N sweep spends its time.
-		workerFlags := map[string]bool{
-			"worker": true, "worker-id": true, "batch": true, "poll": true,
-			"crash-after-lease": true, "cpuprofile": true, "memprofile": true,
-		}
-		var conflict []string
-		for name := range set {
-			if !workerFlags[name] {
-				conflict = append(conflict, "-"+name)
-			}
-		}
-		if len(conflict) > 0 {
-			sort.Strings(conflict)
-			return fmt.Errorf("-worker mode pulls fully parameterized jobs from the coordinator; %s cannot apply", strings.Join(conflict, " "))
+		if err := rejectNonWorkerFlags(set); err != nil {
+			return err
 		}
 		return runWorker(*workerURL, *workerID, *batch, *poll, *crashLease)
 	}
@@ -220,6 +234,11 @@ func run(args []string) (retErr error) {
 		}
 		p.CheckInvariants = *check
 	}
+
+	if *parallel < 1 {
+		return fmt.Errorf("-parallel %d: worker count must be >= 1", *parallel)
+	}
+	p.Workers = *parallel
 
 	// -pparam overrides merge over the spec's protocol_params.
 	p.ProtoParams = routing.MergeParams(p.ProtoParams, protoParams)

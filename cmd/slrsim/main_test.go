@@ -169,6 +169,47 @@ func TestWorkerModeRejectsScenarioFlags(t *testing.T) {
 	}
 }
 
+// TestWorkerModeFlagTable drives the consolidated workerModeFlags
+// allowlist: each run-mode flag — the dynamic checkers and the kernel's
+// -parallel included — must be refused by name in -worker mode, while the
+// worker's own knobs and profiling pass the gate.
+func TestWorkerModeFlagTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		rejected string // flag that must be named in the error; "" = allowed
+	}{
+		{"check", []string{"-check"}, "-check"},
+		{"ordercheck", []string{"-ordercheck"}, "-ordercheck"},
+		{"parallel", []string{"-parallel", "4"}, "-parallel"},
+		{"protocol", []string{"-protocol", "AODV"}, "-protocol"},
+		{"trials", []string{"-trials", "2"}, "-trials"},
+		{"jsonl", []string{"-jsonl", "x.jsonl"}, "-jsonl"},
+		{"seed", []string{"-seed", "7"}, "-seed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			args := append([]string{"-worker", "http://127.0.0.1:1"}, tc.args...)
+			err := run(args)
+			if err == nil || !strings.Contains(err.Error(), tc.rejected) ||
+				!strings.Contains(err.Error(), "-worker mode") {
+				t.Fatalf("args %v: want rejection naming %s, got %v", args, tc.rejected, err)
+			}
+		})
+	}
+	// The worker's own knobs and the profiling flags must pass the gate
+	// (checked against the table directly — going through run() would try
+	// to reach a coordinator).
+	for name := range workerModeFlags {
+		if err := rejectNonWorkerFlags(map[string]bool{name: true}); err != nil {
+			t.Fatalf("flag -%s should be allowed in -worker mode: %v", name, err)
+		}
+	}
+	if err := rejectNonWorkerFlags(map[string]bool{"cpuprofile": true, "memprofile": true, "batch": true}); err != nil {
+		t.Fatalf("profiling + batch should be allowed in -worker mode: %v", err)
+	}
+}
+
 // TestWorkerModeDrainsCoordinator runs the real -worker code path
 // against an in-process coordinator and checks the sweep completes.
 func TestWorkerModeDrainsCoordinator(t *testing.T) {

@@ -1,0 +1,41 @@
+// Package executor is a fixture shaped like the kernel's parallel
+// executor: pooled *sim.Event nodes are parked in per-worker merge
+// buffers between a window's dispatch and the coordinator's post-join
+// sweep. That retention is the ownership-transfer protocol, not an
+// escape, so the package joins the pool-owner exemption via the
+// analyzer's -owners default ("slr/internal/sim/...") and every store
+// below must produce zero diagnostics.
+package executor
+
+import "sim"
+
+type stagedOp struct {
+	ev *sim.Event
+}
+
+type execCtx struct {
+	fired []*sim.Event
+	log   []stagedOp
+}
+
+type coordinator struct {
+	mergeBuf []*stagedOp
+	jobs     chan *sim.Event
+}
+
+// stage retains the fired event and its staged op — owner-exempt.
+func stage(c *execCtx, ev *sim.Event) {
+	c.fired = append(c.fired, ev)
+	c.log = append(c.log, stagedOp{ev: ev})
+	c.log[0].ev = ev
+}
+
+// merge collects staged ops across workers — owner-exempt.
+func merge(co *coordinator, ctxs []*execCtx, ev *sim.Event) {
+	for i := range ctxs {
+		for j := range ctxs[i].log {
+			co.mergeBuf = append(co.mergeBuf, &ctxs[i].log[j])
+		}
+	}
+	co.jobs <- ev
+}

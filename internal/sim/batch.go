@@ -1,0 +1,76 @@
+package sim
+
+// This file implements the extraction phase of the two-phase kernel: Step,
+// Run, and RunUntil no longer pop one event at a time but extract the full
+// batch of pending events sharing the minimum timestamp, in seq order, and
+// then apply the batch (serially in sim.go, window-parallel in parallel.go).
+//
+// Extraction is observationally identical to pop-one/fire-one because
+// (a) the batch is exactly the prefix of the global (at, seq) order with
+// the minimum time, (b) events scheduled during application receive larger
+// seqs, so same-timestamp arrivals form a later batch at the same time and
+// still run after the current batch, as they would have serially, and
+// (c) Cancel/Reschedule of an extracted-but-unfired event tombstones its
+// batch slot (see unlink), which application skips.
+
+// extract fills s.batch with every pending event at the minimum pending
+// timestamp, in seq order. It reports false when nothing is pending. The
+// batch must be empty on entry.
+func (s *Simulator) extract() bool {
+	if len(s.bottom) == 0 && !s.refill() {
+		return false
+	}
+	t := s.bottom[0].at
+	for {
+		ev := s.bottomPop()
+		ev.loc = locBatch
+		ev.index = int32(len(s.batch))
+		s.batch = append(s.batch, ev)
+		// Tier invariant: bottom events are < lowBound and every rung/top
+		// event is >= lowBound, so once the head time is t, *all* events at
+		// t are already in the bottom heap — draining while the head
+		// matches is exhaustive, no mid-extraction refill can add more.
+		if len(s.bottom) == 0 || s.bottom[0].at != t {
+			return true
+		}
+	}
+}
+
+// resetBatch discards the (fully consumed) batch. Consumed slots are
+// already nil, so truncation leaks no event pointers.
+func (s *Simulator) resetBatch() {
+	s.batch = s.batch[:0]
+	s.batchPos = 0
+}
+
+// nextBatchEvent returns the next batch slot (nil for a tombstone),
+// extracting a fresh batch when the current one is exhausted. The second
+// result is false when the queue is empty.
+func (s *Simulator) nextBatchEvent() (*Event, bool) {
+	if s.batchPos >= len(s.batch) {
+		s.resetBatch()
+		if !s.extract() {
+			return nil, false
+		}
+	}
+	ev := s.batch[s.batchPos]
+	s.batch[s.batchPos] = nil
+	s.batchPos++
+	return ev, true
+}
+
+// peek reports the timestamp of the next event that would fire, advancing
+// past tombstones (and extracting) as needed without firing anything.
+func (s *Simulator) peek() (Time, bool) {
+	for s.batchPos < len(s.batch) && s.batch[s.batchPos] == nil {
+		s.batchPos++
+	}
+	if s.batchPos < len(s.batch) {
+		return s.batch[s.batchPos].at, true
+	}
+	s.resetBatch()
+	if len(s.bottom) == 0 && !s.refill() {
+		return 0, false
+	}
+	return s.bottom[0].at, true
+}

@@ -1,0 +1,246 @@
+package sim
+
+// Conflict keys describe an event's mutation footprint so the parallel
+// executor (parallel.go) can partition a same-timestamp window into groups
+// that provably cannot touch the same state. The partition only ever
+// *refines* serial execution — two events land in different groups only if
+// their keys say they are disjoint — so any conservative over-approximation
+// is safe, and the zero value (ConflictAll) makes every untagged event a
+// full barrier.
+//
+// Keys are spatial because the model's only parallel-safe work is spatial:
+// the radio grid (internal/radio) already partitions the arena into cells
+// of side MaxRange, so a key carries a node id plus the grid cell the node
+// occupied when the key was made. Cells may be stale by the time the event
+// fires (the grid refreshes positions in epochs, and nodes drift), so the
+// distance thresholds below include margin: they are deliberately larger
+// than the exact interference geometry requires.
+//
+// Kinds:
+//
+//   - ConflictAll: conflicts with everything (the default; non-spatial).
+//   - node key: the event mutates only state owned by one node (e.g. an
+//     overheard frame's end-of-reception: receiver's active-list and NAV).
+//     Two node keys conflict iff they name the same node — unless one
+//     carries no cell, in which case it also conflicts with every area key.
+//   - area key: the event mutates state across a node's radio neighborhood.
+//     Conflicts with node keys within chebyshev distance areaNodeMargin
+//     cells and area keys within areaAreaMargin cells.
+//
+// Packing (uint64): kind in bits 62-63, node id in bits 32-61, biased cell
+// x in bits 16-31, biased cell y in bits 0-15.
+
+// ConflictKey is a packed event-footprint descriptor. The zero value
+// conservatively conflicts with every other key.
+type ConflictKey uint64
+
+// ConflictAll is the zero ConflictKey: a full barrier.
+const ConflictAll ConflictKey = 0
+
+const (
+	kindShift = 62
+	kindNode  = uint64(1)
+	kindArea  = uint64(2)
+
+	nodeShift = 32
+	nodeMax   = 1<<30 - 1
+
+	// cellBias recenters signed cell coordinates into 16 bits; cellNone
+	// (all ones) marks a key made without position information.
+	cellBias = 1 << 15
+	cellNone = 0xFFFF
+
+	// areaNodeMargin and areaAreaMargin are the conservative chebyshev
+	// cell-distance thresholds. Exact geometry: an area event reaches at
+	// most MaxRange = one cell side from its node, so area-vs-node needs
+	// cheb <= 2 and area-vs-area cheb <= 3 even when both positions sit at
+	// the worst corner of their cells; one extra cell on each absorbs grid
+	// staleness (epoch refresh slack plus mobility drift between keying
+	// and firing).
+	areaNodeMargin = 3
+	areaAreaMargin = 4
+)
+
+func packCell(c int32) (uint64, bool) {
+	b := int64(c) + cellBias
+	if b < 0 || b >= cellNone {
+		return 0, false
+	}
+	return uint64(b), true
+}
+
+// NodeKey returns the footprint "state owned by node, position unknown".
+// Without a cell it must conservatively conflict with every area key; node
+// ids outside the packable range degrade to ConflictAll.
+func NodeKey(node int32) ConflictKey {
+	if node < 0 || node > nodeMax {
+		return ConflictAll
+	}
+	return ConflictKey(kindNode<<kindShift | uint64(node)<<nodeShift | cellNone<<16 | cellNone)
+}
+
+// NodeCellKey returns the footprint "state owned by node, last seen in
+// grid cell (cx, cy)". Unpackable coordinates degrade to ConflictAll.
+func NodeCellKey(node, cx, cy int32) ConflictKey {
+	if node < 0 || node > nodeMax {
+		return ConflictAll
+	}
+	bx, okx := packCell(cx)
+	by, oky := packCell(cy)
+	if !okx || !oky {
+		return ConflictAll
+	}
+	return ConflictKey(kindNode<<kindShift | uint64(node)<<nodeShift | bx<<16 | by)
+}
+
+// AreaKey returns the footprint "node plus its radio neighborhood around
+// grid cell (cx, cy)". Unpackable coordinates degrade to ConflictAll.
+func AreaKey(node, cx, cy int32) ConflictKey {
+	if node < 0 || node > nodeMax {
+		return ConflictAll
+	}
+	bx, okx := packCell(cx)
+	by, oky := packCell(cy)
+	if !okx || !oky {
+		return ConflictAll
+	}
+	return ConflictKey(kindArea<<kindShift | uint64(node)<<nodeShift | bx<<16 | by)
+}
+
+func (k ConflictKey) kind() uint64   { return uint64(k) >> kindShift }
+func (k ConflictKey) node() uint64   { return uint64(k) >> nodeShift & nodeMax }
+func (k ConflictKey) cellX() uint64  { return uint64(k) >> 16 & 0xFFFF }
+func (k ConflictKey) cellY() uint64  { return uint64(k) & 0xFFFF }
+func (k ConflictKey) hasCell() bool  { return k.cellX() != cellNone }
+func (k ConflictKey) isGlobal() bool { return k == ConflictAll }
+
+func chebCells(a, b ConflictKey) uint64 {
+	dx := a.cellX() - b.cellX()
+	if int64(dx) < 0 {
+		dx = -dx
+	}
+	dy := a.cellY() - b.cellY()
+	if int64(dy) < 0 {
+		dy = -dy
+	}
+	if dx > dy {
+		return dx
+	}
+	return dy
+}
+
+// Conflicts reports whether events carrying keys k and o may touch the
+// same state. It is symmetric and reflexive, and conservative in every
+// direction: unknown positions and out-of-range packings conflict.
+func (k ConflictKey) Conflicts(o ConflictKey) bool {
+	if k.isGlobal() || o.isGlobal() {
+		return true
+	}
+	if k.node() == o.node() {
+		return true
+	}
+	kk, ok := k.kind(), o.kind()
+	if kk == kindNode && ok == kindNode {
+		return false
+	}
+	// At least one area key: spatial overlap decides. A missing cell on
+	// either side means the position is unknown — conflict.
+	if !k.hasCell() || !o.hasCell() {
+		return true
+	}
+	d := chebCells(k, o)
+	if kk == kindArea && ok == kindArea {
+		return d <= areaAreaMargin
+	}
+	return d <= areaNodeMargin
+}
+
+// groupScratch holds the window partitioner's reusable state: a union-find
+// over window indexes, a node-id to representative-index map for the O(1)
+// node-node path, and the output group slices.
+type groupScratch struct {
+	parent  []int32
+	nodeRep map[uint64]int32
+	groupOf []int32
+	groups  [][]*Event
+}
+
+func (g *groupScratch) find(i int32) int32 {
+	for g.parent[i] != i {
+		g.parent[i] = g.parent[g.parent[i]] // path halving
+		i = g.parent[i]
+	}
+	return i
+}
+
+func (g *groupScratch) union(a, b int32) {
+	ra, rb := g.find(a), g.find(b)
+	if ra != rb {
+		if ra < rb {
+			g.parent[rb] = ra
+		} else {
+			g.parent[ra] = rb
+		}
+	}
+}
+
+// partitionWindow splits a window of keyed events (batch-rank order) into
+// conflict-disjoint groups. Group order and member order both follow batch
+// rank, so the partition — and everything the executor derives from it —
+// is deterministic. The node/node fast path is a map probe; area keys (rare)
+// fall back to a pairwise scan against the whole window, which matches the
+// Conflicts predicate by construction.
+func (s *Simulator) partitionWindow(w []*Event) [][]*Event {
+	g := &s.groups
+	if g.nodeRep == nil {
+		g.nodeRep = make(map[uint64]int32)
+	}
+	clear(g.nodeRep)
+	g.parent = g.parent[:0]
+	g.groupOf = g.groupOf[:0]
+	for i := range w {
+		g.parent = append(g.parent, int32(i))
+		g.groupOf = append(g.groupOf, -1)
+	}
+	anyArea := false
+	for i, ev := range w {
+		k := ev.key
+		if k.kind() == kindArea {
+			anyArea = true
+			continue
+		}
+		if r, ok := g.nodeRep[k.node()]; ok {
+			g.union(int32(i), r)
+		} else {
+			g.nodeRep[k.node()] = int32(i)
+		}
+	}
+	if anyArea {
+		for i, ev := range w {
+			if ev.key.kind() != kindArea {
+				continue
+			}
+			for j, other := range w {
+				if j != i && ev.key.Conflicts(other.key) {
+					g.union(int32(i), int32(j))
+				}
+			}
+		}
+	}
+	ng := 0
+	for i := range w {
+		r := g.find(int32(i))
+		gi := g.groupOf[r]
+		if gi < 0 {
+			gi = int32(ng)
+			g.groupOf[r] = gi
+			if ng == len(g.groups) {
+				g.groups = append(g.groups, nil)
+			}
+			g.groups[ng] = g.groups[ng][:0]
+			ng++
+		}
+		g.groups[gi] = append(g.groups[gi], w[i])
+	}
+	return g.groups[:ng]
+}

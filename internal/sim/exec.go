@@ -1,0 +1,260 @@
+package sim
+
+import "sort"
+
+// ExecCtx is the kernel handle passed to keyed callbacks (AtExec). It
+// exists to solve the one problem parallel application cannot dodge:
+// callbacks that schedule, cancel, or reschedule mutate the queue, and the
+// queue is coordinator-owned. In serial mode (and for every unkeyed event)
+// the ctx is "direct" and forwards straight to the Simulator, so behavior
+// and cost are unchanged. During a parallel window flush each worker owns a
+// staging ctx: kernel effects are appended to a per-worker log tagged with
+// the firing event's batch rank, and after the window joins, the
+// coordinator replays all logs sorted by (rank, call order) — the exact
+// order a serial run would have issued the same calls, so seq assignment
+// and queue state come out identical byte for byte.
+//
+// Contract for staged execution (enforced by discipline + the differential
+// fuzz, not by the type system): a keyed callback touches the kernel only
+// through its ctx, never through the Simulator directly, and only ever
+// operates on timers its conflict group owns.
+type ExecCtx struct {
+	s      *Simulator
+	direct bool
+	rank   int32 // batch rank of the event currently firing on this ctx
+	log    []stagedOp
+	fired  []*Event // events this ctx ran, for the coordinator's sweep
+}
+
+type opKind uint8
+
+const (
+	opAt opKind = iota
+	opCancel
+	opCancelBatch // target was an extracted batch event, slot pre-tombstoned
+	opResched
+)
+
+// stagedOp is one deferred kernel mutation. rank orders ops across workers
+// (batch rank of the staging event); within a rank the log's append order
+// is the callback's call order, and the merge sort is stable.
+type stagedOp struct {
+	kind opKind
+	rank int32
+	gen  uint32
+	ev   *Event
+	at   Time
+	fn   func()
+	kfn  func(*ExecCtx)
+	key  ConflictKey
+}
+
+// Now returns the current virtual time (the window's shared timestamp
+// during staged execution).
+func (c *ExecCtx) Now() Time { return c.s.now }
+
+// At schedules fn at absolute time at, like Simulator.At.
+func (c *ExecCtx) At(at Time, fn func()) Timer {
+	if c.direct {
+		return c.s.At(at, fn)
+	}
+	return c.stageAt(at, fn, nil, ConflictAll)
+}
+
+// After schedules fn d after the current time.
+func (c *ExecCtx) After(d Time, fn func()) Timer { return c.At(c.s.now+d, fn) }
+
+// AtKeyed schedules a keyed plain callback, like Simulator.AtKeyed.
+func (c *ExecCtx) AtKeyed(at Time, key ConflictKey, fn func()) Timer {
+	if c.direct {
+		return c.s.AtKeyed(at, key, fn)
+	}
+	return c.stageAt(at, fn, nil, key)
+}
+
+// AtExec schedules a keyed staged callback, like Simulator.AtExec.
+func (c *ExecCtx) AtExec(at Time, key ConflictKey, fn func(*ExecCtx)) Timer {
+	if c.direct {
+		return c.s.AtExec(at, key, fn)
+	}
+	return c.stageAt(at, nil, fn, key)
+}
+
+func (c *ExecCtx) stageAt(at Time, fn func(), kfn func(*ExecCtx), key ConflictKey) Timer {
+	if at < c.s.now {
+		panic("sim: staged scheduling before now")
+	}
+	// A fresh node rather than a pooled one: the freelist is coordinator-
+	// owned. The node joins the pool when it is eventually released.
+	ev := &Event{at: at, fn: fn, kfn: kfn, key: key, loc: locStaged, index: -1, bucket: -1}
+	c.log = append(c.log, stagedOp{kind: opAt, rank: c.rank, ev: ev})
+	return Timer{ev: ev, gen: 0}
+}
+
+// Pending reports whether t is still scheduled, taking this ctx's staged
+// effects into account. During staged execution raw Timer.Pending can be
+// stale for queue-resident targets of a staged Cancel; group-owned code
+// must ask the ctx.
+func (c *ExecCtx) Pending(t Timer) bool {
+	if c.direct {
+		return t.Pending()
+	}
+	return c.stagedPending(t)
+}
+
+func (c *ExecCtx) stagedPending(t Timer) bool {
+	if t.ev == nil || t.gen != t.ev.gen {
+		return false
+	}
+	for i := len(c.log) - 1; i >= 0; i-- {
+		op := &c.log[i]
+		if op.ev != t.ev {
+			continue
+		}
+		switch op.kind {
+		case opAt, opResched:
+			return true
+		case opCancel, opCancelBatch:
+			return false
+		}
+	}
+	return t.ev.loc != locNone
+}
+
+// Cancel removes t's event if still pending, like Simulator.Cancel.
+func (c *ExecCtx) Cancel(t Timer) {
+	if c.direct {
+		c.s.Cancel(t)
+		return
+	}
+	if !c.stagedPending(t) {
+		return
+	}
+	ev := t.ev
+	if ev.loc == locBatch {
+		// The target is an extracted batch event this group owns (key
+		// contract). Tombstone it directly — slot writes are per-slot
+		// disjoint across groups and the coordinator does not read the
+		// batch during a flush — so the group's own skip check and raw
+		// Timer.Pending turn false immediately; queue bookkeeping
+		// (npend, shadow checker, node release) happens at merge.
+		c.s.batch[ev.index] = nil
+		ev.loc = locNone
+		c.log = append(c.log, stagedOp{kind: opCancelBatch, rank: c.rank, gen: t.gen, ev: ev})
+		return
+	}
+	c.log = append(c.log, stagedOp{kind: opCancel, rank: c.rank, gen: t.gen, ev: ev})
+}
+
+// Reschedule moves t's event to fire fn at time at, like
+// Simulator.Reschedule.
+func (c *ExecCtx) Reschedule(t Timer, at Time, fn func()) Timer {
+	if c.direct {
+		return c.s.Reschedule(t, at, fn)
+	}
+	if at < c.s.now {
+		panic("sim: staged rescheduling before now")
+	}
+	if !c.stagedPending(t) {
+		return c.stageAt(at, fn, nil, ConflictAll)
+	}
+	ev := t.ev
+	if ev.loc == locBatch {
+		// Same direct-tombstone move as Cancel; the merge re-inserts the
+		// node into the queue with its new deadline and a fresh seq.
+		c.s.batch[ev.index] = nil
+		ev.loc = locStaged
+	}
+	c.log = append(c.log, stagedOp{kind: opResched, rank: c.rank, gen: t.gen, ev: ev, at: at, fn: fn})
+	return t
+}
+
+// RescheduleAfter moves t's event to fire fn d after the current time.
+func (c *ExecCtx) RescheduleAfter(t Timer, d Time, fn func()) Timer {
+	return c.Reschedule(t, c.s.now+d, fn)
+}
+
+// applyStaged replays every worker's staged kernel effects on the
+// coordinator in (rank, call) order — exactly the order serial execution
+// of the window would have issued them, which makes seq assignment (and
+// therefore all downstream firing order) identical to serial.
+func (s *Simulator) applyStaged() {
+	buf := s.mergeBuf[:0]
+	for _, c := range s.wctx {
+		for i := range c.log {
+			buf = append(buf, &c.log[i])
+		}
+	}
+	sort.SliceStable(buf, func(i, j int) bool { return buf[i].rank < buf[j].rank })
+	for _, op := range buf {
+		switch op.kind {
+		case opAt:
+			ev := op.ev
+			ev.seq = s.seq
+			s.seq++
+			s.schedule(ev)
+		case opCancel:
+			s.Cancel(Timer{ev: op.ev, gen: op.gen})
+		case opCancelBatch:
+			// Slot was tombstoned worker-side; finish unlink's bookkeeping.
+			if s.check != nil {
+				s.check.deleted[op.ev.seq] = struct{}{}
+			}
+			s.npend--
+			s.release(op.ev)
+		case opResched:
+			ev := op.ev
+			if op.gen != ev.gen {
+				// The staged-pending prediction can only diverge from merge
+				// state if a callback operated on a timer outside its
+				// conflict group — a key-contract violation.
+				panic("sim: staged reschedule target raced its group")
+			}
+			if ev.loc == locStaged {
+				// Batch-origin target: the worker tombstoned its slot, so
+				// mirror unlink's bookkeeping here before re-inserting.
+				if s.check != nil {
+					s.check.deleted[ev.seq] = struct{}{}
+				}
+				s.npend--
+			} else {
+				s.unlink(ev)
+			}
+			ev.at = op.at
+			ev.fn = op.fn
+			ev.kfn = op.kfn
+			ev.key = op.key
+			ev.seq = s.seq
+			s.seq++
+			s.schedule(ev)
+		}
+	}
+	for i := range buf {
+		buf[i] = nil
+	}
+	s.mergeBuf = buf[:0]
+	for _, c := range s.wctx {
+		for i := range c.log {
+			c.log[i] = stagedOp{}
+		}
+		c.log = c.log[:0]
+	}
+}
+
+// sweepFired finishes the window's per-event accounting on the
+// coordinator: every event a worker ran leaves the pending count, bumps
+// the fired count, and returns to the freelist. The workers' own loc/gen
+// writes already made the events' timers stale at fire time (mirroring
+// serial release-before-run); the pool append has to wait until here
+// because the freelist is coordinator-owned.
+func (s *Simulator) sweepFired() {
+	for _, c := range s.wctx {
+		for i, ev := range c.fired {
+			s.npend--
+			s.fired++
+			s.release(ev)
+			c.fired[i] = nil
+		}
+		c.fired = c.fired[:0]
+	}
+}

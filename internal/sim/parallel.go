@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the opt-in parallel application path. Run/RunUntil with
+// SetWorkers(n>1) apply each extracted batch as a sequence of:
+//
+//	global event ... [window of keyed events] ... global event ...
+//
+// Unkeyed (ConflictAll) events are full barriers and fire inline on the
+// coordinator, exactly like serial mode — they may draw RNG, transmit,
+// touch anything. A window — a maximal run of keyed events between
+// barriers — is partitioned into conflict-disjoint groups (conflict.go)
+// and fanned across the pool; each group's events run in batch-rank order
+// on whichever worker claims the group, staging kernel effects through the
+// worker's ExecCtx. After the join the coordinator merges staged effects
+// in (rank, call) order and sweeps the fired events (exec.go), leaving
+// queue state byte-identical to serial application of the same window.
+//
+// Windows smaller than minWindow are applied inline: group dispatch costs
+// a few microseconds of wake/join latency, so sparse batches must never
+// pay it.
+
+// defaultMinWindow is the smallest keyed window worth dispatching to the
+// pool; below it the coordinator applies the window inline (still via the
+// serial path, so behavior is identical either way).
+const defaultMinWindow = 16
+
+// groupChunk is how many groups a worker claims per atomic fetch-add.
+const groupChunk = 4
+
+// flushJob is one window dispatch: the groups to run and the join state.
+type flushJob struct {
+	groups [][]*Event
+	next   atomic.Int32
+	wg     sync.WaitGroup
+}
+
+type workerPool struct {
+	jobs chan *flushJob
+	done sync.WaitGroup
+}
+
+// SetWorkers sets the number of workers (including the coordinator) used
+// to apply same-timestamp event windows; n <= 1 restores pure serial
+// execution and stops the pool. Output is byte-identical for every n by
+// construction — n only changes wall-clock. Must not be called while the
+// simulator is running a batch.
+func (s *Simulator) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n == s.workers || (n == 1 && s.pool == nil) {
+		s.workers = n
+		return
+	}
+	if s.pool != nil {
+		close(s.pool.jobs)
+		s.pool.done.Wait()
+		s.pool = nil
+		s.wctx = nil
+	}
+	s.workers = n
+	if s.minWindow == 0 {
+		s.minWindow = defaultMinWindow
+	}
+	if n > 1 {
+		s.wctx = make([]*ExecCtx, n)
+		for i := range s.wctx {
+			s.wctx[i] = &ExecCtx{s: s}
+		}
+		p := &workerPool{jobs: make(chan *flushJob, n-1)}
+		p.done.Add(n - 1)
+		for i := 1; i < n; i++ {
+			c := s.wctx[i]
+			go func() {
+				defer p.done.Done()
+				for job := range p.jobs {
+					runGroups(job, c)
+					job.wg.Done()
+				}
+			}()
+		}
+		s.pool = p
+	}
+}
+
+// Workers returns the configured worker count (1 = serial).
+func (s *Simulator) Workers() int {
+	if s.workers < 1 {
+		return 1
+	}
+	return s.workers
+}
+
+// runGroups claims groups off the job until none remain, firing each
+// group's events in batch-rank order through the given staging ctx.
+func runGroups(job *flushJob, c *ExecCtx) {
+	n := int32(len(job.groups))
+	for {
+		base := job.next.Add(groupChunk) - groupChunk
+		if base >= n {
+			return
+		}
+		hi := base + groupChunk
+		if hi > n {
+			hi = n
+		}
+		for gi := base; gi < hi; gi++ {
+			for _, ev := range job.groups[gi] {
+				if ev.loc != locBatch {
+					continue // tombstoned by an earlier event of this group
+				}
+				// Mirror serial release-before-run semantics without the
+				// (coordinator-owned) freelist: the event's own timer goes
+				// stale before its callback runs, so in-callback Cancel or
+				// Reschedule of it takes the fresh-schedule path.
+				ev.loc = locNone
+				ev.gen++
+				c.fired = append(c.fired, ev)
+				c.rank = ev.index
+				if ev.kfn != nil {
+					ev.kfn(c)
+				} else {
+					ev.fn()
+				}
+			}
+		}
+	}
+}
+
+// runParallel is the Run/RunUntil driver for workers > 1. The event limit
+// is checked at batch granularity here (a batch is indivisible once its
+// application starts), versus per event in serial mode.
+func (s *Simulator) runParallel(end Time, bounded bool) {
+	for {
+		at, ok := s.peek()
+		if !ok {
+			break
+		}
+		if s.maxGas != 0 && s.fired >= s.maxGas {
+			return
+		}
+		if bounded && at > end {
+			s.now = end
+			return
+		}
+		s.applyCurrentBatch()
+	}
+	if bounded && s.now < end {
+		s.now = end
+	}
+}
+
+// applyCurrentBatch applies the whole current batch (extracting one if
+// needed): globals inline, keyed windows via flushWindow.
+func (s *Simulator) applyCurrentBatch() {
+	if s.batchPos >= len(s.batch) {
+		s.resetBatch()
+		if !s.extract() {
+			return
+		}
+	}
+	for s.batchPos < len(s.batch) {
+		ev := s.batch[s.batchPos]
+		s.batch[s.batchPos] = nil
+		s.batchPos++
+		if ev == nil {
+			continue
+		}
+		if ev.key.isGlobal() {
+			s.flushWindow()
+			s.fire(ev)
+			continue
+		}
+		s.window = append(s.window, ev)
+	}
+	s.flushWindow()
+}
+
+// flushWindow applies the accumulated keyed window: inline when small,
+// group-parallel otherwise. Events tombstoned since accumulation (by a
+// barrier event firing between windows) are skipped either way.
+func (s *Simulator) flushWindow() {
+	w := s.window
+	if len(w) == 0 {
+		return
+	}
+	// Compact away tombstones in place; w aliases s.window's backing
+	// array, which is reset (and its pointers dropped) on exit.
+	live := w[:0]
+	for _, ev := range w {
+		if ev.loc == locBatch {
+			live = append(live, ev)
+		}
+	}
+	if len(live) < s.minWindow || s.workers < 2 {
+		for _, ev := range live {
+			if ev.loc == locBatch { // an earlier window event may cancel a later one
+				s.fire(ev)
+			}
+		}
+		s.resetWindow(w)
+		return
+	}
+	groups := s.partitionWindow(live)
+	if len(groups) == 1 {
+		for _, ev := range groups[0] {
+			if ev.loc == locBatch {
+				s.fire(ev)
+			}
+		}
+		s.resetWindow(w)
+		return
+	}
+	s.now = live[0].at
+	if s.check != nil {
+		// The shadow checker asserts extraction order, so it consumes the
+		// window in batch-rank order on the coordinator before dispatch —
+		// in parallel mode "the extracted batch matches the reference pop
+		// order" is checked here rather than per-fire.
+		for _, ev := range live {
+			s.check.fire(ev)
+		}
+	}
+	job := s.job
+	if job == nil {
+		job = &flushJob{}
+		s.job = job
+	}
+	job.groups = groups
+	job.next.Store(0)
+	job.wg.Add(s.workers - 1)
+	s.flushing = true
+	for i := 1; i < s.workers; i++ {
+		s.pool.jobs <- job
+	}
+	runGroups(job, s.wctx[0])
+	job.wg.Wait()
+	s.flushing = false
+	job.groups = nil
+	s.applyStaged()
+	s.sweepFired()
+	s.resetWindow(w)
+}
+
+// resetWindow clears the window scratch without retaining event pointers.
+func (s *Simulator) resetWindow(w []*Event) {
+	for i := range w {
+		w[i] = nil
+	}
+	s.window = w[:0]
+}

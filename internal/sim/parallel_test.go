@@ -1,0 +1,404 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// This file tests the conflict layer and the parallel executor.
+//
+// The conflict-key tests pin the predicate's algebra (symmetric, reflexive,
+// conservative degradations) and the partitioner's two obligations: groups
+// form a partition of the window, and events in different groups never
+// conflict. The differential harness then closes the loop end to end: the
+// same randomized trace of keyed scheduling, staged cancels, and staged
+// reschedules is run serially and with every worker count 2..8, and the
+// observable event order — captured through the kernel itself, as barrier
+// events staged by the keyed callbacks — must be byte-identical.
+
+func TestConflictKeyAlgebra(t *testing.T) {
+	keys := []ConflictKey{
+		ConflictAll,
+		NodeKey(0),
+		NodeKey(7),
+		NodeCellKey(7, 3, 3),
+		NodeCellKey(8, 3, 3),
+		NodeCellKey(9, 40, 40),
+		AreaKey(10, 3, 3),
+		AreaKey(11, 3+areaAreaMargin, 3),
+		AreaKey(12, 40, 40),
+		NodeCellKey(13, -5, -5),
+		AreaKey(14, -5, -5),
+	}
+	for _, a := range keys {
+		if !a.Conflicts(a) {
+			t.Fatalf("key %#x not reflexive", uint64(a))
+		}
+		if !ConflictAll.Conflicts(a) || !a.Conflicts(ConflictAll) {
+			t.Fatalf("ConflictAll must conflict with %#x", uint64(a))
+		}
+		for _, b := range keys {
+			if a.Conflicts(b) != b.Conflicts(a) {
+				t.Fatalf("asymmetric: %#x vs %#x", uint64(a), uint64(b))
+			}
+		}
+	}
+
+	cases := []struct {
+		name string
+		a, b ConflictKey
+		want bool
+	}{
+		{"same node, no cells", NodeKey(3), NodeKey(3), true},
+		{"distinct nodes, no cells", NodeKey(3), NodeKey(4), false},
+		{"distinct nodes, same cell", NodeCellKey(3, 2, 2), NodeCellKey(4, 2, 2), false},
+		{"same node, far cells", NodeCellKey(3, 0, 0), NodeCellKey(3, 90, 90), true},
+		{"cell-less node vs area", NodeKey(3), AreaKey(4, 2, 2), true},
+		{"area vs node at margin", AreaKey(3, 0, 0), NodeCellKey(4, areaNodeMargin, 0), true},
+		{"area vs node past margin", AreaKey(3, 0, 0), NodeCellKey(4, areaNodeMargin+1, 0), false},
+		{"area vs area at margin", AreaKey(3, 0, 0), AreaKey(4, 0, areaAreaMargin), true},
+		{"area vs area past margin", AreaKey(3, 0, 0), AreaKey(4, 0, areaAreaMargin+1), false},
+		{"negative cells, adjacent", AreaKey(3, -2, -2), NodeCellKey(4, -4, -3), true},
+	}
+	for _, tc := range cases {
+		if got := tc.a.Conflicts(tc.b); got != tc.want {
+			t.Errorf("%s: Conflicts = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+
+	// Unpackable inputs must degrade to the full barrier, never to a
+	// quietly-wrong spatial key.
+	for _, k := range []ConflictKey{
+		NodeKey(-1), NodeKey(nodeMax + 1),
+		NodeCellKey(1, 1<<20, 0), NodeCellKey(1, 0, -(1 << 20)),
+		AreaKey(1, 1<<20, 0), AreaKey(-1, 0, 0),
+		NodeCellKey(1, cellNone-cellBias, 0), // would collide with the sentinel
+	} {
+		if k != ConflictAll {
+			t.Errorf("unpackable input produced non-barrier key %#x", uint64(k))
+		}
+	}
+}
+
+// randomKey draws a keyed (never global) footprint: node keys dominate, with
+// enough cell-carrying and area keys to exercise both partitioner paths.
+func randomKey(rng *rand.Rand, nodes int) ConflictKey {
+	n := int32(rng.Intn(nodes))
+	switch rng.Intn(10) {
+	case 0, 1: // area key in a small cell range: forces the pairwise path
+		return AreaKey(n, int32(rng.Intn(12)), int32(rng.Intn(12)))
+	case 2, 3, 4: // node key with position
+		return NodeCellKey(n, int32(rng.Intn(12)), int32(rng.Intn(12)))
+	default: // position-unknown node key
+		return NodeKey(n)
+	}
+}
+
+func TestPartitionWindowProperties(t *testing.T) {
+	s := New(1)
+	for seed := int64(1); seed <= 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(60) + 1
+		w := make([]*Event, n)
+		for i := range w {
+			w[i] = &Event{key: randomKey(rng, rng.Intn(20)+1), index: int32(i)}
+		}
+		groups := s.partitionWindow(w)
+
+		// Partition: every event appears in exactly one group, and both
+		// group order and member order follow batch rank (first-seen).
+		seen := make(map[*Event]bool)
+		total := 0
+		for gi, g := range groups {
+			if len(g) == 0 {
+				t.Fatalf("seed %d: empty group %d", seed, gi)
+			}
+			for i, ev := range g {
+				if seen[ev] {
+					t.Fatalf("seed %d: event %d in two groups", seed, ev.index)
+				}
+				seen[ev] = true
+				total++
+				if i > 0 && g[i-1].index > ev.index {
+					t.Fatalf("seed %d: group %d out of rank order", seed, gi)
+				}
+			}
+		}
+		if total != n {
+			t.Fatalf("seed %d: partition covers %d of %d events", seed, total, n)
+		}
+
+		// Safety: no conflicting pair may be split across groups.
+		groupOf := make(map[*Event]int)
+		for gi, g := range groups {
+			for _, ev := range g {
+				groupOf[ev] = gi
+			}
+		}
+		for i, a := range w {
+			for _, b := range w[i+1:] {
+				if a.key.Conflicts(b.key) && groupOf[a] != groupOf[b] {
+					t.Fatalf("seed %d: conflicting keys %#x/%#x split into groups %d/%d",
+						seed, uint64(a.key), uint64(b.key), groupOf[a], groupOf[b])
+				}
+			}
+		}
+
+		// Determinism: the same window partitions identically. Snapshot
+		// first — the scratch is reused across calls.
+		shape := make([][]int32, len(groups))
+		for gi, g := range groups {
+			for _, ev := range g {
+				shape[gi] = append(shape[gi], ev.index)
+			}
+		}
+		again := s.partitionWindow(w)
+		if len(again) != len(shape) {
+			t.Fatalf("seed %d: repartition changed group count", seed)
+		}
+		for gi, g := range again {
+			if len(g) != len(shape[gi]) {
+				t.Fatalf("seed %d: repartition changed group %d size", seed, gi)
+			}
+			for i, ev := range g {
+				if ev.index != shape[gi][i] {
+					t.Fatalf("seed %d: repartition changed group %d member %d", seed, gi, i)
+				}
+			}
+		}
+	}
+}
+
+// parallelTrace drives one randomized trace of keyed activity and returns
+// the observable event log. Every kernel-visible decision is drawn from
+// RNG streams partitioned exactly as the real model partitions them: a
+// driver stream consumed only by barrier events, and one private stream
+// per node consumed only by that node's keyed callbacks (which the
+// executor serializes per conflict group). The log itself is only ever
+// appended by barrier events, so identical logs mean identical seq
+// assignment and identical firing order.
+func parallelTrace(seed int64, workers int, checked bool) []string {
+	const (
+		nodes  = 16
+		ticks  = 12
+		step   = Time(200)
+		maxGas = 200000 // safety net: a runaway divergence fails loudly on log length
+	)
+	s := New(seed)
+	s.SetEventLimit(maxGas)
+	if checked {
+		s.EnableOrderCheck()
+	}
+	if workers > 1 {
+		s.SetWorkers(workers)
+		defer s.SetWorkers(1)
+		s.minWindow = 2 // dispatch even tiny windows: maximum path coverage
+	}
+
+	var log []string
+	type nodeState struct {
+		rng    *rand.Rand
+		timers []Timer // this node's live keyed timers, oldest first
+		nextID int
+	}
+	ns := make([]*nodeState, nodes)
+	for i := range ns {
+		ns[i] = &nodeState{rng: rand.New(rand.NewSource(seed<<8 + int64(i)))}
+	}
+	driver := rand.New(rand.NewSource(seed ^ 0x5eedfeed))
+
+	// keyedFire builds node n's staged callback: it records its firing by
+	// staging a barrier log event, then mutates only node-n state — more
+	// keyed events on n's key, cancels and reschedules of n's own timers.
+	var keyedFire func(n, id int) func(*ExecCtx)
+	keyedFire = func(n, id int) func(*ExecCtx) {
+		return func(ctx *ExecCtx) {
+			st := ns[n]
+			at := ctx.Now()
+			ctx.At(at, func() { log = append(log, fmt.Sprintf("n%d#%d@%d", n, id, at)) })
+			r := st.rng.Intn(10)
+			switch {
+			case r < 4: // offspring on the same key (subcritical overall)
+				nid := st.nextID
+				st.nextID++
+				key := NodeKey(int32(n))
+				if st.rng.Intn(3) == 0 {
+					key = NodeCellKey(int32(n), int32(n%4), int32(n/4))
+				}
+				d := Time(st.rng.Intn(3)) * step / 2
+				tm := ctx.AtExec(at+d, key, keyedFire(n, nid))
+				st.timers = append(st.timers, tm)
+			case r < 6: // cancel own oldest still-pending timer
+				for len(st.timers) > 0 {
+					tm := st.timers[0]
+					st.timers = st.timers[1:]
+					if ctx.Pending(tm) {
+						ctx.Cancel(tm)
+						break
+					}
+				}
+			case r < 8: // reschedule own timer into a barrier callback
+				if len(st.timers) > 0 {
+					i := st.rng.Intn(len(st.timers))
+					tm := st.timers[i]
+					if ctx.Pending(tm) {
+						rid := st.nextID
+						st.nextID++
+						rat := at + Time(st.rng.Intn(2)+1)*step/3
+						st.timers[i] = ctx.Reschedule(tm, rat, func() {
+							log = append(log, fmt.Sprintf("resched n%d#%d", n, rid))
+						})
+					}
+				}
+			}
+		}
+	}
+
+	// The driver is a barrier-event chain: each tick logs itself and
+	// seeds a burst of keyed events clustered on few timestamps, so the
+	// extracted batches contain wide same-time keyed windows.
+	var tick func(k int) func()
+	tick = func(k int) func() {
+		return func() {
+			now := s.Now()
+			log = append(log, fmt.Sprintf("tick%d@%d", k, now))
+			burst := driver.Intn(40) + 10
+			for i := 0; i < burst; i++ {
+				n := driver.Intn(nodes)
+				st := ns[n]
+				id := st.nextID
+				st.nextID++
+				at := now + Time(driver.Intn(3)+1)*step
+				key := NodeKey(int32(n))
+				switch driver.Intn(6) {
+				case 0:
+					key = AreaKey(int32(n), int32(n%4)*2, int32(n/4)*2)
+				case 1:
+					key = NodeCellKey(int32(n), int32(n%4), int32(n/4))
+				}
+				st.timers = append(st.timers, s.AtExec(at, key, keyedFire(n, id)))
+			}
+			if k+1 < ticks {
+				s.At(now+3*step, tick(k+1))
+			}
+		}
+	}
+	s.At(step, tick(0))
+	s.Run()
+	log = append(log, fmt.Sprintf("end@%d fired=%d pending=%d", s.Now(), s.Fired(), s.Pending()))
+	return log
+}
+
+// parallelDiff asserts the trace is byte-identical between serial and
+// workers-wide execution of the same seed.
+func parallelDiff(t *testing.T, seed int64, workers int) {
+	t.Helper()
+	want := parallelTrace(seed, 1, false)
+	got := parallelTrace(seed, workers, false)
+	if len(got) != len(want) {
+		t.Fatalf("seed %d workers %d: %d log entries, serial produced %d",
+			seed, workers, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("seed %d workers %d: log[%d] = %q, serial = %q",
+				seed, workers, i, got[i], want[i])
+		}
+	}
+}
+
+// TestParallelVsSerial is the always-on differential gate: every worker
+// count 2..8 against the serial reference, over a spread of seeds.
+func TestParallelVsSerial(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		for w := 2; w <= 8; w++ {
+			parallelDiff(t, seed, w)
+		}
+	}
+}
+
+// TestParallelShadowChecked reruns the differential trace under the
+// shadow checker, which in parallel mode asserts before dispatch that
+// every extracted window matches the reference heap's pop order.
+func TestParallelShadowChecked(t *testing.T) {
+	for seed := int64(11); seed <= 13; seed++ {
+		want := parallelTrace(seed, 1, true)
+		got := parallelTrace(seed, 4, true)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: checked parallel log length %d, serial %d", seed, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: checked log[%d] = %q, serial = %q", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// FuzzParallelVsSerial lets the fuzzer pick the seed and worker count;
+// crashers shrink to a trivially replayable (seed, workers) pair.
+func FuzzParallelVsSerial(f *testing.F) {
+	f.Add(int64(1), uint8(2))
+	f.Add(int64(42), uint8(4))
+	f.Add(int64(7), uint8(8))
+	f.Fuzz(func(t *testing.T, seed int64, workers uint8) {
+		parallelDiff(t, seed, int(workers)%7+2)
+	})
+}
+
+// TestRandPanicsDuringFlush pins the guard that keeps shared-RNG draws out
+// of keyed callbacks: Simulator.Rand must refuse while a parallel window
+// is in flight.
+func TestRandPanicsDuringFlush(t *testing.T) {
+	s := New(5)
+	s.SetWorkers(2)
+	defer s.SetWorkers(1)
+	s.minWindow = 2
+	panicked := make(chan bool, 1)
+	probe := func(ctx *ExecCtx) {
+		defer func() { panicked <- recover() != nil }()
+		s.Rand()
+	}
+	s.AtExec(10, NodeKey(1), probe)
+	s.AtExec(10, NodeKey(2), func(*ExecCtx) {})
+	s.Run()
+	select {
+	case ok := <-panicked:
+		if !ok {
+			t.Fatal("Rand did not panic inside a parallel window")
+		}
+	default:
+		t.Fatal("probe callback never ran")
+	}
+}
+
+// TestSetWorkersIdempotent exercises pool teardown and rebuild.
+func TestSetWorkersIdempotent(t *testing.T) {
+	s := New(3)
+	for _, n := range []int{1, 4, 4, 2, 1, 1, 3, 0} {
+		s.SetWorkers(n)
+		want := n
+		if want < 1 {
+			want = 1
+		}
+		if s.Workers() != want {
+			t.Fatalf("SetWorkers(%d): Workers() = %d", n, s.Workers())
+		}
+	}
+	// Per-key slots: the 32 keyed callbacks run concurrently but each
+	// owns its own element, matching the key contract.
+	var fired [32]bool
+	s.SetWorkers(3)
+	s.minWindow = 1
+	for i := 0; i < 32; i++ {
+		s.AtKeyed(100, NodeKey(int32(i)), func() { fired[i] = true })
+	}
+	s.Run()
+	for i, ok := range fired {
+		if !ok {
+			t.Fatalf("keyed event %d never fired after pool rebuild", i)
+		}
+	}
+	s.SetWorkers(1)
+}

@@ -1,0 +1,97 @@
+// Serial-vs-parallel replay gate for the two-phase kernel. SetWorkers is
+// documented as byte-identical per seed for any worker count — not "close",
+// identical — so this test replays a small sweep of every protocol through
+// the full scenario stack (mobility, radio, MAC, routing, traffic, metrics)
+// at workers 1, 2, and 4 and diffs the complete JSONL record streams. Any
+// divergence in conflict keying, window partitioning, staged-effect merge
+// order, or seq assignment shows up here as a one-line diff.
+package slr_test
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"slr/internal/experiments"
+	"slr/internal/runner"
+	"slr/internal/scenario"
+)
+
+// parallelReplay runs one small sweep of proto with the given kernel
+// worker count and returns the full JSONL stream.
+func parallelReplay(t *testing.T, proto scenario.ProtocolName, workers int) []byte {
+	t.Helper()
+	var jobs []runner.Job
+	for _, pauseFrac := range []float64{0, 1} {
+		p := experiments.Small.Params(proto, pauseFrac, 1)
+		p.Workers = workers
+		for _, j := range runner.TrialJobs(p, 1) {
+			j.Index = len(jobs)
+			j.PauseFrac = pauseFrac
+			jobs = append(jobs, j)
+		}
+	}
+	var buf bytes.Buffer
+	em := runner.NewJSONL(&buf)
+	if _, err := runner.Run(jobs, runner.Options{Workers: 1, Emitters: []runner.Emitter{em}}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestParallelReplayByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack replay sweep skipped in -short")
+	}
+	for _, proto := range scenario.AllProtocols {
+		t.Run(string(proto), func(t *testing.T) {
+			serial := parallelReplay(t, proto, 1)
+			for _, w := range []int{2, 4} {
+				got := parallelReplay(t, proto, w)
+				if bytes.Equal(got, serial) {
+					continue
+				}
+				gl := bytes.Split(got, []byte("\n"))
+				sl := bytes.Split(serial, []byte("\n"))
+				for i := 0; i < len(gl) && i < len(sl); i++ {
+					if !bytes.Equal(gl[i], sl[i]) {
+						t.Fatalf("workers=%d diverged from serial at line %d:\nserial:   %.200s\nparallel: %.200s",
+							w, i+1, sl[i], gl[i])
+					}
+				}
+				t.Fatalf("workers=%d diverged from serial: %d lines vs %d", w, len(gl), len(sl))
+			}
+		})
+	}
+}
+
+// TestParallelReplayMatchesGolden pins the parallel path against the same
+// frozen stream the serial OLSR golden uses: not just serial==parallel
+// today, but both equal to the committed bytes.
+func TestParallelReplayMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack replay sweep skipped in -short")
+	}
+	var jobs []runner.Job
+	for _, pauseFrac := range []float64{0, 1} {
+		p := experiments.Small.Params(scenario.OLSR, pauseFrac, 1)
+		p.Workers = 4
+		for _, j := range runner.TrialJobs(p, 2) {
+			j.Index = len(jobs)
+			j.PauseFrac = pauseFrac
+			jobs = append(jobs, j)
+		}
+	}
+	var buf bytes.Buffer
+	em := runner.NewJSONL(&buf)
+	if _, err := runner.Run(jobs, runner.Options{Workers: 1, Emitters: []runner.Emitter{em}}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(olsrGolden)
+	if err != nil {
+		t.Fatalf("missing golden (run TestOLSRGoldenJSONL with -update first): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("workers=4 OLSR stream drifted from the serial golden")
+	}
+}
